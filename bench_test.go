@@ -1,0 +1,284 @@
+package mbd_test
+
+// One benchmark per table/figure of the evaluation (DESIGN.md §4).
+// Each iteration regenerates the experiment with a bounded
+// configuration so the suite completes in seconds; cmd/benchrunner
+// prints the full-size tables. The micro-benchmarks at the bottom
+// cover the wire codecs and the DPL engines, including the BER-vs-raw
+// framing ablation called out in DESIGN.md §5.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mbd/internal/ber"
+	"mbd/internal/dpl"
+	"mbd/internal/experiments"
+	"mbd/internal/mib"
+	"mbd/internal/oid"
+	"mbd/internal/rds"
+	"mbd/internal/snmp"
+)
+
+func runExperiment(b *testing.B, f func() (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tb, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkE1PollingCapacity(b *testing.B) {
+	runExperiment(b, experiments.E1PollingCapacity)
+}
+
+func BenchmarkE2HealthCentralVsDelegated(b *testing.B) {
+	runExperiment(b, func() (*experiments.Table, error) {
+		return experiments.E2HealthCentralVsDelegated(experiments.E2Config{
+			DeviceCounts: []int{5, 25}, Horizon: 2 * time.Minute, Seed: 1,
+		})
+	})
+}
+
+func BenchmarkE2bPeriodicAblation(b *testing.B) {
+	runExperiment(b, func() (*experiments.Table, error) {
+		return experiments.E2HealthCentralVsDelegated(experiments.E2Config{
+			DeviceCounts: []int{25}, Horizon: 2 * time.Minute, Periodic: true, Seed: 1,
+		})
+	})
+}
+
+func BenchmarkE3TableRetrieval(b *testing.B) {
+	runExperiment(b, func() (*experiments.Table, error) {
+		return experiments.E3TableRetrieval(experiments.E3Config{
+			RowCounts: []int{100, 500}, Selectivities: []float64{0.1},
+		})
+	})
+}
+
+func BenchmarkE4LatencySweep(b *testing.B) {
+	runExperiment(b, experiments.E4LatencySweep)
+}
+
+func BenchmarkE5DelegationAmortization(b *testing.B) {
+	runExperiment(b, experiments.E5DelegationAmortization)
+}
+
+func BenchmarkE6IntrusionDetection(b *testing.B) {
+	runExperiment(b, func() (*experiments.Table, error) {
+		return experiments.E6IntrusionDetection(experiments.E6Config{
+			PollIntervals: []time.Duration{30 * time.Second},
+			MeanLives:     []time.Duration{2 * time.Second},
+			Horizon:       2 * time.Minute,
+			Sessions:      40,
+		})
+	})
+}
+
+func BenchmarkE7ViewEconomy(b *testing.B) {
+	runExperiment(b, experiments.E7ViewEconomy)
+}
+
+func BenchmarkE8Snapshots(b *testing.B) {
+	runExperiment(b, func() (*experiments.Table, error) {
+		return experiments.E8Snapshots(experiments.E8Config{
+			FlapPeriods: []time.Duration{100 * time.Millisecond},
+			Walks:       10, Routes: 50,
+		})
+	})
+}
+
+func BenchmarkE9LMSTraining(b *testing.B) {
+	runExperiment(b, experiments.E9LMSTraining)
+}
+
+func BenchmarkE10RuntimeScalability(b *testing.B) {
+	runExperiment(b, func() (*experiments.Table, error) {
+		return experiments.E10RuntimeScalability(experiments.E10Config{
+			Counts: []int{1, 100}, MsgsPerDPI: 5,
+		})
+	})
+}
+
+func BenchmarkT1InterpreterOverhead(b *testing.B) {
+	runExperiment(b, experiments.T1InterpreterOverhead)
+}
+
+// --- micro-benchmarks -------------------------------------------------------
+
+func BenchmarkBEREncodeSNMPGet(b *testing.B) {
+	names := []oid.OID{
+		mib.OIDSysUpTime.Append(0),
+		mib.OIDEnetRxOk.Append(0),
+		mib.OIDIfEntry.Append(mib.IfInOctets, 1),
+	}
+	vbs := make([]snmp.VarBind, len(names))
+	for i, n := range names {
+		vbs[i] = snmp.VarBind{Name: n, Value: mib.Null()}
+	}
+	msg := &snmp.Message{Community: "public", Type: snmp.PDUGetRequest, RequestID: 9, VarBinds: vbs}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := msg.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBERDecodeSNMPGet(b *testing.B) {
+	msg := &snmp.Message{
+		Community: "public", Type: snmp.PDUGetResponse, RequestID: 9,
+		VarBinds: []snmp.VarBind{
+			{Name: mib.OIDSysUpTime.Append(0), Value: mib.TimeTicks(123456)},
+			{Name: mib.OIDEnetRxOk.Append(0), Value: mib.Counter32(987654321)},
+		},
+	}
+	pkt, err := msg.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := snmp.Decode(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAgentHandleGet(b *testing.B) {
+	dev, err := mib.NewDevice(mib.DeviceConfig{Name: "bench", Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	agent := snmp.NewAgent(dev.Tree(), "public")
+	msg := &snmp.Message{
+		Community: "public", Type: snmp.PDUGetRequest, RequestID: 1,
+		VarBinds: []snmp.VarBind{{Name: mib.OIDSysUpTime.Append(0), Value: mib.Null()}},
+	}
+	pkt, err := msg.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if agent.HandlePacket(pkt) == nil {
+			b.Fatal("request dropped")
+		}
+	}
+}
+
+// BenchmarkRDSBERHeader vs BenchmarkRDSRawFrame: the BER-header cost
+// ablation (DESIGN.md §5). Raw framing is the 4-byte length prefix
+// around an unencoded payload; the BER variant is the full RDS message
+// encoding the prototype used.
+func BenchmarkRDSBERHeader(b *testing.B) {
+	payload := make([]byte, 512)
+	msg := &rds.Message{Op: rds.OpSend, Seq: 7, Principal: "mgr", Name: "agent#1", Payload: payload}
+	b.ReportAllocs()
+	var total int
+	for i := 0; i < b.N; i++ {
+		enc := msg.Encode()
+		total += rds.FrameSize(enc)
+	}
+	b.ReportMetric(float64(rds.FrameSize(msg.Encode())-4-len(payload)), "header-bytes")
+}
+
+func BenchmarkRDSRawFrame(b *testing.B) {
+	payload := make([]byte, 512)
+	b.ReportAllocs()
+	var total int
+	for i := 0; i < b.N; i++ {
+		total += rds.FrameSize(payload)
+	}
+	_ = total
+	b.ReportMetric(4, "header-bytes")
+}
+
+func BenchmarkDPLCompile(b *testing.B) {
+	src := `
+func fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+func main() { return fib(10); }`
+	bindings := dpl.Std()
+	prog, err := dpl.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dpl.Compile(prog, bindings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDPLVMFib(b *testing.B) {
+	bindings := dpl.Std()
+	compiled := dpl.MustCompile(`
+func fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+func main() { return fib(15); }`, bindings)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vm := dpl.NewVM(compiled, bindings)
+		if _, err := vm.Run(ctx, "main"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDPLInterpFib(b *testing.B) {
+	bindings := dpl.Std()
+	prog, err := dpl.Parse(`
+func fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+func main() { return fib(15); }`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		it, err := dpl.NewInterp(prog, bindings)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := it.Run(ctx, "main"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBERWriterOID(b *testing.B) {
+	o := oid.MustParse("1.3.6.1.2.1.2.2.1.10.4021")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var w ber.Writer
+		w.AppendOID(o)
+	}
+}
+
+func BenchmarkTreeGetNextDeepTable(b *testing.B) {
+	dev, err := mib.NewDevice(mib.DeviceConfig{Name: "bench", Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		dev.OpenConn(mib.ConnID{
+			LocalAddr: [4]byte{10, 0, 0, 1}, LocalPort: 80,
+			RemAddr: [4]byte{1, byte(i / 256), byte(i % 256), 1}, RemPort: uint16(1024 + i),
+		})
+	}
+	start := mib.OIDTCPConnEntry.Append(mib.TCPConnState)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dev.Tree().GetNext(start); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

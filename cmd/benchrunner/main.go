@@ -1,0 +1,60 @@
+// Command benchrunner regenerates every table and figure of the
+// evaluation (DESIGN.md §4) and prints them to stdout.
+//
+// Usage:
+//
+//	benchrunner             # run everything, in order (~40 s)
+//	benchrunner -quick      # bounded configurations (seconds)
+//	benchrunner -list       # list experiment ids
+//	benchrunner -only E3    # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mbd/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	only := flag.String("only", "", "run a single experiment by id")
+	quick := flag.Bool("quick", false, "bounded configurations for CI-speed runs")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Brief)
+		}
+		return
+	}
+	run := experiments.All()
+	if *quick {
+		run = experiments.Quick()
+	}
+	if *only != "" {
+		e, err := experiments.ByID(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		run = []experiments.Experiment{e}
+	}
+	failed := false
+	for _, e := range run {
+		start := time.Now()
+		tb, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		fmt.Println(tb)
+		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

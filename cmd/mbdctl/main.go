@@ -1,0 +1,152 @@
+// Command mbdctl is the delegator's CLI: it speaks RDS to an mbdserver.
+//
+// Usage:
+//
+//	mbdctl -server host:5500 [-principal mgr] [-secret s3cret] <command>
+//
+// Commands:
+//
+//	delegate <name> <file.dpl>     translate & store a delegated program
+//	instantiate <dp> <entry> [a..] start an instance; prints its id
+//	control <dpi> <suspend|resume|terminate>
+//	send <dpi> <message>
+//	query [dpi]                    list instance status
+//	delete <dp>                    remove a program
+//	eval <file.dpl> <entry> [a..]  one-shot remote evaluation (REV style)
+//	watch [prefix]                 subscribe and stream events
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mbd/internal/rds"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:5500", "RDS server address")
+	principal := flag.String("principal", "mgr", "principal name")
+	secret := flag.String("secret", "", "MD5 shared secret (empty = no auth)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*server, *principal, *secret, *timeout, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "mbdctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(server, principal, secret string, timeout time.Duration, args []string) error {
+	var opts []rds.ClientOption
+	if secret != "" {
+		auth := rds.NewAuthenticator()
+		auth.SetSecret(principal, secret)
+		opts = append(opts, rds.WithAuth(auth))
+	}
+	c, err := rds.Dial(server, principal, opts...)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "delegate":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: delegate <name> <file.dpl>")
+		}
+		src, err := os.ReadFile(rest[1])
+		if err != nil {
+			return err
+		}
+		if err := c.Delegate(ctx, rest[0], string(src)); err != nil {
+			return err
+		}
+		fmt.Printf("delegated %q (%d bytes)\n", rest[0], len(src))
+	case "instantiate":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: instantiate <dp> <entry> [args...]")
+		}
+		id, err := c.Instantiate(ctx, rest[0], rest[1], rest[2:]...)
+		if err != nil {
+			return err
+		}
+		fmt.Println(id)
+	case "control":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: control <dpi> <suspend|resume|terminate>")
+		}
+		if err := c.Control(ctx, rest[0], rest[1]); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %s\n", rest[0], rest[1])
+	case "send":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: send <dpi> <message>")
+		}
+		if err := c.Send(ctx, rest[0], rest[1]); err != nil {
+			return err
+		}
+	case "query":
+		dpi := ""
+		if len(rest) > 0 {
+			dpi = rest[0]
+		}
+		infos, err := c.Query(ctx, dpi)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s %-14s %-8s %-10s %-10s %s\n", "DPI", "DP", "ENTRY", "STATE", "STEPS", "RESULT/ERROR")
+		for _, inf := range infos {
+			out := inf.Result
+			if inf.Err != "" {
+				out = inf.Err
+			}
+			fmt.Printf("%-18s %-14s %-8s %-10s %-10d %s\n", inf.ID, inf.DP, inf.Entry, inf.State, inf.Steps, out)
+		}
+	case "delete":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: delete <dp>")
+		}
+		if err := c.DeleteDP(ctx, rest[0]); err != nil {
+			return err
+		}
+	case "eval":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: eval <file.dpl> <entry> [args...]")
+		}
+		src, err := os.ReadFile(rest[0])
+		if err != nil {
+			return err
+		}
+		out, err := c.Eval(ctx, string(src), rest[1], rest[2:]...)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	case "watch":
+		filter := ""
+		if len(rest) > 0 {
+			filter = rest[0]
+		}
+		if err := c.Subscribe(ctx, filter); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "watching events (ctrl-c to stop)")
+		for ev := range c.Events() {
+			fmt.Printf("%8dms  %-16s %-7s %s\n", ev.TimeMS, ev.DPI, ev.Kind, ev.Payload)
+		}
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}

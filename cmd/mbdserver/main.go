@@ -1,0 +1,159 @@
+// Command mbdserver runs an MbD server on real sockets: an elastic
+// process accepting RDS delegations on a TCP port, co-located with a
+// simulated managed device whose MIB is served by an SNMP agent on a
+// UDP port. A background driver advances the device's virtual traffic
+// in real time so counters move while you watch.
+//
+// Usage:
+//
+//	mbdserver [-rds :5500] [-snmp :1161] [-name lab-router]
+//	          [-community public] [-secret mgr=s3cret ...] [-repo dir]
+//
+// With -repo, delegated programs load from dir/*.dpl at startup (each
+// re-checked by the Translator) and the repository is saved back on
+// shutdown — the paper's file-system-backed Repository.
+//
+// With one or more -secret principal=secret flags, RDS requests must
+// carry a valid MD5 digest; otherwise authentication is off (the first
+// prototype's behavior).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mbd/internal/elastic"
+	"mbd/internal/mbd"
+	"mbd/internal/mib"
+	"mbd/internal/rds"
+	"mbd/internal/vdl"
+)
+
+type secretsFlag []string
+
+func (s *secretsFlag) String() string { return strings.Join(*s, ",") }
+func (s *secretsFlag) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want principal=secret, got %q", v)
+	}
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	rdsAddr := flag.String("rds", ":5500", "RDS (delegation) TCP listen address")
+	snmpAddr := flag.String("snmp", ":1161", "SNMP UDP listen address")
+	name := flag.String("name", "lab-router", "device sysName")
+	community := flag.String("community", "public", "SNMP community")
+	repoDir := flag.String("repo", "", "directory backing the DP repository (load at start, save at exit)")
+	var secrets secretsFlag
+	flag.Var(&secrets, "secret", "principal=secret for MD5 auth (repeatable)")
+	flag.Parse()
+
+	if err := run(*rdsAddr, *snmpAddr, *name, *community, *repoDir, secrets); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string) error {
+	dev, err := mib.NewDevice(mib.DeviceConfig{Name: name, Interfaces: 4, Seed: time.Now().UnixNano()})
+	if err != nil {
+		return err
+	}
+	dev.AddRoute([4]byte{0, 0, 0, 0}, 1, 1, [4]byte{10, 0, 0, 254})
+
+	// Give delegated programs the MCVA's view services too.
+	mcva := vdl.NewMCVA(dev.Tree(), vdl.MIB2())
+	if err := dev.Tree().Mount(vdl.OIDViews, mcva.Handler()); err != nil {
+		return err
+	}
+	srv, err := mbd.New(mbd.Config{
+		Device:        dev,
+		Community:     community,
+		ExtraBindings: mcva.Bindings(),
+		MaxDPIs:       256,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Stop()
+	if repoDir != "" {
+		if err := os.MkdirAll(repoDir, 0o755); err != nil {
+			return fmt.Errorf("creating repository dir: %w", err)
+		}
+		n, err := srv.Process().LoadRepository(repoDir, "repository")
+		if err != nil {
+			return fmt.Errorf("loading repository: %w", err)
+		}
+		log.Printf("loaded %d delegated programs from %s", n, repoDir)
+		defer func() {
+			if err := srv.Process().SaveRepository(repoDir); err != nil {
+				log.Printf("saving repository: %v", err)
+			}
+		}()
+	}
+
+	var auth *rds.Authenticator
+	if len(secrets) > 0 {
+		auth = rds.NewAuthenticator()
+		for _, kv := range secrets {
+			parts := strings.SplitN(kv, "=", 2)
+			auth.SetSecret(parts[0], parts[1])
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Drive the device: nominal load advancing in real time.
+	dev.SetLoad(mib.LoadProfile{Utilization: 0.2, BroadcastFraction: 0.04, ErrorRate: 0.002, CollisionRate: 0.03})
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				dev.Advance(time.Second)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// SNMP agent, serving its own protocol counters as the snmp group.
+	if err := srv.Agent().MountStats(dev.Tree()); err != nil {
+		return err
+	}
+	pc, err := net.ListenPacket("udp", snmpAddr)
+	if err != nil {
+		return fmt.Errorf("snmp listen: %w", err)
+	}
+	go func() {
+		if err := srv.Agent().ServeUDP(ctx, pc); err != nil {
+			log.Printf("snmp agent: %v", err)
+		}
+	}()
+	log.Printf("SNMP agent on %s (community %q)", pc.LocalAddr(), community)
+
+	// Log DPI events to the console.
+	cancel := srv.Process().Subscribe(func(ev elastic.Event) {
+		log.Printf("[%s] %s: %s", ev.DPI, ev.Kind, ev.Payload)
+	})
+	defer cancel()
+
+	// RDS server.
+	l, err := net.Listen("tcp", rdsAddr)
+	if err != nil {
+		return fmt.Errorf("rds listen: %w", err)
+	}
+	log.Printf("RDS delegation service on %s (auth: %v)", l.Addr(), auth != nil)
+	return rds.NewServer(srv.Process(), auth).Serve(ctx, l)
+}

@@ -1,0 +1,72 @@
+// Command snmpwalk is a minimal SNMPv1 manager: it walks a subtree of
+// any agent (an mbdserver's co-located agent, or any RFC 1157 device).
+//
+// Usage:
+//
+//	snmpwalk [-community public] [-timeout 2s] host:port [oid]
+//
+// The default OID is mib-2 (1.3.6.1.2.1).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mbd/internal/oid"
+	"mbd/internal/snmp"
+)
+
+func main() {
+	community := flag.String("community", "public", "community string")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-request timeout")
+	get := flag.Bool("get", false, "issue a single Get instead of a walk")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: snmpwalk [-community c] host:port [oid]")
+		os.Exit(2)
+	}
+	root := "1.3.6.1.2.1"
+	if flag.NArg() > 1 {
+		root = flag.Arg(1)
+	}
+	if err := run(flag.Arg(0), *community, root, *timeout, *get); err != nil {
+		fmt.Fprintln(os.Stderr, "snmpwalk:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, community, root string, timeout time.Duration, get bool) error {
+	prefix, err := oid.Parse(root)
+	if err != nil {
+		return err
+	}
+	tr, err := snmp.DialUDP(addr)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	c := snmp.NewClient(tr, community, snmp.WithTimeout(timeout))
+	ctx := context.Background()
+
+	if get {
+		vbs, err := c.Get(ctx, prefix)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s = %s\n", vbs[0].Name, vbs[0].Value)
+		return nil
+	}
+	n, err := c.Walk(ctx, prefix, func(vb snmp.VarBind) bool {
+		fmt.Printf("%s = %s\n", vb.Name, vb.Value)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%d instances\n", n)
+	return nil
+}

@@ -1,0 +1,15 @@
+// Package mbd is a from-scratch Go reproduction of "Distributed
+// Management by Delegation" (Goldszmidt & Yemini, ICDCS 1995; Goldszmidt's
+// Columbia dissertation, 1996).
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// system inventory), runnable tools under cmd/, and worked examples
+// under examples/. The benchmarks in this directory regenerate every
+// table and figure of the paper's evaluation; run them with
+//
+//	go test -bench=. -benchmem
+//
+// or print the full tables with
+//
+//	go run ./cmd/benchrunner
+package mbd

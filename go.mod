@@ -1,0 +1,3 @@
+module mbd
+
+go 1.24

@@ -1,0 +1,217 @@
+package dpl
+
+import "fmt"
+
+// The Translator. The paper's elastic process compiles a delegated
+// program and "if the dp violates any of a set of defined rules for the
+// given language, the dp is rejected". Check enforces those rules:
+//
+//   - every called function must be either defined in the DP itself or
+//     present in the host's allowed-function table (Bindings) — no
+//     binding to arbitrary external functions;
+//   - every referenced variable must be declared;
+//   - user-function calls must match the declared arity; fixed-arity
+//     host calls likewise;
+//   - break/continue must appear inside a loop;
+//   - function, parameter, and same-scope variable names must be unique.
+
+type checker struct {
+	prog     *Program
+	bindings *Bindings
+	funcs    map[string]*FuncDecl
+	globals  map[string]bool
+	errs     []error
+}
+
+// Check validates prog against the host's allowed-function table and
+// returns the translator diagnostics, or nil when the program is
+// accepted.
+func Check(prog *Program, bindings *Bindings) []error {
+	c := &checker{
+		prog:     prog,
+		bindings: bindings,
+		funcs:    make(map[string]*FuncDecl),
+		globals:  make(map[string]bool),
+	}
+	for _, f := range prog.Funcs {
+		if prev, dup := c.funcs[f.Name]; dup {
+			c.errorf(f.Position(), "function %q redefined (first at %s)", f.Name, prev.Position())
+			continue
+		}
+		if _, _, isHost := bindings.Lookup(f.Name); isHost {
+			c.errorf(f.Position(), "function %q shadows a host function", f.Name)
+		}
+		c.funcs[f.Name] = f
+	}
+	for _, g := range prog.Globals {
+		if c.globals[g.Name] {
+			c.errorf(g.Position(), "global %q redeclared", g.Name)
+		}
+		if g.Init != nil {
+			// Global initializers run before any function; they may
+			// reference earlier globals only.
+			c.checkExpr(g.Init, &scope{c: c})
+		}
+		c.globals[g.Name] = true
+	}
+	for _, f := range prog.Funcs {
+		c.checkFunc(f)
+	}
+	return c.errs
+}
+
+func (c *checker) errorf(pos Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// scope is a lexical scope chain for local variables.
+type scope struct {
+	c      *checker
+	parent *scope
+	names  map[string]bool
+	inLoop bool
+}
+
+func (s *scope) child(loop bool) *scope {
+	return &scope{c: s.c, parent: s, names: make(map[string]bool), inLoop: loop || s.inLoop}
+}
+
+func (s *scope) declare(pos Pos, name string) {
+	if s.names == nil {
+		s.names = make(map[string]bool)
+	}
+	if s.names[name] {
+		s.c.errorf(pos, "variable %q redeclared in this scope", name)
+	}
+	s.names[name] = true
+}
+
+func (s *scope) resolve(name string) bool {
+	for cur := s; cur != nil; cur = cur.parent {
+		if cur.names[name] {
+			return true
+		}
+	}
+	return s.c.globals[name]
+}
+
+func (c *checker) checkFunc(f *FuncDecl) {
+	top := &scope{c: c, names: make(map[string]bool)}
+	seen := map[string]bool{}
+	for _, p := range f.Params {
+		if seen[p] {
+			c.errorf(f.Position(), "parameter %q repeated in %q", p, f.Name)
+		}
+		seen[p] = true
+		top.names[p] = true
+	}
+	c.checkBlock(f.Body, top.child(false))
+}
+
+func (c *checker) checkBlock(b *Block, s *scope) {
+	for _, st := range b.Stmts {
+		c.checkStmt(st, s)
+	}
+}
+
+func (c *checker) checkStmt(st Stmt, s *scope) {
+	switch n := st.(type) {
+	case *VarDecl:
+		if n.Init != nil {
+			c.checkExpr(n.Init, s)
+		}
+		s.declare(n.Position(), n.Name)
+	case *Block:
+		c.checkBlock(n, s.child(false))
+	case *AssignStmt:
+		switch t := n.Target.(type) {
+		case *Ident:
+			if !s.resolve(t.Name) {
+				c.errorf(t.Position(), "assignment to undeclared variable %q", t.Name)
+			}
+		case *IndexExpr:
+			c.checkExpr(t, s)
+		}
+		c.checkExpr(n.Value, s)
+	case *IfStmt:
+		c.checkExpr(n.Cond, s)
+		c.checkBlock(n.Then, s.child(false))
+		if n.Else != nil {
+			c.checkStmt(n.Else, s.child(false))
+		}
+	case *WhileStmt:
+		c.checkExpr(n.Cond, s)
+		c.checkBlock(n.Body, s.child(true))
+	case *ForStmt:
+		fs := s.child(true)
+		if n.Init != nil {
+			c.checkStmt(n.Init, fs)
+		}
+		if n.Cond != nil {
+			c.checkExpr(n.Cond, fs)
+		}
+		if n.Post != nil {
+			c.checkStmt(n.Post, fs)
+		}
+		c.checkBlock(n.Body, fs)
+	case *BreakStmt:
+		if !s.inLoop {
+			c.errorf(n.Position(), "break outside loop")
+		}
+	case *ContinueStmt:
+		if !s.inLoop {
+			c.errorf(n.Position(), "continue outside loop")
+		}
+	case *ReturnStmt:
+		if n.Value != nil {
+			c.checkExpr(n.Value, s)
+		}
+	case *ExprStmt:
+		c.checkExpr(n.X, s)
+	}
+}
+
+func (c *checker) checkExpr(e Expr, s *scope) {
+	switch n := e.(type) {
+	case *Ident:
+		if !s.resolve(n.Name) {
+			c.errorf(n.Position(), "undeclared variable %q", n.Name)
+		}
+	case *UnaryExpr:
+		c.checkExpr(n.X, s)
+	case *BinaryExpr:
+		c.checkExpr(n.L, s)
+		c.checkExpr(n.R, s)
+	case *IndexExpr:
+		c.checkExpr(n.X, s)
+		c.checkExpr(n.I, s)
+	case *ArrayLit:
+		for _, el := range n.Elems {
+			c.checkExpr(el, s)
+		}
+	case *MapLit:
+		for i := range n.Keys {
+			c.checkExpr(n.Keys[i], s)
+			c.checkExpr(n.Vals[i], s)
+		}
+	case *CallExpr:
+		for _, a := range n.Args {
+			c.checkExpr(a, s)
+		}
+		if f, ok := c.funcs[n.Name]; ok {
+			if len(n.Args) != len(f.Params) {
+				c.errorf(n.Position(), "%q expects %d arguments, got %d", n.Name, len(f.Params), len(n.Args))
+			}
+			return
+		}
+		if _, arity, ok := c.bindings.Lookup(n.Name); ok {
+			if arity >= 0 && len(n.Args) != arity {
+				c.errorf(n.Position(), "host function %q expects %d arguments, got %d", n.Name, arity, len(n.Args))
+			}
+			return
+		}
+		// The paper's core safety rule: unknown bindings are rejected
+		// at translation time, never deferred to runtime.
+		c.errorf(n.Position(), "call to %q: not a program function and not in the allowed host function set", n.Name)
+	}
+}

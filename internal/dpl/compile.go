@@ -1,0 +1,543 @@
+package dpl
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Opcode enumerates the VM's instructions.
+type Opcode uint8
+
+// Instruction set of the DPL stack machine.
+const (
+	OpConst     Opcode = iota // push Consts[A]
+	OpNil                     // push nil
+	OpTrue                    // push true
+	OpFalse                   // push false
+	OpLoadG                   // push globals[A]
+	OpStoreG                  // globals[A] = pop
+	OpLoadL                   // push locals[A]
+	OpStoreL                  // locals[A] = pop
+	OpPop                     // discard top of stack
+	OpBin                     // binary op; A = TokenKind of operator
+	OpEq                      // push pop2 == pop1
+	OpNe                      // push pop2 != pop1
+	OpNeg                     // arithmetic negate
+	OpNot                     // logical negate
+	OpJump                    // ip = A
+	OpJumpFalse               // pop; if !truthy → ip = A
+	OpJFKeep                  // if !truthy(top) → ip = A (keep top)
+	OpJTKeep                  // if truthy(top) → ip = A (keep top)
+	OpCall                    // call Funcs[A] with B args
+	OpCallHost                // call host binding A with B args
+	OpReturn                  // return pop
+	OpReturnNil               // return nil
+	OpIndex                   // push pop2[pop1]
+	OpSetIndex                // pop3[pop2] = pop1
+	OpArray                   // build array from A stack values
+	OpMap                     // build map from A key/value pairs
+)
+
+// Instr is one VM instruction.
+type Instr struct {
+	Op   Opcode
+	A, B int
+}
+
+// CompiledFunc is one compiled DPL function.
+type CompiledFunc struct {
+	Name      string
+	NumParams int
+	NumLocals int
+	Code      []Instr
+}
+
+// Compiled is an executable delegated program: the "object code" the
+// paper's Translator stores in the Repository.
+type Compiled struct {
+	Consts      []Value
+	Funcs       []*CompiledFunc
+	FuncIdx     map[string]int
+	GlobalNames []string
+	// InitCode runs once before the entry point to evaluate global
+	// initializers (it stores into globals and ends with OpReturnNil).
+	InitCode []Instr
+	// HostNames maps host-call indices used by the code back to
+	// function names; it pins the Bindings layout the program was
+	// compiled against.
+	HostNames []string
+}
+
+// Compile translates a checked program to bytecode. It runs Check first
+// and returns its diagnostics joined, so callers get translation and
+// compilation as the single Translator step the paper describes.
+func Compile(prog *Program, bindings *Bindings) (*Compiled, error) {
+	if errs := Check(prog, bindings); len(errs) > 0 {
+		msgs := make([]string, len(errs))
+		for i, e := range errs {
+			msgs[i] = e.Error()
+		}
+		return nil, fmt.Errorf("dpl: translation rejected:\n  %s", strings.Join(msgs, "\n  "))
+	}
+	c := &compiler{
+		bindings: bindings,
+		out: &Compiled{
+			FuncIdx:   make(map[string]int),
+			HostNames: bindings.NamesByIndex(),
+		},
+		globalIdx: make(map[string]int),
+		constIdx:  make(map[Value]int),
+	}
+	for _, g := range prog.Globals {
+		c.globalIdx[g.Name] = len(c.out.GlobalNames)
+		c.out.GlobalNames = append(c.out.GlobalNames, g.Name)
+	}
+	// Pre-register function slots so calls can be emitted in one pass.
+	for _, f := range prog.Funcs {
+		c.out.FuncIdx[f.Name] = len(c.out.Funcs)
+		c.out.Funcs = append(c.out.Funcs, &CompiledFunc{Name: f.Name, NumParams: len(f.Params)})
+	}
+	for i, f := range prog.Funcs {
+		cf, err := c.compileFunc(f)
+		if err != nil {
+			return nil, err
+		}
+		c.out.Funcs[i] = cf
+	}
+	// Global initializers.
+	fc := &funcCompiler{c: c, localIdx: map[string]int{}}
+	for _, g := range prog.Globals {
+		if g.Init == nil {
+			fc.emit(Instr{Op: OpNil})
+		} else if err := fc.expr(g.Init); err != nil {
+			return nil, err
+		}
+		fc.emit(Instr{Op: OpStoreG, A: c.globalIdx[g.Name]})
+	}
+	fc.emit(Instr{Op: OpReturnNil})
+	c.out.InitCode = fc.code
+	return c.out, nil
+}
+
+type compiler struct {
+	bindings  *Bindings
+	out       *Compiled
+	globalIdx map[string]int
+	constIdx  map[Value]int
+}
+
+func (c *compiler) constant(v Value) int {
+	if i, ok := c.constIdx[v]; ok {
+		return i
+	}
+	i := len(c.out.Consts)
+	c.out.Consts = append(c.out.Consts, v)
+	c.constIdx[v] = i
+	return i
+}
+
+type loopCtx struct {
+	breakJumps []int
+	contTarget int // -1 while unknown (for-loop post compiled later)
+	contJumps  []int
+}
+
+type funcCompiler struct {
+	c        *compiler
+	code     []Instr
+	localIdx map[string]int
+	nLocals  int
+	scopes   []map[string]int
+	loops    []*loopCtx
+}
+
+func (f *funcCompiler) emit(i Instr) int {
+	f.code = append(f.code, i)
+	return len(f.code) - 1
+}
+
+func (f *funcCompiler) patch(at, target int) { f.code[at].A = target }
+
+func (f *funcCompiler) pushScope() { f.scopes = append(f.scopes, map[string]int{}) }
+func (f *funcCompiler) popScope() {
+	top := f.scopes[len(f.scopes)-1]
+	for name, idx := range top {
+		// Restore any shadowed outer binding.
+		delete(f.localIdx, name)
+		_ = idx
+	}
+	f.scopes = f.scopes[:len(f.scopes)-1]
+	// Rebuild visible bindings from remaining scopes.
+	for _, sc := range f.scopes {
+		for name, idx := range sc {
+			f.localIdx[name] = idx
+		}
+	}
+}
+
+func (f *funcCompiler) declareLocal(name string) int {
+	idx := f.nLocals
+	f.nLocals++
+	if len(f.scopes) > 0 {
+		f.scopes[len(f.scopes)-1][name] = idx
+	}
+	f.localIdx[name] = idx
+	return idx
+}
+
+func (c *compiler) compileFunc(fd *FuncDecl) (*CompiledFunc, error) {
+	fc := &funcCompiler{c: c, localIdx: map[string]int{}}
+	fc.pushScope()
+	for _, p := range fd.Params {
+		fc.declareLocal(p)
+	}
+	if err := fc.block(fd.Body); err != nil {
+		return nil, err
+	}
+	fc.emit(Instr{Op: OpReturnNil})
+	fc.popScope()
+	return &CompiledFunc{
+		Name:      fd.Name,
+		NumParams: len(fd.Params),
+		NumLocals: fc.nLocals,
+		Code:      fc.code,
+	}, nil
+}
+
+func (f *funcCompiler) block(b *Block) error {
+	f.pushScope()
+	defer f.popScope()
+	for _, s := range b.Stmts {
+		if err := f.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *funcCompiler) stmt(s Stmt) error {
+	switch n := s.(type) {
+	case *VarDecl:
+		if n.Init != nil {
+			if err := f.expr(n.Init); err != nil {
+				return err
+			}
+		} else {
+			f.emit(Instr{Op: OpNil})
+		}
+		idx := f.declareLocal(n.Name)
+		f.emit(Instr{Op: OpStoreL, A: idx})
+		return nil
+	case *Block:
+		return f.block(n)
+	case *AssignStmt:
+		return f.assign(n)
+	case *IfStmt:
+		if err := f.expr(n.Cond); err != nil {
+			return err
+		}
+		jf := f.emit(Instr{Op: OpJumpFalse})
+		if err := f.block(n.Then); err != nil {
+			return err
+		}
+		if n.Else == nil {
+			f.patch(jf, len(f.code))
+			return nil
+		}
+		jend := f.emit(Instr{Op: OpJump})
+		f.patch(jf, len(f.code))
+		if err := f.stmt(n.Else); err != nil {
+			return err
+		}
+		f.patch(jend, len(f.code))
+		return nil
+	case *WhileStmt:
+		top := len(f.code)
+		if err := f.expr(n.Cond); err != nil {
+			return err
+		}
+		jf := f.emit(Instr{Op: OpJumpFalse})
+		lc := &loopCtx{contTarget: top}
+		f.loops = append(f.loops, lc)
+		if err := f.block(n.Body); err != nil {
+			return err
+		}
+		f.loops = f.loops[:len(f.loops)-1]
+		f.emit(Instr{Op: OpJump, A: top})
+		end := len(f.code)
+		f.patch(jf, end)
+		for _, j := range lc.breakJumps {
+			f.patch(j, end)
+		}
+		for _, j := range lc.contJumps {
+			f.patch(j, top)
+		}
+		return nil
+	case *ForStmt:
+		f.pushScope()
+		defer f.popScope()
+		if n.Init != nil {
+			if err := f.stmt(n.Init); err != nil {
+				return err
+			}
+		}
+		top := len(f.code)
+		var jf int = -1
+		if n.Cond != nil {
+			if err := f.expr(n.Cond); err != nil {
+				return err
+			}
+			jf = f.emit(Instr{Op: OpJumpFalse})
+		}
+		lc := &loopCtx{contTarget: -1}
+		f.loops = append(f.loops, lc)
+		if err := f.block(n.Body); err != nil {
+			return err
+		}
+		f.loops = f.loops[:len(f.loops)-1]
+		postStart := len(f.code)
+		if n.Post != nil {
+			if err := f.stmt(n.Post); err != nil {
+				return err
+			}
+		}
+		f.emit(Instr{Op: OpJump, A: top})
+		end := len(f.code)
+		if jf >= 0 {
+			f.patch(jf, end)
+		}
+		for _, j := range lc.breakJumps {
+			f.patch(j, end)
+		}
+		for _, j := range lc.contJumps {
+			f.patch(j, postStart)
+		}
+		return nil
+	case *BreakStmt:
+		if len(f.loops) == 0 {
+			return errors.New("dpl: internal: break outside loop survived checking")
+		}
+		lc := f.loops[len(f.loops)-1]
+		lc.breakJumps = append(lc.breakJumps, f.emit(Instr{Op: OpJump}))
+		return nil
+	case *ContinueStmt:
+		if len(f.loops) == 0 {
+			return errors.New("dpl: internal: continue outside loop survived checking")
+		}
+		lc := f.loops[len(f.loops)-1]
+		if lc.contTarget >= 0 {
+			f.emit(Instr{Op: OpJump, A: lc.contTarget})
+		} else {
+			lc.contJumps = append(lc.contJumps, f.emit(Instr{Op: OpJump}))
+		}
+		return nil
+	case *ReturnStmt:
+		if n.Value == nil {
+			f.emit(Instr{Op: OpReturnNil})
+			return nil
+		}
+		if err := f.expr(n.Value); err != nil {
+			return err
+		}
+		f.emit(Instr{Op: OpReturn})
+		return nil
+	case *ExprStmt:
+		if err := f.expr(n.X); err != nil {
+			return err
+		}
+		f.emit(Instr{Op: OpPop})
+		return nil
+	default:
+		return fmt.Errorf("dpl: internal: unknown statement %T", s)
+	}
+}
+
+func (f *funcCompiler) assign(n *AssignStmt) error {
+	switch t := n.Target.(type) {
+	case *Ident:
+		if n.Op != TokAssign {
+			// x += v  ⇒  x = x + v
+			if err := f.loadIdent(t); err != nil {
+				return err
+			}
+			if err := f.expr(n.Value); err != nil {
+				return err
+			}
+			op := TokPlus
+			if n.Op == TokMinusAssign {
+				op = TokMinus
+			}
+			f.emit(Instr{Op: OpBin, A: int(op)})
+		} else if err := f.expr(n.Value); err != nil {
+			return err
+		}
+		if idx, ok := f.localIdx[t.Name]; ok {
+			f.emit(Instr{Op: OpStoreL, A: idx})
+		} else if gi, ok := f.c.globalIdx[t.Name]; ok {
+			f.emit(Instr{Op: OpStoreG, A: gi})
+		} else {
+			return fmt.Errorf("dpl: internal: unresolved %q survived checking", t.Name)
+		}
+		return nil
+	case *IndexExpr:
+		if err := f.expr(t.X); err != nil {
+			return err
+		}
+		if err := f.expr(t.I); err != nil {
+			return err
+		}
+		if n.Op != TokAssign {
+			return errors.New("dpl: += / -= not supported on index expressions")
+		}
+		if err := f.expr(n.Value); err != nil {
+			return err
+		}
+		f.emit(Instr{Op: OpSetIndex})
+		return nil
+	default:
+		return errors.New("dpl: internal: bad assignment target survived checking")
+	}
+}
+
+func (f *funcCompiler) loadIdent(t *Ident) error {
+	if idx, ok := f.localIdx[t.Name]; ok {
+		f.emit(Instr{Op: OpLoadL, A: idx})
+		return nil
+	}
+	if gi, ok := f.c.globalIdx[t.Name]; ok {
+		f.emit(Instr{Op: OpLoadG, A: gi})
+		return nil
+	}
+	return fmt.Errorf("dpl: internal: unresolved %q survived checking", t.Name)
+}
+
+func (f *funcCompiler) expr(e Expr) error {
+	switch n := e.(type) {
+	case *IntLit:
+		f.emit(Instr{Op: OpConst, A: f.c.constant(n.V)})
+	case *FloatLit:
+		f.emit(Instr{Op: OpConst, A: f.c.constant(n.V)})
+	case *StringLit:
+		f.emit(Instr{Op: OpConst, A: f.c.constant(n.V)})
+	case *BoolLit:
+		if n.V {
+			f.emit(Instr{Op: OpTrue})
+		} else {
+			f.emit(Instr{Op: OpFalse})
+		}
+	case *NilLit:
+		f.emit(Instr{Op: OpNil})
+	case *Ident:
+		return f.loadIdent(n)
+	case *UnaryExpr:
+		if err := f.expr(n.X); err != nil {
+			return err
+		}
+		if n.Op == TokMinus {
+			f.emit(Instr{Op: OpNeg})
+		} else {
+			f.emit(Instr{Op: OpNot})
+		}
+	case *BinaryExpr:
+		switch n.Op {
+		case TokAndAnd:
+			if err := f.expr(n.L); err != nil {
+				return err
+			}
+			j := f.emit(Instr{Op: OpJFKeep})
+			f.emit(Instr{Op: OpPop})
+			if err := f.expr(n.R); err != nil {
+				return err
+			}
+			f.patch(j, len(f.code))
+		case TokOrOr:
+			if err := f.expr(n.L); err != nil {
+				return err
+			}
+			j := f.emit(Instr{Op: OpJTKeep})
+			f.emit(Instr{Op: OpPop})
+			if err := f.expr(n.R); err != nil {
+				return err
+			}
+			f.patch(j, len(f.code))
+		case TokEq, TokNe:
+			if err := f.expr(n.L); err != nil {
+				return err
+			}
+			if err := f.expr(n.R); err != nil {
+				return err
+			}
+			if n.Op == TokEq {
+				f.emit(Instr{Op: OpEq})
+			} else {
+				f.emit(Instr{Op: OpNe})
+			}
+		default:
+			if err := f.expr(n.L); err != nil {
+				return err
+			}
+			if err := f.expr(n.R); err != nil {
+				return err
+			}
+			f.emit(Instr{Op: OpBin, A: int(n.Op)})
+		}
+	case *IndexExpr:
+		if err := f.expr(n.X); err != nil {
+			return err
+		}
+		if err := f.expr(n.I); err != nil {
+			return err
+		}
+		f.emit(Instr{Op: OpIndex})
+	case *ArrayLit:
+		for _, el := range n.Elems {
+			if err := f.expr(el); err != nil {
+				return err
+			}
+		}
+		f.emit(Instr{Op: OpArray, A: len(n.Elems)})
+	case *MapLit:
+		for i := range n.Keys {
+			if err := f.expr(n.Keys[i]); err != nil {
+				return err
+			}
+			if err := f.expr(n.Vals[i]); err != nil {
+				return err
+			}
+		}
+		f.emit(Instr{Op: OpMap, A: len(n.Keys)})
+	case *CallExpr:
+		for _, a := range n.Args {
+			if err := f.expr(a); err != nil {
+				return err
+			}
+		}
+		if fi, ok := f.c.out.FuncIdx[n.Name]; ok {
+			f.emit(Instr{Op: OpCall, A: fi, B: len(n.Args)})
+			return nil
+		}
+		hi, _, ok := f.c.bindings.Lookup(n.Name)
+		if !ok {
+			return fmt.Errorf("dpl: internal: unbound call %q survived checking", n.Name)
+		}
+		f.emit(Instr{Op: OpCallHost, A: hi, B: len(n.Args)})
+	default:
+		return fmt.Errorf("dpl: internal: unknown expression %T", e)
+	}
+	return nil
+}
+
+// MustCompile parses and compiles src, panicking on error. For tests
+// and package-level agent constants.
+func MustCompile(src string, bindings *Bindings) *Compiled {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	c, err := Compile(prog, bindings)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

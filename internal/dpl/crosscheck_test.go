@@ -1,0 +1,243 @@
+package dpl
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// progGen emits random but well-formed DPL programs. Division and
+// modulo right operands are generated as (expr % K + K + 1) so both
+// engines see identical, nonzero denominators; everything else is
+// unconstrained within the generated type discipline (int expressions
+// only, plus bool contexts), so any divergence between the VM and the
+// reference interpreter is a real semantics bug.
+type progGen struct {
+	r        *rand.Rand
+	vars     []string // readable variables
+	writable []string // assignable variables (excludes loop counters)
+	b        strings.Builder
+	depth    int
+}
+
+func (g *progGen) intExpr() string {
+	g.depth++
+	defer func() { g.depth-- }()
+	if g.depth > 4 {
+		return g.leaf()
+	}
+	switch g.r.Intn(8) {
+	case 0, 1:
+		return g.leaf()
+	case 2:
+		return fmt.Sprintf("(%s + %s)", g.intExpr(), g.intExpr())
+	case 3:
+		return fmt.Sprintf("(%s - %s)", g.intExpr(), g.intExpr())
+	case 4:
+		return fmt.Sprintf("(%s * %s)", g.leaf(), g.leaf())
+	case 5:
+		return fmt.Sprintf("(%s / (%s %% 7 + 8))", g.intExpr(), g.intExpr())
+	case 6:
+		return fmt.Sprintf("(%s %% (%s %% 5 + 6))", g.intExpr(), g.intExpr())
+	default:
+		return fmt.Sprintf("-(%s)", g.intExpr())
+	}
+}
+
+func (g *progGen) leaf() string {
+	if len(g.vars) > 0 && g.r.Intn(2) == 0 {
+		return g.vars[g.r.Intn(len(g.vars))]
+	}
+	return fmt.Sprintf("%d", g.r.Intn(201)-100)
+}
+
+func (g *progGen) boolExpr() string {
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	e := fmt.Sprintf("(%s %s %s)", g.intExpr(), ops[g.r.Intn(len(ops))], g.intExpr())
+	switch g.r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("(%s && %s)", e, g.boolExprShallow())
+	case 1:
+		return fmt.Sprintf("(%s || %s)", e, g.boolExprShallow())
+	case 2:
+		return "!" + e
+	default:
+		return e
+	}
+}
+
+func (g *progGen) boolExprShallow() string {
+	ops := []string{"<", ">", "=="}
+	return fmt.Sprintf("(%s %s %s)", g.leaf(), ops[g.r.Intn(len(ops))], g.leaf())
+}
+
+func (g *progGen) stmt(indent int) {
+	pad := strings.Repeat("\t", indent)
+	switch g.r.Intn(10) {
+	case 0, 1, 2:
+		name := fmt.Sprintf("v%d", len(g.vars))
+		fmt.Fprintf(&g.b, "%svar %s = %s;\n", pad, name, g.intExpr())
+		g.vars = append(g.vars, name)
+		g.writable = append(g.writable, name)
+	case 3, 4:
+		if len(g.writable) == 0 {
+			g.stmt(indent)
+			return
+		}
+		v := g.writable[g.r.Intn(len(g.writable))]
+		op := []string{"=", "+=", "-="}[g.r.Intn(3)]
+		fmt.Fprintf(&g.b, "%s%s %s %s;\n", pad, v, op, g.intExpr())
+	case 5, 6:
+		fmt.Fprintf(&g.b, "%sif (%s) {\n", pad, g.boolExpr())
+		g.block(indent+1, 2)
+		if g.r.Intn(2) == 0 {
+			fmt.Fprintf(&g.b, "%s} else {\n", pad)
+			g.block(indent+1, 2)
+		}
+		fmt.Fprintf(&g.b, "%s}\n", pad)
+	case 7:
+		// Bounded counting loop over a fresh variable.
+		name := fmt.Sprintf("i%d", len(g.vars))
+		n := 1 + g.r.Intn(8)
+		fmt.Fprintf(&g.b, "%sfor (var %s = 0; %s < %d; %s += 1) {\n", pad, name, name, n, name)
+		g.vars = append(g.vars, name)
+		g.block(indent+1, 2)
+		g.vars = g.vars[:len(g.vars)-1]
+		fmt.Fprintf(&g.b, "%s}\n", pad)
+	case 8:
+		if len(g.writable) == 0 {
+			g.stmt(indent)
+			return
+		}
+		// Accumulate through a helper call.
+		fmt.Fprintf(&g.b, "%s%s = twice(%s);\n", pad, g.writable[g.r.Intn(len(g.writable))], g.intExpr())
+	default:
+		fmt.Fprintf(&g.b, "%sacc += %s;\n", pad, g.intExpr())
+	}
+}
+
+func (g *progGen) block(indent, maxStmts int) {
+	n := 1 + g.r.Intn(maxStmts)
+	savedVars, savedWritable := len(g.vars), len(g.writable)
+	for i := 0; i < n; i++ {
+		if g.depth > 6 {
+			fmt.Fprintf(&g.b, "%sacc += 1;\n", strings.Repeat("\t", indent))
+			continue
+		}
+		g.stmt(indent)
+	}
+	g.vars = g.vars[:savedVars]
+	g.writable = g.writable[:savedWritable]
+}
+
+func (g *progGen) generate() string {
+	g.b.Reset()
+	g.vars = nil
+	g.writable = nil
+	g.b.WriteString("var acc = 0;\n")
+	g.b.WriteString("func twice(x) { return x * 2; }\n")
+	g.b.WriteString("func main() {\n")
+	g.vars = append(g.vars, "acc")
+	g.writable = append(g.writable, "acc")
+	nStmts := 2 + g.r.Intn(8)
+	for i := 0; i < nStmts; i++ {
+		g.stmt(1)
+	}
+	g.b.WriteString("\treturn acc;\n}\n")
+	return g.b.String()
+}
+
+// TestVMMatchesInterpreter is the package's core property test: for
+// hundreds of random programs, the bytecode VM and the reference
+// tree-walking interpreter must produce identical results (value or
+// error alike).
+func TestVMMatchesInterpreter(t *testing.T) {
+	b := Std()
+	g := &progGen{r: rand.New(rand.NewSource(99))}
+	for i := 0; i < 400; i++ {
+		src := g.generate()
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("generated program does not parse:\n%s\n%v", src, err)
+		}
+		compiled, err := Compile(prog, b)
+		if err != nil {
+			t.Fatalf("generated program does not compile:\n%s\n%v", src, err)
+		}
+		vm := NewVM(compiled, b, WithMaxSteps(2_000_000))
+		vmVal, vmErr := vm.Run(context.Background(), "main")
+
+		it, err := NewInterp(prog, b)
+		if err != nil {
+			t.Fatalf("interp setup: %v", err)
+		}
+		itVal, itErr := it.Run(context.Background(), "main")
+
+		if (vmErr == nil) != (itErr == nil) {
+			t.Fatalf("engines disagree on error for program %d:\nVM: %v\nInterp: %v\n%s", i, vmErr, itErr, src)
+		}
+		if vmErr == nil && !valueEqual(vmVal, itVal) {
+			t.Fatalf("engines disagree for program %d: VM=%v Interp=%v\n%s", i, vmVal, itVal, src)
+		}
+	}
+}
+
+// TestInterpreterFeatureParity spot-checks the interpreter on the same
+// feature matrix the VM tests use.
+func TestInterpreterFeatureParity(t *testing.T) {
+	srcs := []struct {
+		src  string
+		want Value
+	}{
+		{`func main() { var a = [1,2]; a[0] = 5; return a[0] + a[1]; }`, int64(7)},
+		{`func main() { var m = {"k": 2}; m["j"] = 3; return m["k"] * m["j"]; }`, int64(6)},
+		{`func fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); } func main() { return fib(10); }`, int64(55)},
+		{`var g = 5; func main() { g += 1; return g; }`, int64(6)},
+		{`func main() { var s = 0; while (s < 10) { s += 3; } return s; }`, int64(12)},
+		{`func main() { var s = 0; for (var i = 0; i < 5; i += 1) { if (i == 3) { continue; } s += i; } return s; }`, int64(7)},
+		{`func main() { return str(len("abc")) + sprintf("%d", 2); }`, "32"},
+		{`func main() { var x = 1; { var x = 2; } return x; }`, int64(1)},
+	}
+	b := Std()
+	for _, c := range srcs {
+		prog, err := Parse(c.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it, err := NewInterp(prog, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := it.Run(context.Background(), "main")
+		if err != nil {
+			t.Fatalf("interp(%q): %v", c.src, err)
+		}
+		if !valueEqual(got, c.want) {
+			t.Errorf("interp(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestInterpreterErrors(t *testing.T) {
+	b := Std()
+	cases := []string{
+		`func main() { return 1 / 0; }`,
+		`func main() { var a = [1]; return a[9]; }`,
+		`func main() { unbound(); }`,
+	}
+	for _, src := range cases {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it, err := NewInterp(prog, b)
+		if err != nil {
+			continue // translation rejection is also acceptable
+		}
+		if _, err := it.Run(context.Background(), "main"); err == nil {
+			t.Errorf("interp(%q) succeeded, want error", src)
+		}
+	}
+}

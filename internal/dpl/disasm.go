@@ -1,0 +1,87 @@
+package dpl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// opNames maps opcodes to mnemonic names for disassembly.
+var opNames = map[Opcode]string{
+	OpConst: "CONST", OpNil: "NIL", OpTrue: "TRUE", OpFalse: "FALSE",
+	OpLoadG: "LOADG", OpStoreG: "STOREG", OpLoadL: "LOADL", OpStoreL: "STOREL",
+	OpPop: "POP", OpBin: "BIN", OpEq: "EQ", OpNe: "NE", OpNeg: "NEG",
+	OpNot: "NOT", OpJump: "JUMP", OpJumpFalse: "JF", OpJFKeep: "JFK",
+	OpJTKeep: "JTK", OpCall: "CALL", OpCallHost: "CALLH", OpReturn: "RET",
+	OpReturnNil: "RETNIL", OpIndex: "INDEX", OpSetIndex: "SETIDX",
+	OpArray: "ARRAY", OpMap: "MAP",
+}
+
+// String returns the opcode mnemonic.
+func (o Opcode) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("OP(%d)", uint8(o))
+}
+
+// Disassemble renders a compiled program as a human-readable bytecode
+// listing — the inspection tool an operator uses to audit what a stored
+// DP actually does before instantiating it.
+func Disassemble(c *Compiled) string {
+	var b strings.Builder
+	if len(c.GlobalNames) > 0 {
+		fmt.Fprintf(&b, "globals: %s\n", strings.Join(c.GlobalNames, ", "))
+	}
+	if len(c.InitCode) > 0 {
+		b.WriteString("init:\n")
+		disasmCode(&b, c, c.InitCode)
+	}
+	for _, f := range c.Funcs {
+		fmt.Fprintf(&b, "func %s (params=%d locals=%d):\n", f.Name, f.NumParams, f.NumLocals)
+		disasmCode(&b, c, f.Code)
+	}
+	return b.String()
+}
+
+func disasmCode(b *strings.Builder, c *Compiled, code []Instr) {
+	for ip, in := range code {
+		fmt.Fprintf(b, "  %4d  %-7s", ip, in.Op)
+		switch in.Op {
+		case OpConst:
+			if in.A >= 0 && in.A < len(c.Consts) {
+				if str, ok := c.Consts[in.A].(string); ok {
+					fmt.Fprintf(b, " %q", str)
+				} else {
+					fmt.Fprintf(b, " %s", FormatValue(c.Consts[in.A]))
+				}
+			} else {
+				fmt.Fprintf(b, " #%d", in.A)
+			}
+		case OpBin:
+			fmt.Fprintf(b, " %s", TokenKind(in.A))
+		case OpJump, OpJumpFalse, OpJFKeep, OpJTKeep:
+			fmt.Fprintf(b, " ->%d", in.A)
+		case OpCall:
+			name := fmt.Sprintf("#%d", in.A)
+			if in.A >= 0 && in.A < len(c.Funcs) {
+				name = c.Funcs[in.A].Name
+			}
+			fmt.Fprintf(b, " %s/%d", name, in.B)
+		case OpCallHost:
+			name := fmt.Sprintf("#%d", in.A)
+			if in.A >= 0 && in.A < len(c.HostNames) {
+				name = c.HostNames[in.A]
+			}
+			fmt.Fprintf(b, " %s/%d", name, in.B)
+		case OpLoadG, OpStoreG:
+			if in.A >= 0 && in.A < len(c.GlobalNames) {
+				fmt.Fprintf(b, " %s", c.GlobalNames[in.A])
+			} else {
+				fmt.Fprintf(b, " g%d", in.A)
+			}
+		case OpLoadL, OpStoreL, OpArray, OpMap:
+			fmt.Fprintf(b, " %d", in.A)
+		}
+		b.WriteByte('\n')
+	}
+}

@@ -1,0 +1,239 @@
+package dpl
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// lexer converts DPL source text into tokens.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *lexer) next() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	r, size := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += size
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for {
+		r := l.peek()
+		switch {
+		case r == -1:
+			return nil
+		case unicode.IsSpace(r):
+			l.next()
+		case r == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for l.peek() != '\n' && l.peek() != -1 {
+				l.next()
+			}
+		case r == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '*':
+			startLine, startCol := l.line, l.col
+			l.next()
+			l.next()
+			for {
+				if l.peek() == -1 {
+					return errAt(startLine, startCol, "unterminated block comment")
+				}
+				if l.next() == '*' && l.peek() == '/' {
+					l.next()
+					break
+				}
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// Lex tokenizes the whole source, returning tokens ending in TokEOF.
+func Lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var toks []Token
+	for {
+		if err := l.skipSpaceAndComments(); err != nil {
+			return nil, err
+		}
+		line, col := l.line, l.col
+		r := l.peek()
+		if r == -1 {
+			toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+			return toks, nil
+		}
+		switch {
+		case unicode.IsLetter(r) || r == '_':
+			start := l.off
+			for {
+				r := l.peek()
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+					break
+				}
+				l.next()
+			}
+			text := l.src[start:l.off]
+			kind := TokIdent
+			if k, ok := keywords[text]; ok {
+				kind = k
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Line: line, Col: col})
+		case unicode.IsDigit(r):
+			start := l.off
+			isFloat := false
+			for unicode.IsDigit(l.peek()) {
+				l.next()
+			}
+			if l.peek() == '.' && l.off+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.off+1])) {
+				isFloat = true
+				l.next()
+				for unicode.IsDigit(l.peek()) {
+					l.next()
+				}
+			}
+			if p := l.peek(); p == 'e' || p == 'E' {
+				save := *l
+				l.next()
+				if p := l.peek(); p == '+' || p == '-' {
+					l.next()
+				}
+				if unicode.IsDigit(l.peek()) {
+					isFloat = true
+					for unicode.IsDigit(l.peek()) {
+						l.next()
+					}
+				} else {
+					*l = save
+				}
+			}
+			kind := TokInt
+			if isFloat {
+				kind = TokFloat
+			}
+			toks = append(toks, Token{Kind: kind, Text: l.src[start:l.off], Line: line, Col: col})
+		case r == '"':
+			l.next()
+			var b strings.Builder
+			for {
+				r := l.next()
+				switch r {
+				case -1, '\n':
+					return nil, errAt(line, col, "unterminated string literal")
+				case '"':
+					toks = append(toks, Token{Kind: TokString, Text: b.String(), Line: line, Col: col})
+				case '\\':
+					esc := l.next()
+					switch esc {
+					case 'n':
+						b.WriteByte('\n')
+					case 't':
+						b.WriteByte('\t')
+					case 'r':
+						b.WriteByte('\r')
+					case '\\':
+						b.WriteByte('\\')
+					case '"':
+						b.WriteByte('"')
+					case '0':
+						b.WriteByte(0)
+					default:
+						return nil, errAt(l.line, l.col, "unknown escape \\%c", esc)
+					}
+					continue
+				default:
+					b.WriteRune(r)
+					continue
+				}
+				break
+			}
+		default:
+			l.next()
+			two := func(second rune, withKind, without TokenKind) {
+				if l.peek() == second {
+					l.next()
+					toks = append(toks, Token{Kind: withKind, Line: line, Col: col})
+				} else {
+					toks = append(toks, Token{Kind: without, Line: line, Col: col})
+				}
+			}
+			switch r {
+			case '(':
+				toks = append(toks, Token{Kind: TokLParen, Line: line, Col: col})
+			case ')':
+				toks = append(toks, Token{Kind: TokRParen, Line: line, Col: col})
+			case '{':
+				toks = append(toks, Token{Kind: TokLBrace, Line: line, Col: col})
+			case '}':
+				toks = append(toks, Token{Kind: TokRBrace, Line: line, Col: col})
+			case '[':
+				toks = append(toks, Token{Kind: TokLBracket, Line: line, Col: col})
+			case ']':
+				toks = append(toks, Token{Kind: TokRBracket, Line: line, Col: col})
+			case ',':
+				toks = append(toks, Token{Kind: TokComma, Line: line, Col: col})
+			case ';':
+				toks = append(toks, Token{Kind: TokSemicolon, Line: line, Col: col})
+			case ':':
+				toks = append(toks, Token{Kind: TokColon, Line: line, Col: col})
+			case '=':
+				two('=', TokEq, TokAssign)
+			case '!':
+				two('=', TokNe, TokBang)
+			case '<':
+				two('=', TokLe, TokLt)
+			case '>':
+				two('=', TokGe, TokGt)
+			case '+':
+				two('=', TokPlusAssign, TokPlus)
+			case '-':
+				two('=', TokMinusAssign, TokMinus)
+			case '*':
+				toks = append(toks, Token{Kind: TokStar, Line: line, Col: col})
+			case '/':
+				toks = append(toks, Token{Kind: TokSlash, Line: line, Col: col})
+			case '%':
+				toks = append(toks, Token{Kind: TokPercent, Line: line, Col: col})
+			case '&':
+				if l.peek() == '&' {
+					l.next()
+					toks = append(toks, Token{Kind: TokAndAnd, Line: line, Col: col})
+				} else {
+					return nil, errAt(line, col, "unexpected '&' (did you mean '&&'?)")
+				}
+			case '|':
+				if l.peek() == '|' {
+					l.next()
+					toks = append(toks, Token{Kind: TokOrOr, Line: line, Col: col})
+				} else {
+					return nil, errAt(line, col, "unexpected '|' (did you mean '||'?)")
+				}
+			default:
+				return nil, errAt(line, col, "unexpected character %q", r)
+			}
+		}
+	}
+}

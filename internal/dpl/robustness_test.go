@@ -1,0 +1,99 @@
+package dpl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// A delegated program arrives from the network; whatever bytes it
+// contains, the Translator must reject cleanly — never panic. These
+// tests throw structured garbage at every pipeline stage.
+
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < 2000; i++ {
+		n := r.Intn(200)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(r.Intn(256))
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Parse panicked on %q: %v", b, p)
+				}
+			}()
+			_, _ = Parse(string(b))
+		}()
+	}
+}
+
+func TestParseNeverPanicsOnTokenSoup(t *testing.T) {
+	// Valid tokens in random order — deeper into the parser than raw
+	// bytes can reach.
+	tokens := []string{
+		"var", "func", "if", "else", "while", "for", "break", "continue",
+		"return", "true", "false", "nil", "x", "y", "main", "42", "3.14",
+		`"s"`, "(", ")", "{", "}", "[", "]", ",", ";", ":", "=", "+", "-",
+		"*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||", "!",
+		"+=", "-=",
+	}
+	r := rand.New(rand.NewSource(22))
+	for i := 0; i < 2000; i++ {
+		var b strings.Builder
+		n := r.Intn(40)
+		for j := 0; j < n; j++ {
+			b.WriteString(tokens[r.Intn(len(tokens))])
+			b.WriteByte(' ')
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Parse panicked on %q: %v", src, p)
+				}
+			}()
+			prog, err := Parse(src)
+			if err != nil {
+				return
+			}
+			// If it parsed, checking and compiling must not panic either.
+			bnd := Std()
+			_, _ = Compile(prog, bnd)
+		}()
+	}
+}
+
+func TestDeeplyNestedExpressionsBounded(t *testing.T) {
+	// Pathological nesting must parse (or fail) without stack death at
+	// reasonable depth.
+	depth := 2000
+	src := "func main() { return " + strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth) + "; }"
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("deep parens: %v", err)
+	}
+	// Deep unary chains too.
+	src = "func main() { return " + strings.Repeat("-", depth) + "1; }"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("deep unary: %v", err)
+	}
+	if _, err := Compile(prog, Std()); err != nil {
+		t.Fatalf("compile deep unary: %v", err)
+	}
+}
+
+func TestHugeButValidProgram(t *testing.T) {
+	// 2000 sequential statements: the compiler and VM handle large DPs.
+	var b strings.Builder
+	b.WriteString("func main() {\nvar s = 0;\n")
+	for i := 0; i < 2000; i++ {
+		b.WriteString("s += 1;\n")
+	}
+	b.WriteString("return s;\n}")
+	v := mustRun(t, b.String())
+	if v != int64(2000) {
+		t.Fatalf("= %v", v)
+	}
+}

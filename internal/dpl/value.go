@@ -1,0 +1,351 @@
+package dpl
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is a DPL runtime value. The dynamic types are:
+//
+//	nil            the nil value
+//	bool           booleans
+//	int64          integers
+//	float64        floats
+//	string         strings
+//	*Array         mutable arrays (reference semantics)
+//	*Map           mutable string-keyed maps (reference semantics)
+type Value any
+
+// Array is a mutable DPL array.
+type Array struct {
+	Elems []Value
+}
+
+// Map is a mutable DPL map with string keys.
+type Map struct {
+	M map[string]Value
+}
+
+// NewMap returns an empty Map ready for use.
+func NewMap() *Map { return &Map{M: make(map[string]Value)} }
+
+// Truthy reports DPL truth: false, nil, 0, 0.0 and "" are false;
+// everything else (including empty arrays/maps) is true.
+func Truthy(v Value) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return x
+	case int64:
+		return x != 0
+	case float64:
+		return x != 0
+	case string:
+		return x != ""
+	default:
+		return true
+	}
+}
+
+// FormatValue renders a value the way the print/str builtins do.
+func FormatValue(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "nil"
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return x
+	case *Array:
+		var b strings.Builder
+		b.WriteByte('[')
+		for i, e := range x.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(FormatValue(e))
+		}
+		b.WriteByte(']')
+		return b.String()
+	case *Map:
+		keys := make([]string, 0, len(x.M))
+		for k := range x.M {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		b.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%q: %s", k, FormatValue(x.M[k]))
+		}
+		b.WriteByte('}')
+		return b.String()
+	default:
+		return fmt.Sprintf("<%T>", v)
+	}
+}
+
+// TypeName names a value's DPL type for diagnostics.
+func TypeName(v Value) string {
+	switch v.(type) {
+	case nil:
+		return "nil"
+	case bool:
+		return "bool"
+	case int64:
+		return "int"
+	case float64:
+		return "float"
+	case string:
+		return "string"
+	case *Array:
+		return "array"
+	case *Map:
+		return "map"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+// RuntimeError is an error raised during DPL execution, carrying the
+// program-counter-independent description of what went wrong.
+type RuntimeError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *RuntimeError) Error() string { return "dpl: runtime error: " + e.Msg }
+
+func rtErrf(format string, args ...any) *RuntimeError {
+	return &RuntimeError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// arith applies a binary arithmetic operator with int/float promotion.
+// + also concatenates strings and arrays.
+func arith(op TokenKind, a, b Value) (Value, error) {
+	if op == TokPlus {
+		if as, ok := a.(string); ok {
+			if bs, ok := b.(string); ok {
+				return as + bs, nil
+			}
+			return nil, rtErrf("cannot add string and %s", TypeName(b))
+		}
+		if aa, ok := a.(*Array); ok {
+			if ba, ok := b.(*Array); ok {
+				out := &Array{Elems: make([]Value, 0, len(aa.Elems)+len(ba.Elems))}
+				out.Elems = append(out.Elems, aa.Elems...)
+				out.Elems = append(out.Elems, ba.Elems...)
+				return out, nil
+			}
+			return nil, rtErrf("cannot add array and %s", TypeName(b))
+		}
+	}
+	ai, aIsInt := a.(int64)
+	bi, bIsInt := b.(int64)
+	if aIsInt && bIsInt {
+		switch op {
+		case TokPlus:
+			return ai + bi, nil
+		case TokMinus:
+			return ai - bi, nil
+		case TokStar:
+			return ai * bi, nil
+		case TokSlash:
+			if bi == 0 {
+				return nil, rtErrf("integer division by zero")
+			}
+			return ai / bi, nil
+		case TokPercent:
+			if bi == 0 {
+				return nil, rtErrf("integer modulo by zero")
+			}
+			return ai % bi, nil
+		}
+	}
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if !aok || !bok {
+		return nil, rtErrf("invalid operands for %s: %s and %s", op, TypeName(a), TypeName(b))
+	}
+	switch op {
+	case TokPlus:
+		return af + bf, nil
+	case TokMinus:
+		return af - bf, nil
+	case TokStar:
+		return af * bf, nil
+	case TokSlash:
+		if bf == 0 {
+			return nil, rtErrf("division by zero")
+		}
+		return af / bf, nil
+	case TokPercent:
+		return nil, rtErrf("%% requires integer operands")
+	}
+	return nil, rtErrf("unknown arithmetic operator %s", op)
+}
+
+func toFloat(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+
+// compare applies a relational operator. Numbers compare with
+// promotion; strings compare lexicographically.
+func compare(op TokenKind, a, b Value) (Value, error) {
+	if as, ok := a.(string); ok {
+		bs, ok := b.(string)
+		if !ok {
+			return nil, rtErrf("cannot compare string and %s", TypeName(b))
+		}
+		switch op {
+		case TokLt:
+			return as < bs, nil
+		case TokLe:
+			return as <= bs, nil
+		case TokGt:
+			return as > bs, nil
+		case TokGe:
+			return as >= bs, nil
+		}
+	}
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if !aok || !bok {
+		return nil, rtErrf("invalid operands for %s: %s and %s", op, TypeName(a), TypeName(b))
+	}
+	switch op {
+	case TokLt:
+		return af < bf, nil
+	case TokLe:
+		return af <= bf, nil
+	case TokGt:
+		return af > bf, nil
+	case TokGe:
+		return af >= bf, nil
+	}
+	return nil, rtErrf("unknown comparison operator %s", op)
+}
+
+// valueEqual implements == with numeric promotion and deep equality on
+// arrays and maps.
+func valueEqual(a, b Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if af, ok := toFloat(a); ok {
+		if bf, ok := toFloat(b); ok {
+			return af == bf
+		}
+		return false
+	}
+	switch x := a.(type) {
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case *Array:
+		y, ok := b.(*Array)
+		if !ok || len(x.Elems) != len(y.Elems) {
+			return false
+		}
+		for i := range x.Elems {
+			if !valueEqual(x.Elems[i], y.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	case *Map:
+		y, ok := b.(*Map)
+		if !ok || len(x.M) != len(y.M) {
+			return false
+		}
+		for k, v := range x.M {
+			w, ok := y.M[k]
+			if !ok || !valueEqual(v, w) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// indexValue implements x[i].
+func indexValue(x, i Value) (Value, error) {
+	switch c := x.(type) {
+	case *Array:
+		idx, ok := i.(int64)
+		if !ok {
+			return nil, rtErrf("array index must be int, got %s", TypeName(i))
+		}
+		if idx < 0 || idx >= int64(len(c.Elems)) {
+			return nil, rtErrf("array index %d out of range [0,%d)", idx, len(c.Elems))
+		}
+		return c.Elems[idx], nil
+	case *Map:
+		key, ok := i.(string)
+		if !ok {
+			return nil, rtErrf("map key must be string, got %s", TypeName(i))
+		}
+		return c.M[key], nil // missing keys yield nil
+	case string:
+		idx, ok := i.(int64)
+		if !ok {
+			return nil, rtErrf("string index must be int, got %s", TypeName(i))
+		}
+		if idx < 0 || idx >= int64(len(c)) {
+			return nil, rtErrf("string index %d out of range [0,%d)", idx, len(c))
+		}
+		return int64(c[idx]), nil
+	default:
+		return nil, rtErrf("cannot index %s", TypeName(x))
+	}
+}
+
+// setIndex implements x[i] = v.
+func setIndex(x, i, v Value) error {
+	switch c := x.(type) {
+	case *Array:
+		idx, ok := i.(int64)
+		if !ok {
+			return rtErrf("array index must be int, got %s", TypeName(i))
+		}
+		if idx < 0 || idx >= int64(len(c.Elems)) {
+			return rtErrf("array index %d out of range [0,%d)", idx, len(c.Elems))
+		}
+		c.Elems[idx] = v
+		return nil
+	case *Map:
+		key, ok := i.(string)
+		if !ok {
+			return rtErrf("map key must be string, got %s", TypeName(i))
+		}
+		c.M[key] = v
+		return nil
+	default:
+		return rtErrf("cannot assign into %s", TypeName(x))
+	}
+}

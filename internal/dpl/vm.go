@@ -1,0 +1,373 @@
+package dpl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Sentinel errors surfaced by VM execution.
+var (
+	// ErrTerminated reports that the instance was killed via Control.
+	ErrTerminated = errors.New("dpl: instance terminated")
+	// ErrStepQuota reports that the instance exceeded its CPU (step)
+	// quota — the elastic process's "OS-enforced resource constraint".
+	ErrStepQuota = errors.New("dpl: step quota exceeded")
+	// ErrStackOverflow reports call recursion beyond the frame limit.
+	ErrStackOverflow = errors.New("dpl: call stack overflow")
+)
+
+// controlState is the lifecycle state a Control gate enforces.
+type controlState uint8
+
+const (
+	ctrlRunning controlState = iota
+	ctrlSuspended
+	ctrlTerminated
+)
+
+// Control provides the thread-control operations the paper gives a
+// delegator over a DPI: suspend, resume, terminate. A VM checks its
+// Control at instruction-batch boundaries, so control takes effect in
+// bounded time even inside tight agent loops.
+//
+// The zero value is a running, usable Control.
+type Control struct {
+	mu     sync.Mutex
+	state  controlState
+	resume chan struct{}
+}
+
+// Suspend pauses the instance at the next gate. Idempotent.
+func (c *Control) Suspend() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == ctrlRunning {
+		c.state = ctrlSuspended
+		c.resume = make(chan struct{})
+	}
+}
+
+// Resume lets a suspended instance continue. Idempotent.
+func (c *Control) Resume() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == ctrlSuspended {
+		c.state = ctrlRunning
+		close(c.resume)
+		c.resume = nil
+	}
+}
+
+// Terminate kills the instance at the next gate. Irreversible.
+func (c *Control) Terminate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev := c.state
+	c.state = ctrlTerminated
+	if prev == ctrlSuspended {
+		close(c.resume)
+		c.resume = nil
+	}
+}
+
+// State reports the current state as a string (running / suspended /
+// terminated), for status queries.
+func (c *Control) State() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case ctrlSuspended:
+		return "suspended"
+	case ctrlTerminated:
+		return "terminated"
+	default:
+		return "running"
+	}
+}
+
+// gate blocks while suspended and returns ErrTerminated once
+// terminated. ctx cancellation also unblocks it.
+func (c *Control) gate(ctx context.Context) error {
+	for {
+		c.mu.Lock()
+		switch c.state {
+		case ctrlRunning:
+			c.mu.Unlock()
+			return nil
+		case ctrlTerminated:
+			c.mu.Unlock()
+			return ErrTerminated
+		default:
+			ch := c.resume
+			c.mu.Unlock()
+			select {
+			case <-ch:
+				// re-check state
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+}
+
+// gateMask: the VM consults its Control every (gateMask+1) steps.
+const gateMask = 255
+
+// VM executes a Compiled program. A VM is single-threaded; the elastic
+// process runs each DPI's VM on its own goroutine.
+type VM struct {
+	prog     *Compiled
+	bindings *Bindings
+	ctrl     *Control
+	maxSteps uint64
+	steps    atomic.Uint64
+	globals  []Value
+	ctx      context.Context
+
+	// Meta is an opaque attachment for the embedding runtime (the MbD
+	// server hangs the DPI handle here so host functions can reach it).
+	Meta any
+}
+
+// VMOption configures a VM.
+type VMOption func(*VM)
+
+// WithMaxSteps bounds total VM instruction count; 0 means unlimited.
+func WithMaxSteps(n uint64) VMOption {
+	return func(vm *VM) { vm.maxSteps = n }
+}
+
+// WithControl attaches an external Control (shared with the runtime's
+// DPI handle).
+func WithControl(c *Control) VMOption {
+	return func(vm *VM) { vm.ctrl = c }
+}
+
+// NewVM prepares a VM for prog using the given host bindings. The
+// bindings must be the same table the program was compiled against.
+func NewVM(prog *Compiled, bindings *Bindings, opts ...VMOption) *VM {
+	vm := &VM{
+		prog:     prog,
+		bindings: bindings,
+		ctrl:     &Control{},
+		globals:  make([]Value, len(prog.GlobalNames)),
+	}
+	for _, o := range opts {
+		o(vm)
+	}
+	return vm
+}
+
+// Control returns the VM's control handle.
+func (vm *VM) Control() *Control { return vm.ctrl }
+
+// Steps returns the number of instructions executed so far. It is safe
+// to call from other goroutines (status queries, accounting).
+func (vm *VM) Steps() uint64 { return vm.steps.Load() }
+
+// Context returns the context of the current Run, for host functions
+// that block (sleep, receive).
+func (vm *VM) Context() context.Context {
+	if vm.ctx == nil {
+		return context.Background()
+	}
+	return vm.ctx
+}
+
+// Gate lets long-running host functions honor suspend/terminate midway.
+func (vm *VM) Gate() error { return vm.ctrl.gate(vm.Context()) }
+
+// Global reads a global variable by name (for post-run inspection).
+func (vm *VM) Global(name string) (Value, bool) {
+	for i, n := range vm.prog.GlobalNames {
+		if n == name {
+			return vm.globals[i], true
+		}
+	}
+	return nil, false
+}
+
+const maxFrames = 256
+
+// Run executes the program's global initializers (once per VM) and then
+// the named entry function with args, returning its value.
+func (vm *VM) Run(ctx context.Context, entry string, args ...Value) (Value, error) {
+	vm.ctx = ctx
+	defer func() { vm.ctx = nil }()
+	if vm.steps.Load() == 0 && len(vm.prog.InitCode) > 0 {
+		init := &CompiledFunc{Name: "<init>", Code: vm.prog.InitCode}
+		if _, err := vm.exec(init, nil, 0); err != nil {
+			return nil, fmt.Errorf("dpl: global initialization: %w", err)
+		}
+	}
+	fi, ok := vm.prog.FuncIdx[entry]
+	if !ok {
+		return nil, fmt.Errorf("dpl: no entry function %q", entry)
+	}
+	fn := vm.prog.Funcs[fi]
+	if len(args) != fn.NumParams {
+		return nil, fmt.Errorf("dpl: entry %q expects %d arguments, got %d", entry, fn.NumParams, len(args))
+	}
+	return vm.exec(fn, args, 0)
+}
+
+// exec runs one function activation.
+func (vm *VM) exec(fn *CompiledFunc, args []Value, depth int) (Value, error) {
+	if depth >= maxFrames {
+		return nil, ErrStackOverflow
+	}
+	locals := make([]Value, fn.NumLocals)
+	copy(locals, args)
+	var stack []Value
+	push := func(v Value) { stack = append(stack, v) }
+	pop := func() Value {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+	code := fn.Code
+	for ip := 0; ip < len(code); ip++ {
+		n := vm.steps.Add(1)
+		if n&gateMask == 0 {
+			if err := vm.ctrl.gate(vm.Context()); err != nil {
+				return nil, err
+			}
+		}
+		if vm.maxSteps > 0 && n > vm.maxSteps {
+			return nil, ErrStepQuota
+		}
+		in := code[ip]
+		switch in.Op {
+		case OpConst:
+			push(vm.prog.Consts[in.A])
+		case OpNil:
+			push(nil)
+		case OpTrue:
+			push(true)
+		case OpFalse:
+			push(false)
+		case OpLoadG:
+			push(vm.globals[in.A])
+		case OpStoreG:
+			vm.globals[in.A] = pop()
+		case OpLoadL:
+			push(locals[in.A])
+		case OpStoreL:
+			locals[in.A] = pop()
+		case OpPop:
+			pop()
+		case OpBin:
+			r := pop()
+			l := pop()
+			op := TokenKind(in.A)
+			var (
+				v   Value
+				err error
+			)
+			switch op {
+			case TokPlus, TokMinus, TokStar, TokSlash, TokPercent:
+				v, err = arith(op, l, r)
+			default:
+				v, err = compare(op, l, r)
+			}
+			if err != nil {
+				return nil, err
+			}
+			push(v)
+		case OpEq:
+			r := pop()
+			l := pop()
+			push(valueEqual(l, r))
+		case OpNe:
+			r := pop()
+			l := pop()
+			push(!valueEqual(l, r))
+		case OpNeg:
+			switch x := pop().(type) {
+			case int64:
+				push(-x)
+			case float64:
+				push(-x)
+			default:
+				return nil, rtErrf("cannot negate %s", TypeName(x))
+			}
+		case OpNot:
+			push(!Truthy(pop()))
+		case OpJump:
+			ip = in.A - 1
+		case OpJumpFalse:
+			if !Truthy(pop()) {
+				ip = in.A - 1
+			}
+		case OpJFKeep:
+			if !Truthy(stack[len(stack)-1]) {
+				ip = in.A - 1
+			}
+		case OpJTKeep:
+			if Truthy(stack[len(stack)-1]) {
+				ip = in.A - 1
+			}
+		case OpCall:
+			callee := vm.prog.Funcs[in.A]
+			callArgs := make([]Value, in.B)
+			copy(callArgs, stack[len(stack)-in.B:])
+			stack = stack[:len(stack)-in.B]
+			v, err := vm.exec(callee, callArgs, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			push(v)
+		case OpCallHost:
+			callArgs := make([]Value, in.B)
+			copy(callArgs, stack[len(stack)-in.B:])
+			stack = stack[:len(stack)-in.B]
+			v, err := vm.bindings.Call(in.A, &Env{VM: vm}, callArgs)
+			if err != nil {
+				return nil, err
+			}
+			push(v)
+		case OpReturn:
+			return pop(), nil
+		case OpReturnNil:
+			return nil, nil
+		case OpIndex:
+			i := pop()
+			x := pop()
+			v, err := indexValue(x, i)
+			if err != nil {
+				return nil, err
+			}
+			push(v)
+		case OpSetIndex:
+			v := pop()
+			i := pop()
+			x := pop()
+			if err := setIndex(x, i, v); err != nil {
+				return nil, err
+			}
+		case OpArray:
+			a := &Array{Elems: make([]Value, in.A)}
+			copy(a.Elems, stack[len(stack)-in.A:])
+			stack = stack[:len(stack)-in.A]
+			push(a)
+		case OpMap:
+			m := NewMap()
+			base := len(stack) - in.A*2
+			for i := 0; i < in.A; i++ {
+				k, ok := stack[base+2*i].(string)
+				if !ok {
+					return nil, rtErrf("map key must be string, got %s", TypeName(stack[base+2*i]))
+				}
+				m.M[k] = stack[base+2*i+1]
+			}
+			stack = stack[:base]
+			push(m)
+		default:
+			return nil, fmt.Errorf("dpl: unknown opcode %d", in.Op)
+		}
+	}
+	return nil, nil
+}

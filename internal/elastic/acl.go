@@ -1,0 +1,92 @@
+package elastic
+
+import "sync"
+
+// Right is one delegation-service privilege a principal may hold.
+type Right uint8
+
+// Rights gating RDS operations, per the paper's access-control model
+// for dps and dpis.
+const (
+	RightDelegate Right = iota + 1
+	RightInstantiate
+	RightControl
+	RightSend
+	RightQuery
+	RightDelete
+)
+
+// String names the right.
+func (r Right) String() string {
+	switch r {
+	case RightDelegate:
+		return "delegate"
+	case RightInstantiate:
+		return "instantiate"
+	case RightControl:
+		return "control"
+	case RightSend:
+		return "send"
+	case RightQuery:
+		return "query"
+	case RightDelete:
+		return "delete"
+	default:
+		return "unknown"
+	}
+}
+
+// AllRights lists every defined right.
+func AllRights() []Right {
+	return []Right{RightDelegate, RightInstantiate, RightControl, RightSend, RightQuery, RightDelete}
+}
+
+// ACL maps principals to rights. A nil *ACL permits everything (the
+// first prototype's "trivial access control"); a non-nil ACL denies by
+// default.
+type ACL struct {
+	mu     sync.RWMutex
+	grants map[string]map[Right]bool
+}
+
+// NewACL returns an empty (deny-all) ACL.
+func NewACL() *ACL {
+	return &ACL{grants: make(map[string]map[Right]bool)}
+}
+
+// Grant gives principal the listed rights.
+func (a *ACL) Grant(principal string, rights ...Right) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	g, ok := a.grants[principal]
+	if !ok {
+		g = make(map[Right]bool)
+		a.grants[principal] = g
+	}
+	for _, r := range rights {
+		g[r] = true
+	}
+}
+
+// Revoke removes the listed rights from principal.
+func (a *ACL) Revoke(principal string, rights ...Right) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	g, ok := a.grants[principal]
+	if !ok {
+		return
+	}
+	for _, r := range rights {
+		delete(g, r)
+	}
+}
+
+// Allow reports whether principal holds r. A nil ACL allows everything.
+func (a *ACL) Allow(principal string, r Right) bool {
+	if a == nil {
+		return true
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.grants[principal][r]
+}

@@ -1,0 +1,137 @@
+// Package elastic implements the elastic process runtime: a server
+// whose functionality is extended at runtime by delegated programs.
+//
+// It supplies the paper's architecture verbatim:
+//
+//   - a Repository that stores delegated programs (DPs);
+//   - a Translator that checks and compiles DP source, rejecting
+//     programs that violate the language rules (unbound functions);
+//   - delegated program instances (DPIs) executing as threads
+//     (goroutines) inside the process, each with a mailbox, an event
+//     stream, lifecycle control (suspend / resume / terminate) and
+//     OS-style resource quotas (instruction steps, mailbox depth,
+//     instance count);
+//   - an access-control layer gating delegation, instantiation and
+//     control by principal.
+package elastic
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for DPIs so experiments can run on a virtual
+// clock. The elastic runtime and the sleep/now host functions only
+// touch time through this interface.
+type Clock interface {
+	// Now returns elapsed time since an arbitrary epoch.
+	Now() time.Duration
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() in
+	// the latter case.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// WallClock is the real-time Clock used outside simulations.
+type WallClock struct {
+	start time.Time
+	once  sync.Once
+}
+
+// Now implements Clock.
+func (w *WallClock) Now() time.Duration {
+	w.once.Do(func() { w.start = time.Now() })
+	return time.Since(w.start)
+}
+
+// Sleep implements Clock.
+func (w *WallClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// VirtualClock is a manually advanced Clock for deterministic tests and
+// simulations. Sleepers wake when Advance moves time past their
+// deadline.
+type VirtualClock struct {
+	mu      sync.Mutex
+	now     time.Duration
+	waiters []*vwaiter
+}
+
+type vwaiter struct {
+	deadline time.Duration
+	ch       chan struct{}
+}
+
+// NewVirtualClock returns a VirtualClock at time zero.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// Now implements Clock.
+func (v *VirtualClock) Now() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Advance moves virtual time forward and wakes eligible sleepers.
+func (v *VirtualClock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	v.now += d
+	var remaining []*vwaiter
+	for _, w := range v.waiters {
+		if w.deadline <= v.now {
+			close(w.ch)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	v.waiters = remaining
+	v.mu.Unlock()
+}
+
+// Sleepers returns the number of goroutines currently blocked in Sleep,
+// letting test drivers advance time only when the system has quiesced.
+func (v *VirtualClock) Sleepers() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.waiters)
+}
+
+// Sleep implements Clock.
+func (v *VirtualClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	v.mu.Lock()
+	w := &vwaiter{deadline: v.now + d, ch: make(chan struct{})}
+	v.waiters = append(v.waiters, w)
+	v.mu.Unlock()
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+		// Drop the waiter so Sleepers() stays accurate.
+		v.mu.Lock()
+		for i, x := range v.waiters {
+			if x == w {
+				v.waiters = append(v.waiters[:i], v.waiters[i+1:]...)
+				break
+			}
+		}
+		v.mu.Unlock()
+		return ctx.Err()
+	}
+}

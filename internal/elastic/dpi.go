@@ -1,0 +1,266 @@
+package elastic
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mbd/internal/dpl"
+)
+
+// DPI is a delegated program instance: one running activation of a DP,
+// executing on its own goroutine inside the elastic process, with a
+// mailbox for incoming messages and lifecycle control.
+type DPI struct {
+	ID    string
+	DP    *DP
+	Entry string
+
+	proc    *Process
+	vm      *dpl.VM
+	ctrl    *dpl.Control
+	mailbox chan string
+	started time.Duration
+	cancel  context.CancelFunc
+	done    chan struct{}
+
+	mu       sync.Mutex
+	finished bool
+	result   dpl.Value
+	err      error
+}
+
+// run executes the instance to completion. It always emits EventExit.
+func (d *DPI) run(ctx context.Context, args []dpl.Value) {
+	defer d.proc.wg.Done()
+	v, err := d.vm.Run(ctx, d.Entry, args...)
+	d.mu.Lock()
+	d.finished = true
+	d.result = v
+	d.err = err
+	d.mu.Unlock()
+	close(d.done)
+	payload := dpl.FormatValue(v)
+	if err != nil {
+		payload = "error: " + err.Error()
+	}
+	d.proc.emit(Event{DPI: d.ID, Kind: EventExit, Payload: payload, Time: d.proc.clock.Now()})
+}
+
+// Done returns a channel closed when the instance finishes.
+func (d *DPI) Done() <-chan struct{} { return d.done }
+
+// Wait blocks until the instance finishes or ctx is done, returning the
+// instance's result.
+func (d *DPI) Wait(ctx context.Context) (dpl.Value, error) {
+	select {
+	case <-d.done:
+		return d.Result()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Finished reports whether the instance has exited.
+func (d *DPI) Finished() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.finished
+}
+
+// Result returns the instance's return value and error. Valid after
+// Done is closed; before that it returns nils.
+func (d *DPI) Result() (dpl.Value, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.result, d.err
+}
+
+// Terminate kills the instance: it cancels the context (unblocking any
+// sleep or recv) and flips the control gate.
+func (d *DPI) Terminate() {
+	d.ctrl.Terminate()
+	d.cancel()
+}
+
+// Suspend pauses the instance at its next gate.
+func (d *DPI) Suspend() { d.ctrl.Suspend() }
+
+// Resume continues a suspended instance.
+func (d *DPI) Resume() { d.ctrl.Resume() }
+
+// State reports running / suspended / terminated / exited / failed.
+func (d *DPI) State() string {
+	d.mu.Lock()
+	fin, err := d.finished, d.err
+	d.mu.Unlock()
+	if fin {
+		if err != nil {
+			return "failed"
+		}
+		return "exited"
+	}
+	return d.ctrl.State()
+}
+
+// Steps returns the instance's executed VM instruction count.
+func (d *DPI) Steps() uint64 { return d.vm.Steps() }
+
+func (d *DPI) info() Info {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	inf := Info{
+		ID:      d.ID,
+		DP:      d.DP.Name,
+		Entry:   d.Entry,
+		Steps:   d.vm.Steps(),
+		Started: d.started,
+	}
+	if d.finished {
+		if d.err != nil {
+			inf.State = "failed"
+			inf.Err = d.err.Error()
+		} else {
+			inf.State = "exited"
+			inf.Result = dpl.FormatValue(d.result)
+		}
+	} else {
+		inf.State = d.ctrl.State()
+	}
+	return inf
+}
+
+// dpiOf extracts the DPI handle a VM carries; host functions use it to
+// reach mailbox, clock and event services.
+func dpiOf(env *dpl.Env) (*DPI, error) {
+	if env == nil || env.VM == nil {
+		return nil, fmt.Errorf("elastic: host function called outside a DPI")
+	}
+	d, ok := env.VM.Meta.(*DPI)
+	if !ok {
+		return nil, fmt.Errorf("elastic: host function called outside a DPI")
+	}
+	return d, nil
+}
+
+// registerInstanceServices installs the host functions every DPI gets
+// from its elastic process:
+//
+//	sleep(ms)        pause on the process clock (suspend/terminate aware)
+//	now()            process-clock milliseconds
+//	recv(timeoutMs)  next mailbox message, or nil on timeout; -1 blocks
+//	report(v)        emit a report event
+//	notify(v)        emit a notification (exception) event
+//	log(v)           emit a log event
+//	dpiid()          this instance's id
+func (p *Process) registerInstanceServices() {
+	p.bindings.Register("sleep", 1, func(env *dpl.Env, args []dpl.Value) (dpl.Value, error) {
+		d, err := dpiOf(env)
+		if err != nil {
+			return nil, err
+		}
+		ms, ok := args[0].(int64)
+		if !ok {
+			return nil, fmt.Errorf("elastic: sleep(ms) wants int, got %s", dpl.TypeName(args[0]))
+		}
+		if err := p.clock.Sleep(env.VM.Context(), time.Duration(ms)*time.Millisecond); err != nil {
+			return nil, err
+		}
+		// Honor a suspension that engaged while sleeping.
+		if err := env.VM.Gate(); err != nil {
+			return nil, err
+		}
+		_ = d
+		return nil, nil
+	})
+	p.bindings.Register("now", 0, func(env *dpl.Env, args []dpl.Value) (dpl.Value, error) {
+		return p.clock.Now().Milliseconds(), nil
+	})
+	p.bindings.Register("recv", 1, func(env *dpl.Env, args []dpl.Value) (dpl.Value, error) {
+		d, err := dpiOf(env)
+		if err != nil {
+			return nil, err
+		}
+		ms, ok := args[0].(int64)
+		if !ok {
+			return nil, fmt.Errorf("elastic: recv(timeoutMs) wants int, got %s", dpl.TypeName(args[0]))
+		}
+		ctx := env.VM.Context()
+		// Fast path: message already queued.
+		select {
+		case m := <-d.mailbox:
+			return m, nil
+		default:
+		}
+		if ms == 0 {
+			return nil, nil
+		}
+		var timeout <-chan struct{}
+		if ms > 0 {
+			ch := make(chan struct{})
+			go func() {
+				// Error (cancellation) and expiry both just close ch;
+				// the outer select already watches ctx.
+				_ = p.clock.Sleep(ctx, time.Duration(ms)*time.Millisecond)
+				close(ch)
+			}()
+			timeout = ch
+		}
+		select {
+		case m := <-d.mailbox:
+			return m, nil
+		case <-timeout:
+			return nil, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	emit := func(kind EventKind) dpl.HostFunc {
+		return func(env *dpl.Env, args []dpl.Value) (dpl.Value, error) {
+			d, err := dpiOf(env)
+			if err != nil {
+				return nil, err
+			}
+			p.emit(Event{DPI: d.ID, Kind: kind, Payload: dpl.FormatValue(args[0]), Time: p.clock.Now()})
+			return nil, nil
+		}
+	}
+	p.bindings.Register("report", 1, emit(EventReport))
+	p.bindings.Register("notify", 1, emit(EventNotify))
+	p.bindings.Register("log", 1, emit(EventLog))
+	p.bindings.Register("dpiid", 0, func(env *dpl.Env, args []dpl.Value) (dpl.Value, error) {
+		d, err := dpiOf(env)
+		if err != nil {
+			return nil, err
+		}
+		return d.ID, nil
+	})
+	// sendto(dpiID, payload): intra-process DPI-to-DPI messaging ("the
+	// other dpis use rds to communicate between themselves"). Returns
+	// true on delivery, false when the target is unknown, finished, or
+	// its mailbox is full.
+	p.bindings.Register("sendto", 2, func(env *dpl.Env, args []dpl.Value) (dpl.Value, error) {
+		if _, err := dpiOf(env); err != nil {
+			return nil, err
+		}
+		id, ok1 := args[0].(string)
+		payload, ok2 := args[1].(string)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("elastic: sendto(dpiID, payload) wants strings")
+		}
+		target, ok := p.Lookup(id)
+		if !ok || target.Finished() {
+			return false, nil
+		}
+		select {
+		case target.mailbox <- payload:
+			p.mu.Lock()
+			p.stats.MessagesSent++
+			p.mu.Unlock()
+			return true, nil
+		default:
+			return false, nil
+		}
+	})
+}

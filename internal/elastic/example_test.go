@@ -1,0 +1,57 @@
+package elastic_test
+
+import (
+	"context"
+	"fmt"
+
+	"mbd/internal/elastic"
+)
+
+// ExampleProcess walks the whole delegation lifecycle: delegate,
+// instantiate, message, result.
+func ExampleProcess() {
+	proc := elastic.NewProcess(elastic.Config{})
+	defer proc.Stop()
+
+	err := proc.Delegate("operator", "adder", "dpl", `
+func main() {
+	var a = int(recv(-1));
+	var b = int(recv(-1));
+	return a + b;
+}`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dpi, err := proc.Instantiate("operator", "adder", "main")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	_ = proc.Send("operator", dpi.ID, "40")
+	_ = proc.Send("operator", dpi.ID, "2")
+	v, err := dpi.Wait(context.Background())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(dpi.ID, "=", v)
+	// Output: adder#1 = 42
+}
+
+// ExampleProcess_Evaluate shows one-shot remote evaluation: nothing is
+// retained after the result returns.
+func ExampleProcess_Evaluate() {
+	proc := elastic.NewProcess(elastic.Config{})
+	defer proc.Stop()
+
+	v, err := proc.Evaluate(context.Background(), "operator", "dpl",
+		`func main(n) { var s = 0; for (var i = 1; i <= n; i += 1) { s += i; } return s; }`,
+		"main", int64(10))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(v, proc.Repository().Len())
+	// Output: 55 0
+}

@@ -1,0 +1,113 @@
+package elastic
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestDelegatedInterpreter realizes the dissertation's meta-delegation
+// claim: "It is even possible to delegate an entire interpreter of a
+// language L to an elastic process, and forthwith delegate agents
+// written in L." Here L is an RPN calculator language; its interpreter
+// is itself a delegated program, and "agents written in L" arrive as
+// mailbox messages.
+func TestDelegatedInterpreter(t *testing.T) {
+	const rpnInterpreter = `
+// An interpreter for language L: reverse-Polish arithmetic.
+func evalRPN(src) {
+	var toks = split(src, " ");
+	var stack = [];
+	var top = 0;
+	for (var i = 0; i < len(toks); i += 1) {
+		var tk = toks[i];
+		if (tk == "+" || tk == "-" || tk == "*" || tk == "/") {
+			if (top < 2) { return "error: stack underflow"; }
+			var b = stack[top - 1];
+			var a = stack[top - 2];
+			top -= 2;
+			var r = 0;
+			if (tk == "+") { r = a + b; }
+			if (tk == "-") { r = a - b; }
+			if (tk == "*") { r = a * b; }
+			if (tk == "/") {
+				if (b == 0) { return "error: division by zero"; }
+				r = a / b;
+			}
+			if (top < len(stack)) { stack[top] = r; } else { append(stack, r); }
+			top += 1;
+		} else {
+			var v = int(tk);
+			if (top < len(stack)) { stack[top] = v; } else { append(stack, v); }
+			top += 1;
+		}
+	}
+	if (top != 1) { return "error: unbalanced expression"; }
+	return str(stack[0]);
+}
+
+func main() {
+	while (true) {
+		var program = recv(-1);
+		if (program == "halt") { return "interpreter done"; }
+		report(program + " => " + evalRPN(program));
+	}
+}`
+	p := newProcess(t, Config{})
+	if err := p.Delegate("mgr", "rpn", "dpl", rpnInterpreter); err != nil {
+		t.Fatalf("delegating the interpreter: %v", err)
+	}
+	d, err := p.Instantiate("mgr", "rpn", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	results := map[string]string{}
+	cancel := p.Subscribe(func(ev Event) {
+		if ev.Kind != EventReport {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		// payload is "program => result"
+		for i := 0; i+4 <= len(ev.Payload); i++ {
+			if ev.Payload[i:i+4] == " => " {
+				results[ev.Payload[:i]] = ev.Payload[i+4:]
+				return
+			}
+		}
+	})
+	defer cancel()
+
+	// Programs in language L, delegated as messages to the delegated
+	// interpreter.
+	programs := map[string]string{
+		"3 4 +":         "7",
+		"3 4 + 2 *":     "14",
+		"10 2 - 4 /":    "2",
+		"5":             "5",
+		"1 0 /":         "error: division by zero",
+		"1 +":           "error: stack underflow",
+		"1 2":           "error: unbalanced expression",
+		"2 3 4 * + 1 -": "13",
+	}
+	for src := range programs {
+		if err := p.Send("mgr", d.ID, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Send("mgr", d.ID, "halt"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Wait(context.Background())
+	if err != nil || v != "interpreter done" {
+		t.Fatalf("interpreter exit = %v, %v", v, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for src, want := range programs {
+		if got := results[src]; got != want {
+			t.Errorf("L-program %q = %q, want %q", src, got, want)
+		}
+	}
+}

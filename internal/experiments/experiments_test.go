@@ -1,0 +1,389 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parse helpers -------------------------------------------------------------
+
+func cellInt(t *testing.T, s string) int {
+	t.Helper()
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		t.Fatalf("cell %q is not an int", s)
+	}
+	return v
+}
+
+func cellBytes(t *testing.T, s string) float64 {
+	t.Helper()
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "MB"):
+		mult = 1 << 20
+		s = strings.TrimSuffix(s, "MB")
+	case strings.HasSuffix(s, "KB"):
+		mult = 1 << 10
+		s = strings.TrimSuffix(s, "KB")
+	case strings.HasSuffix(s, "B"):
+		s = strings.TrimSuffix(s, "B")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not a byte count", s)
+	}
+	return v * mult
+}
+
+func cellDuration(t *testing.T, s string) time.Duration {
+	t.Helper()
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		t.Fatalf("cell %q is not a duration", s)
+	}
+	return d
+}
+
+// E1 ------------------------------------------------------------------------
+
+func TestE1CapacityShape(t *testing.T) {
+	tb, err := E1PollingCapacity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	lan := cellInt(t, tb.Rows[0][4]) // N@10s on LAN
+	wan := cellInt(t, tb.Rows[4][4]) // N@10s at 596ms
+	if lan < 1000 {
+		t.Fatalf("LAN capacity = %d, expected thousands", lan)
+	}
+	// "an order of magnitude lower" — actually far more at 596 ms.
+	if wan*10 > lan {
+		t.Fatalf("WAN capacity %d not an order of magnitude below LAN %d", wan, lan)
+	}
+	// Capacity must decrease monotonically with RTT.
+	prev := 1 << 30
+	for _, row := range tb.Rows {
+		n := cellInt(t, row[4])
+		if n > prev {
+			t.Fatalf("capacity not monotone: %v", row)
+		}
+		prev = n
+	}
+	// The MbD bound always beats sequential polling.
+	for _, row := range tb.Rows {
+		if cellInt(t, row[6]) <= cellInt(t, row[4]) {
+			t.Fatalf("MbD bound does not dominate: %v", row)
+		}
+	}
+}
+
+// E2 ------------------------------------------------------------------------
+
+func quickE2() E2Config {
+	return E2Config{DeviceCounts: []int{5, 20}, Horizon: 2 * time.Minute, Seed: 1}
+}
+
+func TestE2DelegationSavesTraffic(t *testing.T) {
+	tb, err := E2HealthCentralVsDelegated(quickE2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		snmpB := cellBytes(t, row[1])
+		mbdB := cellBytes(t, row[5])
+		if mbdB >= snmpB {
+			t.Fatalf("delegation did not save traffic: %v", row)
+		}
+		if cellInt(t, row[7]) == 0 {
+			t.Fatalf("no alarms despite injected storms: %v", row)
+		}
+	}
+	// SNMP traffic grows linearly with device count.
+	b5 := cellBytes(t, tb.Rows[0][1])
+	b20 := cellBytes(t, tb.Rows[1][1])
+	if b20 < 3.5*b5 || b20 > 4.5*b5 {
+		t.Fatalf("SNMP bytes not ∝ devices: %f vs %f", b5, b20)
+	}
+}
+
+func TestE2PeriodicAblationCostsMore(t *testing.T) {
+	cfg := quickE2()
+	exc, err := E2HealthCentralVsDelegated(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Periodic = true
+	per, err := E2HealthCentralVsDelegated(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exc.Rows {
+		if cellBytes(t, per.Rows[i][5]) <= cellBytes(t, exc.Rows[i][5]) {
+			t.Fatalf("periodic mode row %d not costlier than exception mode", i)
+		}
+	}
+}
+
+// E3 ------------------------------------------------------------------------
+
+func TestE3ViewBeatsWalk(t *testing.T) {
+	tb, err := E3TableRetrieval(E3Config{RowCounts: []int{50, 200}, Selectivities: []float64{0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if cellBytes(t, row[5]) >= cellBytes(t, row[3]) {
+			t.Fatalf("view bytes not below walk bytes: %v", row)
+		}
+		if cellDuration(t, row[6]) >= cellDuration(t, row[4]) {
+			t.Fatalf("view time not below walk time: %v", row)
+		}
+	}
+	// Walk cost grows with table size; view cost only with matches.
+	if cellBytes(t, tb.Rows[1][3]) < 3*cellBytes(t, tb.Rows[0][3]) {
+		t.Fatal("walk bytes did not scale with rows")
+	}
+}
+
+// E4 ------------------------------------------------------------------------
+
+func TestE4SpeedupStable(t *testing.T) {
+	tb, err := E4LatencySweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		snmpT := cellDuration(t, row[1])
+		mbdT := cellDuration(t, row[3])
+		ratio := float64(snmpT) / float64(mbdT)
+		if ratio < 8 || ratio > 12 {
+			t.Fatalf("speedup %f out of the ~10x band: %v", ratio, row)
+		}
+	}
+	// Absolute central time explodes with RTT.
+	if cellDuration(t, tb.Rows[4][1]) < 100*cellDuration(t, tb.Rows[0][1]) {
+		t.Fatal("WAN did not dominate completion time")
+	}
+}
+
+// E5 ------------------------------------------------------------------------
+
+func TestE5CrossoverExists(t *testing.T) {
+	tb, err := E5DelegationAmortization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At M=1 RPC wins on bytes; at M=1000 both MbD modes win.
+	first, last := tb.Rows[0], tb.Rows[len(tb.Rows)-1]
+	if cellBytes(t, first[2]) >= cellBytes(t, first[4]) {
+		t.Fatal("delegation should lose at M=1 (setup cost)")
+	}
+	if cellBytes(t, last[4]) >= cellBytes(t, last[2]) {
+		t.Fatal("periodic delegation should win at M=1000")
+	}
+	if cellBytes(t, last[6]) >= cellBytes(t, last[4]) {
+		t.Fatal("exception mode should beat periodic mode")
+	}
+}
+
+// E6 ------------------------------------------------------------------------
+
+func TestE6PollingMissesBriefIntrusions(t *testing.T) {
+	tb, err := E6IntrusionDetection(E6Config{
+		PollIntervals: []time.Duration{10 * time.Second, 60 * time.Second},
+		MeanLives:     []time.Duration{time.Second},
+		Horizon:       3 * time.Minute,
+		Sessions:      60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: poll@10s, poll@60s, watcher.
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	p10 := cellInt(t, tb.Rows[0][2])
+	p60 := cellInt(t, tb.Rows[1][2])
+	watcher := cellInt(t, tb.Rows[2][2])
+	total := cellInt(t, tb.Rows[2][3])
+	if watcher != total {
+		t.Fatalf("watcher caught %d of %d", watcher, total)
+	}
+	if p10 >= watcher || p60 > p10 {
+		t.Fatalf("detection ordering wrong: p10=%d p60=%d watcher=%d", p10, p60, watcher)
+	}
+	// The watcher also uses less management bandwidth than the 10s poller.
+	if cellBytes(t, tb.Rows[2][5]) >= cellBytes(t, tb.Rows[0][5]) {
+		t.Fatal("watcher used more bandwidth than the poller")
+	}
+}
+
+// E7 ------------------------------------------------------------------------
+
+func TestE7SpecEconomy(t *testing.T) {
+	tb, err := E7ViewEconomy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		vdlLines := cellInt(t, row[1])
+		smiLines := cellInt(t, row[2])
+		if vdlLines > 6 {
+			t.Fatalf("VDL spec for %s is %d lines (should be ~5)", row[0], vdlLines)
+		}
+		if smiLines < 4*vdlLines {
+			t.Fatalf("SMI spec for %s did not balloon: %d vs %d", row[0], smiLines, vdlLines)
+		}
+		if cellBytes(t, row[7]) >= cellBytes(t, row[6]) {
+			t.Fatalf("view query for %s not cheaper than walk", row[0])
+		}
+	}
+}
+
+// E8 ------------------------------------------------------------------------
+
+func TestE8TearingDecreasesWithFlapPeriod(t *testing.T) {
+	tb, err := E8Snapshots(E8Config{
+		FlapPeriods: []time.Duration{50 * time.Millisecond, 5 * time.Second},
+		Walks:       20, Routes: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := strings.Split(tb.Rows[0][2], "/")
+	slow := strings.Split(tb.Rows[1][2], "/")
+	fastTorn := cellInt(t, fast[0])
+	slowTorn := cellInt(t, slow[0])
+	if fastTorn <= slowTorn {
+		t.Fatalf("tearing should increase with flap rate: %d vs %d", fastTorn, slowTorn)
+	}
+	if fastTorn == 0 {
+		t.Fatal("fast flapping produced no torn walks")
+	}
+	for _, row := range tb.Rows {
+		if row[4] != "0" {
+			t.Fatal("snapshots can never tear")
+		}
+	}
+}
+
+// E9 ------------------------------------------------------------------------
+
+func TestE9TrainingImproves(t *testing.T) {
+	tb, err := E9LMSTraining()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	acc := func(row []string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[1], "%"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if acc(tb.Rows[1]) < acc(tb.Rows[0]) {
+		t.Fatal("LMS made the estimates worse")
+	}
+	if acc(tb.Rows[1]) < 90 || acc(tb.Rows[2]) < 90 {
+		t.Fatalf("trained accuracy too low: %v / %v", tb.Rows[1][1], tb.Rows[2][1])
+	}
+}
+
+// E10 -----------------------------------------------------------------------
+
+func TestE10RuntimeScales(t *testing.T) {
+	tb, err := E10RuntimeScalability(E10Config{Counts: []int{1, 50}, MsgsPerDPI: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// 50 DPIs × 5 msgs × 39 steps each — steps scale with instances.
+	s1 := cellInt(t, tb.Rows[0][5])
+	s50 := cellInt(t, tb.Rows[1][5])
+	if s50 != 50*s1 {
+		t.Fatalf("VM steps not proportional: %d vs %d", s1, s50)
+	}
+}
+
+// T1 ------------------------------------------------------------------------
+
+func TestT1CompiledBeatsInterpreted(t *testing.T) {
+	tb, err := T1InterpreterOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raceEnabled {
+		t.Skip("timing comparison is meaningless under the race detector")
+	}
+	for _, row := range tb.Rows {
+		it := cellDuration(t, row[1])
+		vm := cellDuration(t, row[2])
+		if vm >= it {
+			t.Fatalf("VM not faster than interpreter on %s: %v vs %v", row[0], vm, it)
+		}
+	}
+}
+
+// Registry and rendering ------------------------------------------------------
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("experiments = %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Brief == "" {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, err := ByID("E1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown id found")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "X", Title: "demo", Headers: []string{"a", "long-header"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	tb.AddNote("n=%d", 7)
+	out := tb.String()
+	for _, want := range []string{"== X: demo ==", "long-header", "333", "note: n=7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering lacks %q:\n%s", want, out)
+		}
+	}
+	if fmtBytes(512) != "512B" || fmtBytes(2048) != "2.0KB" || fmtBytes(3<<20) != "3.0MB" {
+		t.Fatal("fmtBytes wrong")
+	}
+	if fmtRatio(10, 0) != "∞" || fmtRatio(10, 4) != "2.5x" {
+		t.Fatal("fmtRatio wrong")
+	}
+}

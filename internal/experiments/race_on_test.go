@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; timing assertions that compare engine speeds are meaningless
+// under its overhead.
+const raceEnabled = true

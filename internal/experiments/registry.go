@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+)
+
+// Experiment pairs an id with its runner.
+type Experiment struct {
+	ID    string
+	Run   func() (*Table, error)
+	Brief string
+}
+
+// All returns every experiment in presentation order, with default
+// configurations. Quick variants for CI-speed runs are available
+// through the individual constructors.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", E1PollingCapacity, "polling capacity bound vs link latency"},
+		{"E2", func() (*Table, error) { return E2HealthCentralVsDelegated(E2Config{}) }, "health monitoring: centralized vs delegated"},
+		{"E2b", func() (*Table, error) {
+			return E2HealthCentralVsDelegated(E2Config{Periodic: true, DeviceCounts: []int{50, 250}})
+		}, "ablation: periodic reports instead of report-on-exception"},
+		{"E3", func() (*Table, error) { return E3TableRetrieval(E3Config{}) }, "moving large tables: walk vs delegated view"},
+		{"E4", E4LatencySweep, "WAN latency sensitivity of a fixed task"},
+		{"E5", E5DelegationAmortization, "delegation setup amortization vs per-eval RPC"},
+		{"E6", func() (*Table, error) { return E6IntrusionDetection(E6Config{}) }, "intrusion detection: polling misses transients"},
+		{"E7", E7ViewEconomy, "VDL spec economy and view query cost"},
+		{"E8", func() (*Table, error) { return E8Snapshots(E8Config{}) }, "snapshot consistency under route flapping"},
+		{"E9", E9LMSTraining, "LMS training of health-index weights"},
+		{"E10", func() (*Table, error) { return E10RuntimeScalability(E10Config{}) }, "elastic runtime scalability (real goroutines)"},
+		{"T1", T1InterpreterOverhead, "interpreted vs compiled agent execution"},
+	}
+}
+
+// Quick returns the same experiments with bounded configurations for
+// CI-speed runs (seconds instead of ~40 s). Shapes still hold; absolute
+// byte/time columns shrink with the workloads.
+func Quick() []Experiment {
+	return []Experiment{
+		{"E1", E1PollingCapacity, "polling capacity bound vs link latency"},
+		{"E2", func() (*Table, error) {
+			return E2HealthCentralVsDelegated(E2Config{DeviceCounts: []int{5, 25}, Horizon: 2 * time.Minute, Seed: 1})
+		}, "health monitoring (quick)"},
+		{"E3", func() (*Table, error) {
+			return E3TableRetrieval(E3Config{RowCounts: []int{100, 500}, Selectivities: []float64{0.1}})
+		}, "table retrieval (quick)"},
+		{"E4", E4LatencySweep, "WAN latency sensitivity"},
+		{"E5", E5DelegationAmortization, "delegation amortization"},
+		{"E6", func() (*Table, error) {
+			return E6IntrusionDetection(E6Config{
+				PollIntervals: []time.Duration{30 * time.Second},
+				MeanLives:     []time.Duration{2 * time.Second},
+				Horizon:       2 * time.Minute, Sessions: 40,
+			})
+		}, "intrusion detection (quick)"},
+		{"E7", E7ViewEconomy, "VDL spec economy"},
+		{"E8", func() (*Table, error) {
+			return E8Snapshots(E8Config{FlapPeriods: []time.Duration{100 * time.Millisecond}, Walks: 10, Routes: 50})
+		}, "snapshot consistency (quick)"},
+		{"E9", E9LMSTraining, "LMS training"},
+		{"E10", func() (*Table, error) {
+			return E10RuntimeScalability(E10Config{Counts: []int{1, 100}, MsgsPerDPI: 5})
+		}, "runtime scalability (quick)"},
+		{"T1", T1InterpreterOverhead, "interpreted vs compiled"},
+	}
+}
+
+// ByID finds an experiment by its id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q", id)
+}

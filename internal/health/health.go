@@ -1,0 +1,332 @@
+// Package health implements the paper's InterOp'91 demo application:
+// delegated health monitoring of a LAN segment.
+//
+// Observers turn raw MIB counter deltas into symptom indicators —
+// utilization (the paper's U(t) = ΔRxOk/(Δt·10^7) formula over the
+// Synoptics-style private counter), collision rate, broadcast rate and
+// error rate. A health index combines the indicators as a weighted
+// linear (single-layer perceptron) function whose weights can be
+// trained with the Least-Mean-Square rule the dissertation cites
+// ([Cohen & Feigenbaum 81], [Duda & Hart 73]): "good (poor) predictors
+// should have their weights increased (decreased) until correct
+// classifications are achieved".
+package health
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mbd/internal/mib"
+)
+
+// Snapshot is one reading of the segment counters.
+type Snapshot struct {
+	At         time.Duration
+	RxOkBits   uint64
+	Collisions uint64
+	RxBcast    uint64
+	RxPkts     uint64
+	RxErrs     uint64
+}
+
+// Take reads the five private Ethernet counters from a device tree.
+// Counters are Counter32 values and may have wrapped; Compute handles
+// the wrap.
+func Take(tree *mib.Tree, at time.Duration) (Snapshot, error) {
+	s := Snapshot{At: at}
+	for _, c := range []struct {
+		oid  []uint32
+		dst  *uint64
+		name string
+	}{
+		{mib.OIDEnetRxOk.Append(0), &s.RxOkBits, "rxOk"},
+		{mib.OIDEnetColl.Append(0), &s.Collisions, "collisions"},
+		{mib.OIDEnetRxBcast.Append(0), &s.RxBcast, "broadcast"},
+		{mib.OIDEnetRxPkts.Append(0), &s.RxPkts, "packets"},
+		{mib.OIDEnetRxErrs.Append(0), &s.RxErrs, "errors"},
+	} {
+		v, err := tree.Get(c.oid)
+		if err != nil {
+			return Snapshot{}, fmt.Errorf("health: reading %s: %w", c.name, err)
+		}
+		*c.dst = v.Uint
+	}
+	return s, nil
+}
+
+// delta32 returns cur-prev with Counter32 wrap semantics.
+func delta32(prev, cur uint64) uint64 {
+	const mod = 1 << 32
+	prev &= mod - 1
+	cur &= mod - 1
+	if cur >= prev {
+		return cur - prev
+	}
+	return mod - prev + cur
+}
+
+// Indicators are the normalized symptom observers, each in [0, ~1].
+type Indicators struct {
+	Utilization   float64 // fraction of link capacity in use
+	CollisionRate float64 // collisions per received packet
+	BroadcastRate float64 // broadcast fraction of received packets
+	ErrorRate     float64 // damaged-frame fraction of received packets
+}
+
+// Vector returns the indicators as a slice in canonical order.
+func (in Indicators) Vector() []float64 {
+	return []float64{in.Utilization, in.CollisionRate, in.BroadcastRate, in.ErrorRate}
+}
+
+// Compute derives indicators from two snapshots per the paper's
+// formulas. linkBps defaults to 10 Mb/s when zero (the 10,000,000
+// denominator in the published utilization formula).
+func Compute(prev, cur Snapshot, linkBps float64) Indicators {
+	if linkBps <= 0 {
+		linkBps = 10_000_000
+	}
+	dt := (cur.At - prev.At).Seconds()
+	if dt <= 0 {
+		return Indicators{}
+	}
+	pkts := float64(delta32(prev.RxPkts, cur.RxPkts))
+	in := Indicators{
+		Utilization: float64(delta32(prev.RxOkBits, cur.RxOkBits)) / (dt * linkBps),
+	}
+	if pkts > 0 {
+		in.CollisionRate = float64(delta32(prev.Collisions, cur.Collisions)) / pkts
+		in.BroadcastRate = float64(delta32(prev.RxBcast, cur.RxBcast)) / pkts
+		in.ErrorRate = float64(delta32(prev.RxErrs, cur.RxErrs)) / pkts
+	}
+	return in
+}
+
+// Index is a single-layer perceptron over the four indicators: the
+// segment is classified unhealthy when the weighted sum exceeds the
+// bias (score > 0).
+type Index struct {
+	Weights [4]float64
+	Bias    float64
+}
+
+// DefaultIndex returns hand-set weights in the spirit of the demo:
+// begin "by using estimates, and let the program modify the settings".
+func DefaultIndex() Index {
+	return Index{Weights: [4]float64{1.0, 2.0, 2.0, 5.0}, Bias: -0.9}
+}
+
+// Score returns the weighted sum plus bias.
+func (ix Index) Score(in Indicators) float64 {
+	v := in.Vector()
+	s := ix.Bias
+	for i, w := range ix.Weights {
+		s += w * v[i]
+	}
+	return s
+}
+
+// Unhealthy classifies the indicators.
+func (ix Index) Unhealthy(in Indicators) bool { return ix.Score(in) > 0 }
+
+// Sample is one labeled observation for training/evaluation.
+type Sample struct {
+	In        Indicators
+	Unhealthy bool
+}
+
+// TrainLMS adapts the weights "after every trial, based on the
+// difference between the actual and desired output" — the Widrow-Hoff
+// LMS rule on the perceptron score with targets ±1. It returns the
+// trained index and the mean squared error after each epoch.
+func TrainLMS(init Index, samples []Sample, epochs int, rate float64) (Index, []float64) {
+	ix := init
+	if epochs <= 0 || len(samples) == 0 {
+		return ix, nil
+	}
+	curve := make([]float64, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		var sq float64
+		for _, s := range samples {
+			target := -1.0
+			if s.Unhealthy {
+				target = 1.0
+			}
+			out := ix.Score(s.In)
+			errv := target - out
+			sq += errv * errv
+			v := s.In.Vector()
+			for i := range ix.Weights {
+				ix.Weights[i] += rate * errv * v[i]
+			}
+			ix.Bias += rate * errv
+		}
+		curve = append(curve, sq/float64(len(samples)))
+	}
+	return ix, curve
+}
+
+// Metrics summarize classifier quality on a labeled set.
+type Metrics struct {
+	Accuracy   float64 // correct / total
+	FalseAlarm float64 // healthy classified unhealthy / healthy
+	Miss       float64 // unhealthy classified healthy / unhealthy
+}
+
+// Evaluate scores the index against labeled samples.
+func Evaluate(ix Index, samples []Sample) Metrics {
+	var correct, fa, miss, healthy, unhealthy int
+	for _, s := range samples {
+		got := ix.Unhealthy(s.In)
+		if got == s.Unhealthy {
+			correct++
+		}
+		if s.Unhealthy {
+			unhealthy++
+			if !got {
+				miss++
+			}
+		} else {
+			healthy++
+			if got {
+				fa++
+			}
+		}
+	}
+	m := Metrics{}
+	if len(samples) > 0 {
+		m.Accuracy = float64(correct) / float64(len(samples))
+	}
+	if healthy > 0 {
+		m.FalseAlarm = float64(fa) / float64(healthy)
+	}
+	if unhealthy > 0 {
+		m.Miss = float64(miss) / float64(unhealthy)
+	}
+	return m
+}
+
+// EpisodeKind labels a workload regime on the simulated segment.
+type EpisodeKind uint8
+
+// Episode kinds. Nominal is healthy; the others are fault regimes.
+const (
+	Nominal EpisodeKind = iota
+	Congestion
+	BroadcastStorm
+	ErrorBurst
+	CollisionStorm
+)
+
+// String names the episode kind.
+func (k EpisodeKind) String() string {
+	switch k {
+	case Nominal:
+		return "nominal"
+	case Congestion:
+		return "congestion"
+	case BroadcastStorm:
+		return "broadcast-storm"
+	case ErrorBurst:
+		return "error-burst"
+	case CollisionStorm:
+		return "collision-storm"
+	default:
+		return "unknown"
+	}
+}
+
+// Unhealthy reports the ground-truth label of the episode kind.
+func (k EpisodeKind) Unhealthy() bool { return k != Nominal }
+
+// EpisodeLoad returns a load profile typical of the episode kind, with
+// bounded jitter from rng.
+func EpisodeLoad(k EpisodeKind, rng *rand.Rand) mib.LoadProfile {
+	j := func(base, spread float64) float64 { return base + (rng.Float64()-0.5)*spread }
+	switch k {
+	case Congestion:
+		return mib.LoadProfile{Utilization: j(0.85, 0.2), BroadcastFraction: j(0.03, 0.02), ErrorRate: j(0.002, 0.002), CollisionRate: j(0.25, 0.1)}
+	case BroadcastStorm:
+		return mib.LoadProfile{Utilization: j(0.45, 0.2), BroadcastFraction: j(0.55, 0.2), ErrorRate: j(0.002, 0.002), CollisionRate: j(0.05, 0.04)}
+	case ErrorBurst:
+		return mib.LoadProfile{Utilization: j(0.3, 0.2), BroadcastFraction: j(0.03, 0.02), ErrorRate: j(0.12, 0.08), CollisionRate: j(0.05, 0.04)}
+	case CollisionStorm:
+		return mib.LoadProfile{Utilization: j(0.55, 0.2), BroadcastFraction: j(0.04, 0.02), ErrorRate: j(0.01, 0.01), CollisionRate: j(0.6, 0.2)}
+	default:
+		return mib.LoadProfile{Utilization: j(0.15, 0.2), BroadcastFraction: j(0.03, 0.03), ErrorRate: j(0.001, 0.001), CollisionRate: j(0.02, 0.02)}
+	}
+}
+
+// GenerateSamples drives a fresh simulated device through n labeled
+// episodes (10 virtual seconds each) and returns the observed
+// indicator samples. Deterministic for a given seed.
+func GenerateSamples(seed int64, n int) ([]Sample, error) {
+	dev, err := mib.NewDevice(mib.DeviceConfig{Name: "trainer", Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	kinds := []EpisodeKind{Nominal, Congestion, BroadcastStorm, ErrorBurst, CollisionStorm}
+	prev, err := Take(dev.Tree(), dev.Now())
+	if err != nil {
+		return nil, err
+	}
+	samples := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		// Two thirds nominal, one third faults — alarms should be rare.
+		kind := Nominal
+		if rng.Intn(3) == 0 {
+			kind = kinds[1+rng.Intn(len(kinds)-1)]
+		}
+		dev.SetLoad(EpisodeLoad(kind, rng))
+		dev.Advance(10 * time.Second)
+		cur, err := Take(dev.Tree(), dev.Now())
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, Sample{In: Compute(prev, cur, 0), Unhealthy: kind.Unhealthy()})
+		prev = cur
+	}
+	return samples, nil
+}
+
+// AgentSource renders the delegated health-function agent: a DPL
+// program that snapshots the private counters, computes the four
+// observers locally, applies the (trained) index, and reports only when
+// the segment is unhealthy — the paper's report-on-exception mode. With
+// periodic=true it instead reports the score on every evaluation.
+func AgentSource(ix Index, periodic bool) string {
+	reportClause := `if (score > 0.0) { report(sprintf("UNHEALTHY score=%f u=%f c=%f b=%f e=%f", score, u, c, b, e)); }`
+	if periodic {
+		reportClause = `report(sprintf("score=%f", score));`
+	}
+	return fmt.Sprintf(`
+var pOk = 0; var pColl = 0; var pBcast = 0; var pPkts = 0; var pErrs = 0; var pT = 0;
+var primed = false;
+
+func eval() {
+	var ok = mibGet("1.3.6.1.4.1.45.1.3.2.1.0");
+	var coll = mibGet("1.3.6.1.4.1.45.1.3.2.2.0");
+	var bcast = mibGet("1.3.6.1.4.1.45.1.3.2.3.0");
+	var pkts = mibGet("1.3.6.1.4.1.45.1.3.2.4.0");
+	var errs = mibGet("1.3.6.1.4.1.45.1.3.2.5.0");
+	var t = now();
+	var score = 0.0;
+	if (primed && t > pT) {
+		var dt = float(t - pT) / 1000.0;
+		var u = float(ok - pOk) / (dt * 10000000.0);
+		var dp = float(pkts - pPkts);
+		var c = 0.0; var b = 0.0; var e = 0.0;
+		if (dp > 0.0) {
+			c = float(coll - pColl) / dp;
+			b = float(bcast - pBcast) / dp;
+			e = float(errs - pErrs) / dp;
+		}
+		score = %f * u + %f * c + %f * b + %f * e + %f;
+		%s
+	}
+	pOk = ok; pColl = coll; pBcast = bcast; pPkts = pkts; pErrs = errs; pT = t;
+	primed = true;
+	return score;
+}`, ix.Weights[0], ix.Weights[1], ix.Weights[2], ix.Weights[3], ix.Bias, reportClause)
+}

@@ -1,0 +1,281 @@
+package health
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"mbd/internal/mib"
+	"mbd/internal/netsim"
+)
+
+func TestComputeIndicators(t *testing.T) {
+	prev := Snapshot{At: 0}
+	cur := Snapshot{
+		At:         10 * time.Second,
+		RxOkBits:   50_000_000, // 0.5 of 10 Mb/s over 10 s
+		RxPkts:     10_000,
+		Collisions: 500,
+		RxBcast:    1_000,
+		RxErrs:     100,
+	}
+	in := Compute(prev, cur, 0)
+	if in.Utilization != 0.5 {
+		t.Errorf("utilization = %f", in.Utilization)
+	}
+	if in.CollisionRate != 0.05 || in.BroadcastRate != 0.1 || in.ErrorRate != 0.01 {
+		t.Errorf("rates = %+v", in)
+	}
+}
+
+func TestComputeHandlesCounterWrap(t *testing.T) {
+	prev := Snapshot{At: 0, RxOkBits: 1<<32 - 1000, RxPkts: 1<<32 - 10}
+	cur := Snapshot{At: time.Second, RxOkBits: 9_000, RxPkts: 90}
+	in := Compute(prev, cur, 0)
+	// ΔRxOk = 10000 bits over 1 s on 10 Mb/s → 0.001.
+	if in.Utilization != 0.001 {
+		t.Errorf("wrapped utilization = %f", in.Utilization)
+	}
+}
+
+func TestComputeDegenerateInputs(t *testing.T) {
+	s := Snapshot{At: time.Second}
+	if in := Compute(s, s, 0); in != (Indicators{}) {
+		t.Errorf("zero-dt indicators = %+v", in)
+	}
+	// No packets → rates are zero, not NaN.
+	in := Compute(Snapshot{At: 0}, Snapshot{At: time.Second, RxOkBits: 100}, 0)
+	if in.CollisionRate != 0 || in.BroadcastRate != 0 || in.ErrorRate != 0 {
+		t.Errorf("rates with no packets = %+v", in)
+	}
+}
+
+func TestTakeFromDevice(t *testing.T) {
+	dev, err := mib.NewDevice(mib.DeviceConfig{Name: "h", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetLoad(mib.LoadProfile{Utilization: 0.6, BroadcastFraction: 0.1, ErrorRate: 0.01, CollisionRate: 0.05})
+	s0, err := Take(dev.Tree(), dev.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Advance(10 * time.Second)
+	s1, err := Take(dev.Tree(), dev.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Compute(s0, s1, 0)
+	if in.Utilization < 0.55 || in.Utilization > 0.65 {
+		t.Errorf("utilization = %f, want ≈0.6", in.Utilization)
+	}
+	if in.BroadcastRate < 0.08 || in.BroadcastRate > 0.12 {
+		t.Errorf("broadcast = %f, want ≈0.1", in.BroadcastRate)
+	}
+}
+
+func TestIndexScoreAndClassify(t *testing.T) {
+	ix := Index{Weights: [4]float64{1, 0, 0, 0}, Bias: -0.5}
+	if ix.Unhealthy(Indicators{Utilization: 0.4}) {
+		t.Error("0.4 classified unhealthy at threshold 0.5")
+	}
+	if !ix.Unhealthy(Indicators{Utilization: 0.6}) {
+		t.Error("0.6 classified healthy at threshold 0.5")
+	}
+	if got := ix.Score(Indicators{Utilization: 0.5}); got != 0 {
+		t.Errorf("score = %f", got)
+	}
+}
+
+func TestDefaultIndexSeparatesEpisodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ix := DefaultIndex()
+	// The default estimates should classify archetypal episodes.
+	healthy := Indicators{Utilization: 0.15, CollisionRate: 0.02, BroadcastRate: 0.03, ErrorRate: 0.001}
+	storm := Indicators{Utilization: 0.45, CollisionRate: 0.05, BroadcastRate: 0.55, ErrorRate: 0.002}
+	if ix.Unhealthy(healthy) {
+		t.Error("nominal load classified unhealthy by default index")
+	}
+	if !ix.Unhealthy(storm) {
+		t.Error("broadcast storm classified healthy by default index")
+	}
+	_ = rng
+}
+
+func TestLMSTrainingImprovesAccuracy(t *testing.T) {
+	samples, err := GenerateSamples(7, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := samples[:300], samples[300:]
+
+	// Start from deliberately bad weights.
+	bad := Index{Weights: [4]float64{0, 0, 0, 0}, Bias: 1} // everything unhealthy
+	before := Evaluate(bad, test)
+
+	trained, curve := TrainLMS(bad, train, 50, 0.05)
+	after := Evaluate(trained, test)
+
+	if after.Accuracy <= before.Accuracy {
+		t.Fatalf("LMS did not improve: before %.2f after %.2f", before.Accuracy, after.Accuracy)
+	}
+	if after.Accuracy < 0.85 {
+		t.Fatalf("trained accuracy = %.2f, want ≥ 0.85", after.Accuracy)
+	}
+	if len(curve) != 50 {
+		t.Fatalf("curve length = %d", len(curve))
+	}
+	if curve[len(curve)-1] >= curve[0] {
+		t.Fatalf("MSE did not decrease: %f → %f", curve[0], curve[len(curve)-1])
+	}
+}
+
+func TestTrainLMSEdgeCases(t *testing.T) {
+	ix := DefaultIndex()
+	got, curve := TrainLMS(ix, nil, 10, 0.1)
+	if got != ix || curve != nil {
+		t.Error("training on no samples changed the index")
+	}
+	got, curve = TrainLMS(ix, []Sample{{}}, 0, 0.1)
+	if got != ix || curve != nil {
+		t.Error("zero epochs changed the index")
+	}
+}
+
+func TestEvaluateMetrics(t *testing.T) {
+	ix := Index{Weights: [4]float64{1, 0, 0, 0}, Bias: -0.5}
+	samples := []Sample{
+		{In: Indicators{Utilization: 0.9}, Unhealthy: true},  // hit
+		{In: Indicators{Utilization: 0.1}, Unhealthy: false}, // correct reject
+		{In: Indicators{Utilization: 0.9}, Unhealthy: false}, // false alarm
+		{In: Indicators{Utilization: 0.1}, Unhealthy: true},  // miss
+	}
+	m := Evaluate(ix, samples)
+	if m.Accuracy != 0.5 || m.FalseAlarm != 0.5 || m.Miss != 0.5 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if (Evaluate(ix, nil) != Metrics{}) {
+		t.Fatal("empty evaluation not zero")
+	}
+}
+
+func TestEpisodeKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range []EpisodeKind{Nominal, Congestion, BroadcastStorm, ErrorBurst, CollisionStorm} {
+		p := EpisodeLoad(k, rng)
+		if p.Utilization <= 0 || p.Utilization > 1.05 {
+			t.Errorf("%s utilization = %f", k, p.Utilization)
+		}
+		if k.String() == "unknown" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+	if Nominal.Unhealthy() || !BroadcastStorm.Unhealthy() {
+		t.Error("labels wrong")
+	}
+}
+
+func TestGenerateSamplesDeterministic(t *testing.T) {
+	a, err := GenerateSamples(11, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSamples(11, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs between identical seeds", i)
+		}
+	}
+	var unhealthy int
+	for _, s := range a {
+		if s.Unhealthy {
+			unhealthy++
+		}
+	}
+	if unhealthy == 0 || unhealthy == len(a) {
+		t.Fatalf("degenerate label distribution: %d/%d", unhealthy, len(a))
+	}
+}
+
+// TestAgentSourceRunsInSimulation compiles the generated delegated
+// health agent and runs it against a simulated segment: it must stay
+// quiet under nominal load and report during a broadcast storm.
+func TestAgentSourceRunsInSimulation(t *testing.T) {
+	sim := netsim.NewSim()
+	st, err := netsim.NewStation("seg-1", 13, netsim.LAN(), "public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr netsim.Traffic
+	ses := netsim.NewSession(sim, st, &tr)
+	agent, err := netsim.NewAgent(sim, st, ses, AgentSource(DefaultIndex(), false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []string
+	agent.OnReport = func(p string) { reports = append(reports, p) }
+
+	rng := rand.New(rand.NewSource(14))
+	st.Dev.SetLoad(EpisodeLoad(Nominal, rng))
+	// Nominal for 60s, storm for 60s, nominal again; eval every 10s.
+	for i := 1; i <= 18; i++ {
+		i := i
+		sim.At(time.Duration(i)*10*time.Second, func() {
+			switch i {
+			case 6:
+				st.Dev.SetLoad(EpisodeLoad(BroadcastStorm, rng))
+			case 12:
+				st.Dev.SetLoad(EpisodeLoad(Nominal, rng))
+			}
+			if _, err := agent.Invoke("eval"); err != nil {
+				t.Errorf("eval %d: %v", i, err)
+			}
+		})
+	}
+	sim.Run(4 * time.Minute)
+	if len(reports) == 0 {
+		t.Fatal("storm produced no notifications")
+	}
+	if len(reports) > 8 {
+		t.Fatalf("report-on-exception leaked %d reports", len(reports))
+	}
+	for _, r := range reports {
+		if !strings.Contains(r, "UNHEALTHY") {
+			t.Fatalf("report = %q", r)
+		}
+	}
+}
+
+// TestAgentSourcePeriodicMode verifies the ablation variant reports on
+// every evaluation.
+func TestAgentSourcePeriodicMode(t *testing.T) {
+	sim := netsim.NewSim()
+	st, err := netsim.NewStation("seg-2", 15, netsim.LAN(), "public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr netsim.Traffic
+	ses := netsim.NewSession(sim, st, &tr)
+	agent, err := netsim.NewAgent(sim, st, ses, AgentSource(DefaultIndex(), true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	agent.OnReport = func(string) { count++ }
+	for i := 1; i <= 5; i++ {
+		sim.At(time.Duration(i)*10*time.Second, func() {
+			if _, err := agent.Invoke("eval"); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	sim.Run(time.Minute)
+	// The first eval only primes state; the remaining 4 report.
+	if count != 4 {
+		t.Fatalf("periodic reports = %d, want 4", count)
+	}
+}

@@ -1,0 +1,216 @@
+// Package intrusion implements the dissertation's intrusion-detection
+// application domain: "An intruder, however, may need only a brief
+// connection to gather information" — so a centralized manager polling
+// tcpConnTable every tens of seconds misses short-lived sessions that a
+// delegated agent resident on the device observes.
+//
+// Anderson's three classes of malicious users ([Anderson 1980]) drive
+// the workload: masqueraders (outside addresses exploiting a legitimate
+// account), misfeasors (inside users on illicit services) and
+// clandestines (brief probes of privileged ports).
+package intrusion
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mbd/internal/mib"
+)
+
+// Class is an Anderson intruder class, or Benign.
+type Class uint8
+
+// Workload session classes.
+const (
+	Benign Class = iota
+	Masquerader
+	Misfeasor
+	Clandestine
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Benign:
+		return "benign"
+	case Masquerader:
+		return "masquerader"
+	case Misfeasor:
+		return "misfeasor"
+	case Clandestine:
+		return "clandestine"
+	default:
+		return "unknown"
+	}
+}
+
+// Intrusion reports whether the class is malicious.
+func (c Class) Intrusion() bool { return c != Benign }
+
+// Session is one TCP connection episode on the monitored device.
+type Session struct {
+	ID    int
+	Conn  mib.ConnID
+	Class Class
+	Open  time.Duration // virtual open time
+	Close time.Duration // virtual close time
+}
+
+// Duration returns the session's lifetime.
+func (s Session) Duration() time.Duration { return s.Close - s.Open }
+
+// WorkloadConfig parameterizes session generation.
+type WorkloadConfig struct {
+	Seed int64
+	// Horizon is the total simulated interval.
+	Horizon time.Duration
+	// Sessions is the number of sessions to generate.
+	Sessions int
+	// IntrusionFraction is the fraction of sessions that are malicious
+	// (default 0.2).
+	IntrusionFraction float64
+	// MeanIntrusionLife is the mean lifetime of malicious sessions
+	// (default 3 s — brief, per the text). Benign sessions live 10×
+	// longer on average.
+	MeanIntrusionLife time.Duration
+}
+
+// Generate produces a deterministic labeled session workload.
+func Generate(cfg WorkloadConfig) []Session {
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 10 * time.Minute
+	}
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 100
+	}
+	if cfg.IntrusionFraction <= 0 {
+		cfg.IntrusionFraction = 0.2
+	}
+	if cfg.MeanIntrusionLife <= 0 {
+		cfg.MeanIntrusionLife = 3 * time.Second
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sessions := make([]Session, 0, cfg.Sessions)
+	for i := 0; i < cfg.Sessions; i++ {
+		s := Session{ID: i}
+		malicious := rng.Float64() < cfg.IntrusionFraction
+		var life time.Duration
+		if malicious {
+			classes := []Class{Masquerader, Misfeasor, Clandestine}
+			s.Class = classes[rng.Intn(len(classes))]
+			life = time.Duration((0.3 + rng.ExpFloat64()) * float64(cfg.MeanIntrusionLife))
+		} else {
+			s.Class = Benign
+			life = time.Duration((0.5 + rng.ExpFloat64()) * float64(cfg.MeanIntrusionLife) * 10)
+		}
+		maxStart := cfg.Horizon - life
+		if maxStart <= 0 {
+			maxStart = cfg.Horizon / 2
+			life = cfg.Horizon / 2
+		}
+		s.Open = time.Duration(rng.Int63n(int64(maxStart)))
+		s.Close = s.Open + life
+		s.Conn = connFor(s, rng)
+		sessions = append(sessions, s)
+	}
+	return sessions
+}
+
+// connFor synthesizes connection endpoints whose *observable* MIB
+// fields carry the class signature the detection rule keys on.
+func connFor(s Session, rng *rand.Rand) mib.ConnID {
+	local := [4]byte{10, 0, 0, 1}
+	ephemeral := uint16(30000 + rng.Intn(20000))
+	switch s.Class {
+	case Masquerader:
+		// Outside address onto the login service.
+		return mib.ConnID{
+			LocalAddr: local, LocalPort: 23,
+			RemAddr: [4]byte{198, byte(rng.Intn(255)), byte(rng.Intn(255)), byte(1 + rng.Intn(254))},
+			RemPort: ephemeral,
+		}
+	case Misfeasor:
+		// Inside address onto a service the site policy forbids (tftp 69).
+		return mib.ConnID{
+			LocalAddr: local, LocalPort: 69,
+			RemAddr: [4]byte{10, 0, byte(rng.Intn(8)), byte(1 + rng.Intn(254))},
+			RemPort: ephemeral,
+		}
+	case Clandestine:
+		// Outside address probing a random privileged port.
+		return mib.ConnID{
+			LocalAddr: local, LocalPort: uint16(1 + rng.Intn(1023)),
+			RemAddr: [4]byte{203, byte(rng.Intn(255)), byte(rng.Intn(255)), byte(1 + rng.Intn(254))},
+			RemPort: ephemeral,
+		}
+	default:
+		// Inside address onto ordinary services.
+		ports := []uint16{80, 25, 119, 2049}
+		return mib.ConnID{
+			LocalAddr: local, LocalPort: ports[rng.Intn(len(ports))],
+			RemAddr: [4]byte{10, 0, byte(rng.Intn(8)), byte(1 + rng.Intn(254))},
+			RemPort: ephemeral,
+		}
+	}
+}
+
+// Suspicious is the site detection rule applied to a tcpConnTable row:
+// a connection is suspicious when its remote address is outside the
+// 10/8 site prefix and its local port is privileged (<1024), or when an
+// inside host touches the forbidden tftp service.
+func Suspicious(localPort int64, remAddr string) bool {
+	outside := len(remAddr) < 3 || remAddr[:3] != "10."
+	if outside && localPort < 1024 {
+		return true
+	}
+	return localPort == 69
+}
+
+// MatchesRule applies Suspicious to a session's connection.
+func MatchesRule(s Session) bool {
+	rem := fmt.Sprintf("%d.%d.%d.%d", s.Conn.RemAddr[0], s.Conn.RemAddr[1], s.Conn.RemAddr[2], s.Conn.RemAddr[3])
+	return Suspicious(int64(s.Conn.LocalPort), rem)
+}
+
+// WatcherSource is the delegated intrusion-watcher DP: every sample it
+// walks the local tcpConnTable, applies the site rule, and notifies the
+// manager of connections it has not yet reported. The tcpConnState
+// column (column 1) rows carry the index
+// localA.localB.localC.localD.localPort.remA.remB.remC.remD.remPort, so
+// the agent parses endpoints out of each instance OID — exactly what a
+// period tcpConnTable consumer did.
+const WatcherSource = `
+var seen = {};
+
+func sample() {
+	var rows = mibWalk("1.3.6.1.2.1.6.13.1.1");
+	var found = 0;
+	for (var i = 0; i < len(rows); i += 1) {
+		var inst = rows[i][0];
+		// Strip the 21-character column prefix "1.3.6.1.2.1.6.13.1.1."
+		var idx = substr(inst, 21, len(inst));
+		var parts = split(idx, ".");
+		var localPort = int(parts[4]);
+		var remAddr = parts[5] + "." + parts[6] + "." + parts[7] + "." + parts[8];
+		var suspicious = false;
+		var outside = true;
+		if (parts[5] == "10") { outside = false; }
+		if (outside && localPort < 1024) { suspicious = true; }
+		if (localPort == 69) { suspicious = true; }
+		if (suspicious && !contains(seen, idx)) {
+			seen[idx] = true;
+			report(idx);
+			found += 1;
+		}
+	}
+	return found;
+}`
+
+// IndexOf renders a session's tcpConnTable index in the dotted form the
+// watcher reports, for matching detections back to ground truth.
+func IndexOf(c mib.ConnID) string {
+	return fmt.Sprintf("%d.%d.%d.%d.%d.%d.%d.%d.%d.%d",
+		c.LocalAddr[0], c.LocalAddr[1], c.LocalAddr[2], c.LocalAddr[3], c.LocalPort,
+		c.RemAddr[0], c.RemAddr[1], c.RemAddr[2], c.RemAddr[3], c.RemPort)
+}

@@ -1,0 +1,192 @@
+package intrusion
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"mbd/internal/mib"
+	"mbd/internal/netsim"
+)
+
+func TestGenerateDeterministicAndLabeled(t *testing.T) {
+	cfg := WorkloadConfig{Seed: 1, Horizon: 5 * time.Minute, Sessions: 200}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a) != 200 {
+		t.Fatalf("sessions = %d", len(a))
+	}
+	var intrusions int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+		if a[i].Close <= a[i].Open {
+			t.Fatalf("session %d has non-positive lifetime", i)
+		}
+		if a[i].Class.Intrusion() {
+			intrusions++
+		}
+	}
+	if intrusions < 20 || intrusions > 80 {
+		t.Fatalf("intrusions = %d of 200, want ≈20%%", intrusions)
+	}
+}
+
+func TestIntrusionsAreBrief(t *testing.T) {
+	sessions := Generate(WorkloadConfig{Seed: 2, Horizon: 10 * time.Minute, Sessions: 500})
+	var iSum, bSum time.Duration
+	var iN, bN int
+	for _, s := range sessions {
+		if s.Class.Intrusion() {
+			iSum += s.Duration()
+			iN++
+		} else {
+			bSum += s.Duration()
+			bN++
+		}
+	}
+	if iN == 0 || bN == 0 {
+		t.Fatal("degenerate workload")
+	}
+	if iSum/time.Duration(iN) >= bSum/time.Duration(bN)/3 {
+		t.Fatalf("intrusions not brief: mean %v vs benign %v", iSum/time.Duration(iN), bSum/time.Duration(bN))
+	}
+}
+
+func TestRuleMatchesIntrudersOnly(t *testing.T) {
+	sessions := Generate(WorkloadConfig{Seed: 3, Sessions: 300})
+	for _, s := range sessions {
+		if got := MatchesRule(s); got != s.Class.Intrusion() {
+			t.Fatalf("rule mismatch for %s session %d (%+v): got %v", s.Class, s.ID, s.Conn, got)
+		}
+	}
+}
+
+func TestSuspicious(t *testing.T) {
+	cases := []struct {
+		port int64
+		rem  string
+		want bool
+	}{
+		{23, "198.51.100.7", true},   // masquerader
+		{69, "10.0.1.2", true},       // misfeasor
+		{443, "203.0.113.5", true},   // clandestine (privileged)
+		{8080, "203.0.113.5", false}, // outside, unprivileged
+		{80, "10.0.0.9", false},      // inside, normal
+		{23, "10.0.3.3", false},      // inside login
+	}
+	for _, c := range cases {
+		if got := Suspicious(c.port, c.rem); got != c.want {
+			t.Errorf("Suspicious(%d, %s) = %v", c.port, c.rem, got)
+		}
+	}
+}
+
+// TestWatcherDetectsBriefSessions runs the delegated watcher inside the
+// simulator: sessions open and close on the device; the watcher samples
+// every 100 ms and must catch every intrusion, including ones far
+// shorter than any realistic polling interval.
+func TestWatcherDetectsBriefSessions(t *testing.T) {
+	sim := netsim.NewSim()
+	st, err := netsim.NewStation("host-1", 4, netsim.LAN(), "public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr netsim.Traffic
+	ses := netsim.NewSession(sim, st, &tr)
+	agent, err := netsim.NewAgent(sim, st, ses, WatcherSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := map[string]bool{}
+	agent.OnReport = func(p string) { detected[p] = true }
+
+	sessions := Generate(WorkloadConfig{Seed: 5, Horizon: 2 * time.Minute, Sessions: 60, MeanIntrusionLife: 500 * time.Millisecond})
+	for _, s := range sessions {
+		s := s
+		sim.At(s.Open, func() { st.Dev.OpenConn(s.Conn) })
+		sim.At(s.Close, func() { st.Dev.CloseConn(s.Conn) })
+	}
+	for ts := 100 * time.Millisecond; ts < 2*time.Minute+time.Second; ts += 100 * time.Millisecond {
+		sim.At(ts, func() {
+			if _, err := agent.Invoke("sample"); err != nil {
+				t.Errorf("sample: %v", err)
+			}
+		})
+	}
+	sim.Run(3 * time.Minute)
+
+	var missed, caught int
+	for _, s := range sessions {
+		if !s.Class.Intrusion() {
+			if detected[IndexOf(s.Conn)] {
+				t.Fatalf("benign session %d reported", s.ID)
+			}
+			continue
+		}
+		if detected[IndexOf(s.Conn)] {
+			caught++
+		} else {
+			missed++
+		}
+	}
+	if caught == 0 {
+		t.Fatal("watcher detected nothing")
+	}
+	// 100 ms sampling may only miss sessions shorter than one sample
+	// period; with ≥150 ms minimum lifetimes it must catch everything.
+	if missed > 0 {
+		t.Fatalf("watcher missed %d of %d intrusions", missed, missed+caught)
+	}
+}
+
+// TestWatcherReportsOnce ensures the seen-set suppresses duplicates.
+func TestWatcherReportsOnce(t *testing.T) {
+	sim := netsim.NewSim()
+	st, err := netsim.NewStation("host-2", 6, netsim.LAN(), "public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr netsim.Traffic
+	ses := netsim.NewSession(sim, st, &tr)
+	agent, err := netsim.NewAgent(sim, st, ses, WatcherSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	agent.OnReport = func(string) { count++ }
+	conn := mib.ConnID{LocalAddr: [4]byte{10, 0, 0, 1}, LocalPort: 23, RemAddr: [4]byte{198, 18, 0, 9}, RemPort: 41000}
+	st.Dev.OpenConn(conn)
+	for i := 1; i <= 10; i++ {
+		sim.At(time.Duration(i)*100*time.Millisecond, func() {
+			if _, err := agent.Invoke("sample"); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	sim.Run(2 * time.Second)
+	if count != 1 {
+		t.Fatalf("reports = %d, want exactly 1", count)
+	}
+}
+
+func TestIndexOfOrdering(t *testing.T) {
+	c := mib.ConnID{LocalAddr: [4]byte{10, 0, 0, 1}, LocalPort: 23, RemAddr: [4]byte{1, 2, 3, 4}, RemPort: 99}
+	if IndexOf(c) != "10.0.0.1.23.1.2.3.4.99" {
+		t.Fatalf("IndexOf = %s", IndexOf(c))
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	names := []string{Benign.String(), Masquerader.String(), Misfeasor.String(), Clandestine.String()}
+	sort.Strings(names)
+	for i := 1; i < len(names); i++ {
+		if names[i] == names[i-1] {
+			t.Fatal("duplicate class names")
+		}
+	}
+	if Class(99).String() != "unknown" {
+		t.Fatal("unknown class unnamed")
+	}
+}

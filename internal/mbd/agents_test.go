@@ -1,0 +1,48 @@
+package mbd
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mbd/internal/mib"
+)
+
+// TestSampleAgentsTranslate keeps examples/agents/*.dpl honest: every
+// shipped sample must pass this server's Translator, so the files can
+// never rot out of sync with the allowed-function table.
+func TestSampleAgentsTranslate(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "agents")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("sample agent dir: %v", err)
+	}
+	dev, err := mib.NewDevice(mib.DeviceConfig{Name: "sampler", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".dpl") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Process().Delegate("sample-check", e.Name(), "dpl", string(src)); err != nil {
+			t.Errorf("%s rejected by the Translator: %v", e.Name(), err)
+		}
+		n++
+	}
+	if n < 4 {
+		t.Fatalf("only %d sample agents found, want ≥4", n)
+	}
+}

@@ -1,0 +1,157 @@
+package mbd_test
+
+// Full-stack integration: a manager speaks RDS over real TCP (with MD5
+// auth) to an MbD server whose elastic process runs on a virtual clock;
+// the delegated health agent reads the device MIB locally and notifies
+// the manager when a broadcast storm begins. Every layer of the
+// repository participates: dpl, elastic, rds, mbd, mib, health.
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"mbd/internal/elastic"
+	"mbd/internal/health"
+	"mbd/internal/mbd"
+	"mbd/internal/mib"
+	"mbd/internal/rds"
+	"mbd/internal/vdl"
+)
+
+func TestFullStackDelegatedHealthMonitoring(t *testing.T) {
+	dev, err := mib.NewDevice(mib.DeviceConfig{Name: "it-router", Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetLoad(mib.LoadProfile{Utilization: 0.1, BroadcastFraction: 0.03, ErrorRate: 0.001, CollisionRate: 0.02})
+	vc := elastic.NewVirtualClock()
+
+	mcva := vdl.NewMCVA(dev.Tree(), vdl.MIB2())
+	srv, err := mbd.New(mbd.Config{Device: dev, Clock: vc, ExtraBindings: mcva.Bindings()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Stop)
+
+	auth := rds.NewAuthenticator()
+	auth.SetSecret("noc", "hunter2")
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sctx, scancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = rds.NewServer(srv.Process(), auth).Serve(sctx, l)
+	}()
+	t.Cleanup(func() { scancel(); <-done })
+
+	cliAuth := rds.NewAuthenticator()
+	cliAuth.SetSecret("noc", "hunter2")
+	c, err := rds.Dial(l.Addr().String(), "noc", rds.WithAuth(cliAuth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if err := c.Subscribe(ctx, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// The delegated agent evaluates the health index every 10 virtual
+	// seconds, forever, and notifies on threshold.
+	src := health.AgentSource(health.DefaultIndex(), false)
+	monitorSrc := strings.Replace(src, "func eval() {", "func run() { while (true) { eval(); sleep(10000); } }\nfunc eval() {", 1)
+	if err := c.Delegate(ctx, "health", monitorSrc); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Instantiate(ctx, "health", "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive virtual time: let two nominal evaluations pass, then storm.
+	advance := func(steps int) {
+		for i := 0; i < steps; i++ {
+			// Wait for the agent to block in sleep, then advance both
+			// the elastic clock and the device together.
+			deadline := time.Now().Add(10 * time.Second)
+			for vc.Sleepers() == 0 {
+				if time.Now().After(deadline) {
+					t.Fatal("agent never slept")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			dev.Advance(10 * time.Second)
+			vc.Advance(10 * time.Second)
+		}
+	}
+	advance(3)
+	dev.SetLoad(mib.LoadProfile{Utilization: 0.5, BroadcastFraction: 0.6, ErrorRate: 0.002, CollisionRate: 0.05})
+	advance(3)
+
+	// The manager must have received at least one UNHEALTHY report for
+	// the storm and none before it.
+	var reports []rds.Event
+	timeout := time.After(10 * time.Second)
+collect:
+	for {
+		select {
+		case ev := <-c.Events():
+			if ev.Kind == "report" {
+				reports = append(reports, ev)
+				break collect // first storm report is enough
+			}
+		case <-timeout:
+			break collect
+		}
+	}
+	if len(reports) == 0 {
+		t.Fatal("storm produced no report at the manager")
+	}
+	if !strings.Contains(reports[0].Payload, "UNHEALTHY") || reports[0].DPI != id {
+		t.Fatalf("report = %+v", reports[0])
+	}
+
+	// Remote status query sees the running instance.
+	infos, err := c.Query(ctx, id)
+	if err != nil || len(infos) != 1 || infos[0].State != "running" {
+		t.Fatalf("query = %+v, %v", infos, err)
+	}
+
+	// One-shot remote evaluation against the same server: read sysName
+	// through the MIB host functions without leaving anything behind.
+	out, err := c.Eval(ctx, `func main() { return mibGet("1.3.6.1.2.1.1.5.0"); }`, "main")
+	if err != nil || out != "it-router" {
+		t.Fatalf("Eval = %q, %v", out, err)
+	}
+
+	// And define a view remotely via a one-shot eval using the MCVA
+	// bindings, then query it through a second eval.
+	if _, err := c.Eval(ctx, `func main() {
+		return viewDefine("view up { from ifTable; select ifIndex; where ifOperStatus == 1; }");
+	}`, "main"); err != nil {
+		t.Fatal(err)
+	}
+	out, err = c.Eval(ctx, `func main() { return len(viewQuery("up")); }`, "main")
+	if err != nil || out != "2" {
+		t.Fatalf("view rows over eval = %q, %v", out, err)
+	}
+
+	// Terminate the monitor remotely and confirm it dies.
+	if err := c.Control(ctx, id, "terminate"); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := srv.Process().Lookup(id)
+	select {
+	case <-d.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("terminated monitor kept running")
+	}
+}

@@ -1,0 +1,288 @@
+// Package mbd implements the Management-by-Delegation server — the
+// paper's primary contribution. An MbD server is an elastic process
+// co-located with a managed device: delegated management programs run
+// inside it as DPIs with *local* access to the device's MIB through
+// host functions, while remote managers interact with the same MIB only
+// through SNMP. Decentralizing a management function is therefore one
+// Delegate + one Instantiate, after which the manager receives computed
+// reports and exception notifications instead of micro-polling raw
+// variables.
+package mbd
+
+import (
+	"fmt"
+	"sync"
+
+	"mbd/internal/dpl"
+	"mbd/internal/elastic"
+	"mbd/internal/mib"
+	"mbd/internal/oid"
+	"mbd/internal/snmp"
+)
+
+// Config parameterizes an MbD server.
+type Config struct {
+	// Device supplies the local MIB instrumentation. Required.
+	Device *mib.Device
+	// Community protects the co-located SNMP agent (default "public").
+	Community string
+	// Clock, ACL and resource limits pass through to the elastic
+	// process.
+	Clock          elastic.Clock
+	ACL            *elastic.ACL
+	MaxDPIs        int
+	MaxStepsPerDPI uint64
+	MailboxDepth   int
+	// ExtraBindings are additional host functions (e.g. the MCVA's
+	// view services) merged into the allowed-function table before the
+	// process is built.
+	ExtraBindings *dpl.Bindings
+}
+
+// Server is an MbD server instance.
+type Server struct {
+	dev   *mib.Device
+	proc  *elastic.Process
+	agent *snmp.Agent
+
+	mu    sync.Mutex
+	peers map[string]*snmp.Client
+
+	traps trapState
+}
+
+// MaxWalk bounds mibWalk results so a delegated agent cannot build an
+// unbounded array.
+const MaxWalk = 100_000
+
+// New builds an MbD server around cfg.Device.
+func New(cfg Config) (*Server, error) {
+	if cfg.Device == nil {
+		return nil, fmt.Errorf("mbd: config needs a Device")
+	}
+	if cfg.Community == "" {
+		cfg.Community = "public"
+	}
+	s := &Server{
+		dev:   cfg.Device,
+		peers: make(map[string]*snmp.Client),
+	}
+	bindings := dpl.Std()
+	if cfg.ExtraBindings != nil {
+		for _, name := range cfg.ExtraBindings.Names() {
+			idx, arity, _ := cfg.ExtraBindings.Lookup(name)
+			_ = idx
+			// Re-register by delegating the call through the source
+			// table so shared state is preserved.
+			src := cfg.ExtraBindings
+			nameCopy := name
+			bindings.Register(name, arity, func(env *dpl.Env, args []dpl.Value) (dpl.Value, error) {
+				i, _, ok := src.Lookup(nameCopy)
+				if !ok {
+					return nil, fmt.Errorf("mbd: binding %q vanished", nameCopy)
+				}
+				return src.Call(i, env, args)
+			})
+		}
+	}
+	s.registerMIBServices(bindings)
+	s.registerTrapService(bindings)
+	s.proc = elastic.NewProcess(elastic.Config{
+		Clock:          cfg.Clock,
+		Bindings:       bindings,
+		ACL:            cfg.ACL,
+		MaxDPIs:        cfg.MaxDPIs,
+		MaxStepsPerDPI: cfg.MaxStepsPerDPI,
+		MailboxDepth:   cfg.MailboxDepth,
+	})
+	s.agent = snmp.NewAgent(cfg.Device.Tree(), cfg.Community)
+	return s, nil
+}
+
+// Process exposes the underlying elastic process (Delegate /
+// Instantiate / Control / Send / Query / Subscribe).
+func (s *Server) Process() *elastic.Process { return s.proc }
+
+// Agent exposes the co-located SNMP agent serving the same MIB.
+func (s *Server) Agent() *snmp.Agent { return s.agent }
+
+// Device returns the managed device.
+func (s *Server) Device() *mib.Device { return s.dev }
+
+// Stop terminates all delegated instances.
+func (s *Server) Stop() { s.proc.Stop() }
+
+// AddPeer registers a subordinate SNMP agent reachable from delegated
+// programs via snmpGet/snmpNext under the given name — the paper's
+// manager-of-managers configuration, where an MbD server fronts a LAN
+// of dumb SNMP devices.
+func (s *Server) AddPeer(name string, client *snmp.Client) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.peers[name] = client
+}
+
+func (s *Server) peer(name string) (*snmp.Client, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.peers[name]
+	return c, ok
+}
+
+// ToDPL converts an SMI value to a DPL value: integers and unsigned
+// counters become ints, strings stay strings, OIDs and IP addresses
+// render as dotted strings, NULL becomes nil.
+func ToDPL(v mib.Value) dpl.Value {
+	switch v.Kind {
+	case mib.KindNull:
+		return nil
+	case mib.KindInteger:
+		return v.Int
+	case mib.KindOctetString:
+		return string(v.Bytes)
+	case mib.KindOID:
+		return v.OID.String()
+	case mib.KindIPAddress:
+		return v.String()
+	default:
+		return int64(v.Uint) // counters, gauges, ticks
+	}
+}
+
+// FromDPL converts a DPL value to an SMI value for mibSet: ints map to
+// INTEGER, strings to OCTET STRING, bools to INTEGER 0/1, nil to NULL.
+func FromDPL(v dpl.Value) (mib.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return mib.Null(), nil
+	case bool:
+		if x {
+			return mib.Int(1), nil
+		}
+		return mib.Int(0), nil
+	case int64:
+		return mib.Int(x), nil
+	case string:
+		return mib.Str(x), nil
+	default:
+		return mib.Value{}, fmt.Errorf("mbd: cannot write %s into a MIB", dpl.TypeName(v))
+	}
+}
+
+// registerMIBServices installs the management host functions:
+//
+//	mibGet(oid)         local MIB read; nil when the instance is absent
+//	mibNext(oid)        [nextOid, value] or nil at end of MIB
+//	mibWalk(prefix)     array of [oid, value] pairs under prefix
+//	mibSet(oid, v)      local write; true on success, false on error
+//	sysname()           the device's name
+//	snmpGet(peer, oid)  proxied SNMP read of a registered subordinate
+//	snmpNext(peer, oid) proxied GetNext; [nextOid, value] or nil
+func (s *Server) registerMIBServices(b *dpl.Bindings) {
+	tree := s.dev.Tree()
+	b.Register("mibGet", 1, func(env *dpl.Env, args []dpl.Value) (dpl.Value, error) {
+		o, err := argOID(args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := tree.Get(o)
+		if err != nil {
+			return nil, nil // absent instance reads as nil
+		}
+		return ToDPL(v), nil
+	})
+	b.Register("mibNext", 1, func(env *dpl.Env, args []dpl.Value) (dpl.Value, error) {
+		o, err := argOID(args[0])
+		if err != nil {
+			return nil, err
+		}
+		next, v, err := tree.GetNext(o)
+		if err != nil {
+			return nil, nil
+		}
+		return &dpl.Array{Elems: []dpl.Value{next.String(), ToDPL(v)}}, nil
+	})
+	b.Register("mibWalk", 1, func(env *dpl.Env, args []dpl.Value) (dpl.Value, error) {
+		prefix, err := argOID(args[0])
+		if err != nil {
+			return nil, err
+		}
+		out := &dpl.Array{}
+		tree.Walk(prefix, func(o oid.OID, v mib.Value) bool {
+			out.Elems = append(out.Elems, &dpl.Array{Elems: []dpl.Value{o.String(), ToDPL(v)}})
+			return len(out.Elems) < MaxWalk
+		})
+		return out, nil
+	})
+	b.Register("mibSet", 2, func(env *dpl.Env, args []dpl.Value) (dpl.Value, error) {
+		o, err := argOID(args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := FromDPL(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if err := tree.Set(o, v); err != nil {
+			return false, nil
+		}
+		return true, nil
+	})
+	b.Register("sysname", 0, func(env *dpl.Env, args []dpl.Value) (dpl.Value, error) {
+		return s.dev.Name(), nil
+	})
+	b.Register("snmpGet", 2, func(env *dpl.Env, args []dpl.Value) (dpl.Value, error) {
+		peer, o, err := peerArgs(args)
+		if err != nil {
+			return nil, err
+		}
+		c, ok := s.peer(peer)
+		if !ok {
+			return nil, fmt.Errorf("mbd: no peer %q", peer)
+		}
+		vbs, err := c.Get(env.VM.Context(), o)
+		if err != nil {
+			return nil, nil // unreachable/absent reads as nil
+		}
+		return ToDPL(vbs[0].Value), nil
+	})
+	b.Register("snmpNext", 2, func(env *dpl.Env, args []dpl.Value) (dpl.Value, error) {
+		peer, o, err := peerArgs(args)
+		if err != nil {
+			return nil, err
+		}
+		c, ok := s.peer(peer)
+		if !ok {
+			return nil, fmt.Errorf("mbd: no peer %q", peer)
+		}
+		vbs, err := c.GetNext(env.VM.Context(), o)
+		if err != nil {
+			return nil, nil
+		}
+		return &dpl.Array{Elems: []dpl.Value{vbs[0].Name.String(), ToDPL(vbs[0].Value)}}, nil
+	})
+}
+
+func argOID(v dpl.Value) (oid.OID, error) {
+	s, ok := v.(string)
+	if !ok {
+		return nil, fmt.Errorf("mbd: OID argument must be a string, got %s", dpl.TypeName(v))
+	}
+	o, err := oid.Parse(s)
+	if err != nil {
+		return nil, fmt.Errorf("mbd: %w", err)
+	}
+	return o, nil
+}
+
+func peerArgs(args []dpl.Value) (string, oid.OID, error) {
+	peer, ok := args[0].(string)
+	if !ok {
+		return "", nil, fmt.Errorf("mbd: peer name must be a string")
+	}
+	o, err := argOID(args[1])
+	if err != nil {
+		return "", nil, err
+	}
+	return peer, o, nil
+}

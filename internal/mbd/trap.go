@@ -1,0 +1,109 @@
+package mbd
+
+import (
+	"fmt"
+	"sync"
+
+	"mbd/internal/dpl"
+	"mbd/internal/mib"
+	"mbd/internal/snmp"
+)
+
+// TrapSink receives encoded SNMPv1 trap packets emitted by delegated
+// programs. Implementations forward them to a trap daemon (UDP), a test
+// collector, or a simulated manager.
+type TrapSink interface {
+	SendTrap(pkt []byte) error
+}
+
+// TrapSinkFunc adapts a function to the TrapSink interface.
+type TrapSinkFunc func(pkt []byte) error
+
+// SendTrap implements TrapSink.
+func (f TrapSinkFunc) SendTrap(pkt []byte) error { return f(pkt) }
+
+// trapState holds the server's trap configuration.
+type trapState struct {
+	mu   sync.Mutex
+	sink TrapSink
+	sent uint64
+}
+
+// SetTrapSink installs (or replaces) the destination for SNMP traps
+// emitted by delegated programs via the trap host function. With no
+// sink installed, trap() fails — configuration error, not silence.
+func (s *Server) SetTrapSink(sink TrapSink) {
+	s.traps.mu.Lock()
+	defer s.traps.mu.Unlock()
+	s.traps.sink = sink
+}
+
+// TrapsSent returns the number of traps successfully emitted.
+func (s *Server) TrapsSent() uint64 {
+	s.traps.mu.Lock()
+	defer s.traps.mu.Unlock()
+	return s.traps.sent
+}
+
+// EmitTrap builds and sends a real SNMPv1 enterprise-specific trap:
+// enterprise = the private Ethernet subtree, agent-addr = the device's
+// address, timestamp = current sysUpTime, one varbind carrying the
+// payload string under enterprise.0.
+func (s *Server) EmitTrap(specific int, payload string) error {
+	s.traps.mu.Lock()
+	sink := s.traps.sink
+	s.traps.mu.Unlock()
+	if sink == nil {
+		return fmt.Errorf("mbd: no trap sink configured")
+	}
+	up, err := s.dev.Tree().Get(mib.OIDSysUpTime.Append(0))
+	if err != nil {
+		return fmt.Errorf("mbd: reading sysUpTime for trap: %w", err)
+	}
+	msg := &snmp.Message{
+		Community: "public",
+		Type:      snmp.PDUTrap,
+		Trap: &snmp.TrapInfo{
+			Enterprise:   mib.OIDPrivateEnet,
+			AgentAddr:    s.dev.Addr(),
+			GenericTrap:  snmp.TrapEnterpriseSpecific,
+			SpecificTrap: specific,
+			Timestamp:    up.Uint,
+		},
+		VarBinds: []snmp.VarBind{
+			{Name: mib.OIDPrivateEnet.Append(0), Value: mib.Str(payload)},
+		},
+	}
+	pkt, err := msg.Encode()
+	if err != nil {
+		return fmt.Errorf("mbd: encoding trap: %w", err)
+	}
+	if err := sink.SendTrap(pkt); err != nil {
+		return fmt.Errorf("mbd: sending trap: %w", err)
+	}
+	s.traps.mu.Lock()
+	s.traps.sent++
+	s.traps.mu.Unlock()
+	return nil
+}
+
+// registerTrapService installs the trap(specific, payload) host
+// function: delegated programs escalate conditions to SNMP managers
+// that only understand traps — the other half of the elastic process's
+// "ocp supports an snmp mib" integration.
+func (s *Server) registerTrapService(b *dpl.Bindings) {
+	b.Register("trap", 2, func(env *dpl.Env, args []dpl.Value) (dpl.Value, error) {
+		specific, ok := args[0].(int64)
+		if !ok {
+			return nil, fmt.Errorf("mbd: trap(specific, payload) wants an int code")
+		}
+		payload, ok := args[1].(string)
+		if !ok {
+			payload = dpl.FormatValue(args[1])
+		}
+		if err := s.EmitTrap(int(specific), payload); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+}

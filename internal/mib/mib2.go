@@ -1,0 +1,116 @@
+package mib
+
+import "mbd/internal/oid"
+
+// Standard MIB-II object identifiers (RFC 1213) for the subset this
+// repository instruments, plus the Synoptics-style private objects the
+// paper's InterOp'91 demo formulas read.
+var (
+	// OIDMib2 is the mib-2 root, 1.3.6.1.2.1.
+	OIDMib2 = oid.MustParse("1.3.6.1.2.1")
+
+	// system group (1.3.6.1.2.1.1).
+	OIDSysDescr    = oid.MustParse("1.3.6.1.2.1.1.1")
+	OIDSysObjectID = oid.MustParse("1.3.6.1.2.1.1.2")
+	OIDSysUpTime   = oid.MustParse("1.3.6.1.2.1.1.3")
+	OIDSysContact  = oid.MustParse("1.3.6.1.2.1.1.4")
+	OIDSysName     = oid.MustParse("1.3.6.1.2.1.1.5")
+	OIDSysLocation = oid.MustParse("1.3.6.1.2.1.1.6")
+	OIDSysServices = oid.MustParse("1.3.6.1.2.1.1.7")
+
+	// interfaces group (1.3.6.1.2.1.2).
+	OIDIfNumber = oid.MustParse("1.3.6.1.2.1.2.1")
+	// OIDIfEntry is the ifTable entry; instances are column.ifIndex.
+	OIDIfEntry = oid.MustParse("1.3.6.1.2.1.2.2.1")
+
+	// ip group route table (1.3.6.1.2.1.4.21); index is the 4-arc
+	// destination address.
+	OIDIPRouteEntry = oid.MustParse("1.3.6.1.2.1.4.21.1")
+
+	// tcp group connection table (1.3.6.1.2.1.6.13); index is
+	// localAddr(4).localPort.remAddr(4).remPort.
+	OIDTCPConnEntry = oid.MustParse("1.3.6.1.2.1.6.13.1")
+
+	// OIDPrivateEnet is the root of the Synoptics-style concentrator
+	// subtree used by the health formulas (modeled on
+	// 1.3.6.1.4.1.45.1.3.2 from the private Synoptics MIB the paper
+	// cites).
+	OIDPrivateEnet = oid.MustParse("1.3.6.1.4.1.45.1.3.2")
+	// OIDEnetRxOk counts bits received without error, the counter in
+	// the paper's utilization formula: U(t) = ΔRxOk / (Δt × 10^7).
+	OIDEnetRxOk = OIDPrivateEnet.Append(1)
+	// OIDEnetColl counts collisions observed on the segment.
+	OIDEnetColl = OIDPrivateEnet.Append(2)
+	// OIDEnetRxBcast counts broadcast packets received.
+	OIDEnetRxBcast = OIDPrivateEnet.Append(3)
+	// OIDEnetRxPkts counts total packets received.
+	OIDEnetRxPkts = OIDPrivateEnet.Append(4)
+	// OIDEnetRxErrs counts damaged frames received.
+	OIDEnetRxErrs = OIDPrivateEnet.Append(5)
+)
+
+// ifTable column numbers (RFC 1213).
+const (
+	IfIndex       uint32 = 1
+	IfDescr       uint32 = 2
+	IfType        uint32 = 3
+	IfMtu         uint32 = 4
+	IfSpeed       uint32 = 5
+	IfPhysAddress uint32 = 6
+	IfAdminStatus uint32 = 7
+	IfOperStatus  uint32 = 8
+	IfLastChange  uint32 = 9
+	IfInOctets    uint32 = 10
+	IfInUcastPkts uint32 = 11
+	IfInNUcast    uint32 = 12
+	IfInDiscards  uint32 = 13
+	IfInErrors    uint32 = 14
+	IfInUnknown   uint32 = 15
+	IfOutOctets   uint32 = 16
+	IfOutUcast    uint32 = 17
+	IfOutNUcast   uint32 = 18
+	IfOutDiscards uint32 = 19
+	IfOutErrors   uint32 = 20
+	IfOutQLen     uint32 = 21
+)
+
+// ifOperStatus / ifAdminStatus values.
+const (
+	IfStatusUp   = 1
+	IfStatusDown = 2
+)
+
+// tcpConnTable column numbers (RFC 1213).
+const (
+	TCPConnState     uint32 = 1
+	TCPConnLocalAddr uint32 = 2
+	TCPConnLocalPort uint32 = 3
+	TCPConnRemAddr   uint32 = 4
+	TCPConnRemPort   uint32 = 5
+)
+
+// tcpConnState values (RFC 1213).
+const (
+	TCPStateClosed      = 1
+	TCPStateListen      = 2
+	TCPStateSynSent     = 3
+	TCPStateSynReceived = 4
+	TCPStateEstablished = 5
+	TCPStateFinWait1    = 6
+	TCPStateFinWait2    = 7
+	TCPStateCloseWait   = 8
+	TCPStateLastAck     = 9
+	TCPStateClosing     = 10
+	TCPStateTimeWait    = 11
+)
+
+// ipRouteTable column numbers (RFC 1213 subset).
+const (
+	IPRouteDest    uint32 = 1
+	IPRouteIfIndex uint32 = 2
+	IPRouteMetric1 uint32 = 3
+	IPRouteNextHop uint32 = 7
+	IPRouteType    uint32 = 8
+	IPRouteProto   uint32 = 9
+	IPRouteAge     uint32 = 10
+)

@@ -1,0 +1,186 @@
+package mib
+
+import (
+	"sort"
+	"sync"
+
+	"mbd/internal/oid"
+)
+
+// RowSource supplies the dynamic contents of a conceptual table. The
+// MIB layer imposes SMI addressing (column-major walk order) on top.
+//
+// Implementations must be safe for concurrent use.
+type RowSource interface {
+	// Rows returns the index OIDs of all conceptual rows in ascending
+	// lexicographic order. Callers must not mutate the result.
+	Rows() []oid.OID
+	// Cell returns the value at (column, index) if the row exists and
+	// the column is populated for it.
+	Cell(col uint32, index oid.OID) (Value, bool)
+}
+
+// Table is a Handler serving an SMI conceptual table. Mount it at the
+// table's *entry* OID (for example ifEntry, 1.3.6.1.2.1.2.2.1);
+// instances are then addressed as column.index, and GetNext follows
+// SNMP's column-major order: every row of column c1, then every row of
+// column c2, and so on.
+type Table struct {
+	// Columns lists the populated column numbers in ascending order.
+	Columns []uint32
+	// Source provides row data.
+	Source RowSource
+	// SetCell, when non-nil, accepts writes to cells.
+	SetCell func(col uint32, index oid.OID, v Value) error
+}
+
+// NewTable returns a Table over the given ascending column numbers.
+func NewTable(src RowSource, cols ...uint32) *Table {
+	sorted := make([]uint32, len(cols))
+	copy(sorted, cols)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return &Table{Columns: sorted, Source: src}
+}
+
+// GetRel implements Handler.
+func (t *Table) GetRel(rel oid.OID) (Value, bool) {
+	if len(rel) < 2 {
+		return Value{}, false
+	}
+	return t.Source.Cell(rel[0], rel[1:])
+}
+
+// NextRel implements Handler.
+func (t *Table) NextRel(rel oid.OID) (oid.OID, Value, bool) {
+	rows := t.Source.Rows()
+	if len(rows) == 0 || len(t.Columns) == 0 {
+		return nil, Value{}, false
+	}
+	for _, col := range t.Columns {
+		colOID := oid.OID{col}
+		// Determine the position within this column that rel demands.
+		var startIdx oid.OID // first index must be strictly greater than this; nil = from start
+		switch {
+		case rel.Compare(colOID) < 0:
+			startIdx = nil
+		case rel[0] == col:
+			startIdx = rel[1:]
+		default:
+			continue // rel sorts after this entire column
+		}
+		// Rows are sorted; binary-search the first index > startIdx.
+		pos := 0
+		if startIdx != nil {
+			pos = sort.Search(len(rows), func(i int) bool {
+				return rows[i].Compare(startIdx) > 0
+			})
+		}
+		for _, idx := range rows[pos:] {
+			if v, ok := t.Source.Cell(col, idx); ok {
+				return colOID.Append(idx...), v, true
+			}
+		}
+	}
+	return nil, Value{}, false
+}
+
+// SetRel implements Setter.
+func (t *Table) SetRel(rel oid.OID, v Value) error {
+	if len(rel) < 2 {
+		return ErrNoSuchName
+	}
+	if t.SetCell == nil {
+		return ErrReadOnly
+	}
+	return t.SetCell(rel[0], rel[1:], v)
+}
+
+// MemRows is an in-memory RowSource backed by a sorted row list. The
+// zero value is an empty source ready for use.
+type MemRows struct {
+	mu    sync.RWMutex
+	index []oid.OID                   // sorted
+	cells map[string]map[uint32]Value // key: index.String()
+}
+
+// Upsert creates or replaces a row's cell values.
+func (m *MemRows) Upsert(index oid.OID, cells map[uint32]Value) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cells == nil {
+		m.cells = make(map[string]map[uint32]Value)
+	}
+	key := index.String()
+	if _, exists := m.cells[key]; !exists {
+		pos := sort.Search(len(m.index), func(i int) bool {
+			return m.index[i].Compare(index) >= 0
+		})
+		m.index = append(m.index, nil)
+		copy(m.index[pos+1:], m.index[pos:])
+		m.index[pos] = index.Clone()
+	}
+	row := make(map[uint32]Value, len(cells))
+	for c, v := range cells {
+		row[c] = v
+	}
+	m.cells[key] = row
+}
+
+// SetCellValue writes one cell of an existing row, returning false when
+// the row does not exist.
+func (m *MemRows) SetCellValue(index oid.OID, col uint32, v Value) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	row, ok := m.cells[index.String()]
+	if !ok {
+		return false
+	}
+	row[col] = v
+	return true
+}
+
+// Delete removes a row, reporting whether it existed.
+func (m *MemRows) Delete(index oid.OID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := index.String()
+	if _, ok := m.cells[key]; !ok {
+		return false
+	}
+	delete(m.cells, key)
+	for i, idx := range m.index {
+		if idx.Equal(index) {
+			m.index = append(m.index[:i], m.index[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Len returns the number of rows.
+func (m *MemRows) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.index)
+}
+
+// Rows implements RowSource.
+func (m *MemRows) Rows() []oid.OID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]oid.OID, len(m.index))
+	copy(out, m.index)
+	return out
+}
+
+// Cell implements RowSource.
+func (m *MemRows) Cell(col uint32, index oid.OID) (Value, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	row, ok := m.cells[index.String()]
+	if !ok {
+		return Value{}, false
+	}
+	v, ok := row[col]
+	return v, ok
+}

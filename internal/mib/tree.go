@@ -1,0 +1,217 @@
+package mib
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mbd/internal/oid"
+)
+
+// SNMP-compatible error conditions surfaced by Tree operations.
+var (
+	// ErrNoSuchName reports that the requested instance does not exist.
+	ErrNoSuchName = errors.New("mib: no such name")
+	// ErrEndOfMIB reports that GetNext walked past the last instance.
+	ErrEndOfMIB = errors.New("mib: end of MIB view")
+	// ErrReadOnly reports a Set on a non-writable instance.
+	ErrReadOnly = errors.New("mib: read-only")
+	// ErrBadValue reports a Set with an unacceptable value.
+	ErrBadValue = errors.New("mib: bad value")
+)
+
+// Handler serves a subtree of instances. All OIDs passed to a Handler
+// are relative to its mount prefix.
+//
+// Implementations must be safe for concurrent use; the Tree serializes
+// mount mutations but not data access.
+type Handler interface {
+	// GetRel returns the value of the instance at rel, if it exists.
+	GetRel(rel oid.OID) (Value, bool)
+	// NextRel returns the first instance strictly greater than rel in
+	// lexicographic order, with its value. A nil rel means "before the
+	// first instance".
+	NextRel(rel oid.OID) (oid.OID, Value, bool)
+}
+
+// Setter is implemented by handlers that accept writes.
+type Setter interface {
+	// SetRel writes the instance at rel. It returns ErrNoSuchName,
+	// ErrReadOnly or ErrBadValue on failure.
+	SetRel(rel oid.OID, v Value) error
+}
+
+type mount struct {
+	prefix oid.OID
+	h      Handler
+}
+
+// Tree is a management information base assembled from handlers
+// mounted at disjoint OID prefixes. It dispatches SNMP-style Get,
+// GetNext and Set operations and supports full-subtree walks.
+//
+// The zero value is an empty tree ready for use.
+type Tree struct {
+	mu     sync.RWMutex
+	mounts []mount // sorted by prefix
+}
+
+// Mount attaches h at prefix. Prefixes must not be nested or equal;
+// overlapping mounts return an error.
+func (t *Tree) Mount(prefix oid.OID, h Handler) error {
+	if len(prefix) == 0 {
+		return errors.New("mib: cannot mount at empty prefix")
+	}
+	if h == nil {
+		return errors.New("mib: nil handler")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, m := range t.mounts {
+		if m.prefix.HasPrefix(prefix) || prefix.HasPrefix(m.prefix) {
+			return fmt.Errorf("mib: mount %s overlaps existing mount %s", prefix, m.prefix)
+		}
+	}
+	t.mounts = append(t.mounts, mount{prefix: prefix.Clone(), h: h})
+	sort.Slice(t.mounts, func(i, j int) bool {
+		return t.mounts[i].prefix.Compare(t.mounts[j].prefix) < 0
+	})
+	return nil
+}
+
+// Unmount removes the handler mounted exactly at prefix.
+func (t *Tree) Unmount(prefix oid.OID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, m := range t.mounts {
+		if m.prefix.Equal(prefix) {
+			t.mounts = append(t.mounts[:i], t.mounts[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Tree) snapshotMounts() []mount {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]mount, len(t.mounts))
+	copy(out, t.mounts)
+	return out
+}
+
+// Get returns the value of the instance at o.
+func (t *Tree) Get(o oid.OID) (Value, error) {
+	for _, m := range t.snapshotMounts() {
+		if o.HasPrefix(m.prefix) {
+			rel := o[len(m.prefix):]
+			if v, ok := m.h.GetRel(rel); ok {
+				return v, nil
+			}
+			return Value{}, fmt.Errorf("%w: %s", ErrNoSuchName, o)
+		}
+	}
+	return Value{}, fmt.Errorf("%w: %s", ErrNoSuchName, o)
+}
+
+// GetNext returns the first instance strictly after o, and its value.
+// It returns ErrEndOfMIB after the last instance.
+func (t *Tree) GetNext(o oid.OID) (oid.OID, Value, error) {
+	for _, m := range t.snapshotMounts() {
+		var rel oid.OID
+		switch {
+		case o.Compare(m.prefix) < 0 && !m.prefix.HasPrefix(o):
+			// o sorts entirely before this subtree: start at its beginning.
+			rel = nil
+		case m.prefix.HasPrefix(o) && !o.Equal(m.prefix):
+			// o is a proper ancestor of the mount: start at its beginning.
+			rel = nil
+		case o.HasPrefix(m.prefix):
+			rel = o[len(m.prefix):]
+		default:
+			// o sorts after this subtree.
+			continue
+		}
+		if next, v, ok := m.h.NextRel(rel); ok {
+			return m.prefix.Append(next...), v, nil
+		}
+	}
+	return nil, Value{}, ErrEndOfMIB
+}
+
+// Set writes the instance at o.
+func (t *Tree) Set(o oid.OID, v Value) error {
+	for _, m := range t.snapshotMounts() {
+		if o.HasPrefix(m.prefix) {
+			s, ok := m.h.(Setter)
+			if !ok {
+				return fmt.Errorf("%w: %s", ErrReadOnly, o)
+			}
+			return s.SetRel(o[len(m.prefix):], v)
+		}
+	}
+	return fmt.Errorf("%w: %s", ErrNoSuchName, o)
+}
+
+// Walk invokes fn for every instance under prefix, in lexicographic
+// order, until fn returns false or the subtree is exhausted. It returns
+// the number of instances visited.
+func (t *Tree) Walk(prefix oid.OID, fn func(o oid.OID, v Value) bool) int {
+	cur := prefix.Clone()
+	n := 0
+	for {
+		next, v, err := t.GetNext(cur)
+		if err != nil || !next.HasPrefix(prefix) {
+			return n
+		}
+		n++
+		if !fn(next, v) {
+			return n
+		}
+		cur = next
+	}
+}
+
+// Scalar is a Handler for a single leaf object with exactly one
+// instance, ".0", per SMI convention. Mount it at the object OID (for
+// example sysDescr, 1.3.6.1.2.1.1.1).
+type Scalar struct {
+	// Get returns the current value. Required.
+	Get func() Value
+	// Set accepts a write; nil means read-only.
+	Set func(Value) error
+}
+
+// GetRel implements Handler.
+func (s *Scalar) GetRel(rel oid.OID) (Value, bool) {
+	if len(rel) != 1 || rel[0] != 0 {
+		return Value{}, false
+	}
+	return s.Get(), true
+}
+
+// NextRel implements Handler.
+func (s *Scalar) NextRel(rel oid.OID) (oid.OID, Value, bool) {
+	inst := oid.OID{0}
+	if rel.Compare(inst) < 0 {
+		return inst, s.Get(), true
+	}
+	return nil, Value{}, false
+}
+
+// SetRel implements Setter.
+func (s *Scalar) SetRel(rel oid.OID, v Value) error {
+	if len(rel) != 1 || rel[0] != 0 {
+		return ErrNoSuchName
+	}
+	if s.Set == nil {
+		return ErrReadOnly
+	}
+	return s.Set(v)
+}
+
+// ConstScalar returns a Scalar that always serves v.
+func ConstScalar(v Value) *Scalar {
+	return &Scalar{Get: func() Value { return v }}
+}

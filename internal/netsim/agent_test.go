@@ -1,0 +1,91 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"mbd/internal/mib"
+	"mbd/internal/oid"
+	"mbd/internal/snmp"
+)
+
+// Exercises the simulated agent's full host-function surface.
+func TestAgentHostFunctionSurface(t *testing.T) {
+	sim := NewSim()
+	st := newTestStation(t, LAN())
+	st.Dev.OpenConn(mib.ConnID{LocalAddr: [4]byte{10, 0, 0, 1}, LocalPort: 80, RemAddr: [4]byte{1, 2, 3, 4}, RemPort: 5})
+	st.Dev.AddRoute([4]byte{192, 168, 0, 0}, 1, 3, [4]byte{10, 0, 0, 254})
+	var tr Traffic
+	ses := NewSession(sim, st, &tr)
+
+	src := `
+func main() {
+	var name = sysname();
+	var t0 = now();
+	var nx = mibNext("1.3.6.1.2.1.1.4");
+	var walkLen = len(mibWalk("1.3.6.1.2.1.4.21.1"));
+	var missing = mibGet("9.9.9.9.0");
+	var descr = mibGet("1.3.6.1.2.1.1.1.0");
+	var objid = mibGet("1.3.6.1.2.1.1.2.0");
+	var addr = mibGet("1.3.6.1.2.1.6.13.1.2.10.0.0.1.80.1.2.3.4.5");
+	return sprintf("%s|%d|%s|%d|%v|%v|%s|%s", name, t0, nx[0], walkLen, missing == nil, len(descr) > 0, objid, addr);
+}`
+	agent, err := NewAgent(sim, st, ses, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got any
+	sim.At(3*time.Second, func() {
+		v, err := agent.Invoke("main")
+		if err != nil {
+			t.Errorf("invoke: %v", err)
+		}
+		got = v
+	})
+	sim.Run(time.Minute)
+	want := "sim-dev|3000|1.3.6.1.2.1.1.4.0|7|true|true|1.3.6.1.4.1.45.1.3.2|10.0.0.1"
+	if got != want {
+		t.Fatalf("agent surface = %q, want %q", got, want)
+	}
+}
+
+func TestAgentBadOIDErrors(t *testing.T) {
+	sim := NewSim()
+	st := newTestStation(t, LAN())
+	var tr Traffic
+	ses := NewSession(sim, st, &tr)
+	for _, src := range []string{
+		`func main() { return mibGet(42); }`,
+		`func main() { return mibGet("x.y"); }`,
+		`func main() { return mibNext(1.5); }`,
+		`func main() { return mibWalk(nil); }`,
+	} {
+		agent, err := NewAgent(sim, st, ses, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := agent.Invoke("main"); err == nil {
+			t.Errorf("agent %q succeeded, want error", src)
+		}
+	}
+}
+
+func TestStationGetNextDelivery(t *testing.T) {
+	sim := NewSim()
+	st := newTestStation(t, LAN())
+	var tr Traffic
+	var next string
+	st.GetNext(sim, "public", &tr, []oid.OID{mib.OIDSysName}, func(vbs []snmp.VarBind) {
+		if vbs != nil {
+			next = vbs[0].Name.String()
+		}
+	})
+	sim.Run(time.Second)
+	if next != mib.OIDSysName.Append(0).String() {
+		t.Fatalf("GetNext = %q", next)
+	}
+	// Traffic byte counters are populated.
+	if tr.Bytes() == 0 || tr.ReqBytes == 0 || tr.RespBytes == 0 {
+		t.Fatalf("traffic = %+v", tr)
+	}
+}

@@ -1,0 +1,132 @@
+// Package netsim is a discrete-event network simulator used by the
+// experiment harness to compare centralized SNMP micro-management with
+// management by delegation under controlled latency and bandwidth.
+//
+// The simulator is deliberately protocol-honest: every simulated SNMP
+// poll runs the real codec against the real agent over the real MIB,
+// and every simulated RDS interaction is sized from real message
+// encodings. Only *time* is virtual, so a simulated WAN with a 596 ms
+// round trip (the paper's Austin–Austin path) costs microseconds of
+// wall clock.
+package netsim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a single-threaded discrete-event simulator. All callbacks run
+// on the goroutine that calls Run; they may schedule further events.
+type Sim struct {
+	now    time.Duration
+	seq    uint64
+	queue  eventHeap
+	events uint64
+}
+
+// NewSim returns a simulator at virtual time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Events returns the number of events executed so far.
+func (s *Sim) Events() uint64 { return s.events }
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+func (s *Sim) At(t time.Duration, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Sim) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// Run executes events in timestamp order until the queue is empty or
+// virtual time would exceed until. It returns the number of events run.
+func (s *Sim) Run(until time.Duration) uint64 {
+	start := s.events
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		s.events++
+		next.fn()
+	}
+	// Advance the clock to the horizon so repeated Runs are contiguous.
+	if s.now < until {
+		s.now = until
+	}
+	return s.events - start
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// Link models a network path: a fixed one-way propagation latency plus
+// a serialization rate. The zero value is an infinitely fast link.
+type Link struct {
+	// OneWay is the one-way propagation delay (RTT/2).
+	OneWay time.Duration
+	// BitsPerSec is the serialization rate; 0 means infinite.
+	BitsPerSec float64
+}
+
+// LAN returns a typical 10 Mb/s Ethernet segment link (1 ms RTT).
+func LAN() Link { return Link{OneWay: 500 * time.Microsecond, BitsPerSec: 10_000_000} }
+
+// WAN returns a wide-area link with the given round-trip time and T1
+// (1.544 Mb/s) serialization, the paper-era long-haul norm.
+func WAN(rtt time.Duration) Link {
+	return Link{OneWay: rtt / 2, BitsPerSec: 1_544_000}
+}
+
+// Delay returns the one-way delivery delay for a message of n bytes.
+func (l Link) Delay(n int) time.Duration {
+	d := l.OneWay
+	if l.BitsPerSec > 0 {
+		d += time.Duration(float64(n*8) / l.BitsPerSec * float64(time.Second))
+	}
+	return d
+}
+
+// RTT returns the round-trip propagation time of the link.
+func (l Link) RTT() time.Duration { return 2 * l.OneWay }

@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"time"
+
+	"mbd/internal/mib"
+	"mbd/internal/oid"
+	"mbd/internal/snmp"
+)
+
+// Station is one managed network element in a simulation: a simulated
+// device, its SNMP agent, the link from the management station, and the
+// agent's processing time per request.
+type Station struct {
+	Dev   *mib.Device
+	Agent *snmp.Agent
+	Link  Link
+	// Proc is the agent's per-request processing time (default 1 ms,
+	// generous for a 1995 embedded agent).
+	Proc time.Duration
+}
+
+// NewStation builds a station around a fresh simulated device.
+func NewStation(name string, seed int64, link Link, community string) (*Station, error) {
+	dev, err := mib.NewDevice(mib.DeviceConfig{Name: name, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Station{
+		Dev:   dev,
+		Agent: snmp.NewAgent(dev.Tree(), community),
+		Link:  link,
+		Proc:  time.Millisecond,
+	}, nil
+}
+
+// Sync advances the station's device to the simulator's current virtual
+// time, so counters reflect traffic that "happened" while the simulator
+// was busy elsewhere.
+func (st *Station) Sync(sim *Sim) {
+	if d := sim.Now() - st.Dev.Now(); d > 0 {
+		st.Dev.Advance(d)
+	}
+}
+
+// Traffic aggregates wire usage on the management network.
+type Traffic struct {
+	Requests  uint64
+	Responses uint64
+	ReqBytes  uint64
+	RespBytes uint64
+}
+
+// Bytes returns total bytes in both directions.
+func (t Traffic) Bytes() uint64 { return t.ReqBytes + t.RespBytes }
+
+// Exchange performs one SNMP request/response against the station
+// inside the simulation: the encoded request crosses the link, the
+// agent processes it against the live MIB, and the response crosses
+// back. done receives the decoded response at the virtual time it
+// arrives at the manager. Dropped requests (bad community) deliver nil.
+func (st *Station) Exchange(sim *Sim, req *snmp.Message, tr *Traffic, done func(*snmp.Message)) {
+	pkt, err := req.Encode()
+	if err != nil {
+		panic("netsim: unencodable request: " + err.Error())
+	}
+	tr.Requests++
+	tr.ReqBytes += uint64(len(pkt))
+	sim.After(st.Link.Delay(len(pkt))+st.Proc, func() {
+		st.Sync(sim)
+		respPkt := st.Agent.HandlePacket(pkt)
+		if respPkt == nil {
+			done(nil)
+			return
+		}
+		tr.Responses++
+		tr.RespBytes += uint64(len(respPkt))
+		sim.After(st.Link.Delay(len(respPkt)), func() {
+			resp, err := snmp.Decode(respPkt)
+			if err != nil {
+				done(nil)
+				return
+			}
+			done(resp)
+		})
+	})
+}
+
+// Get issues a Get for the named instances and delivers the varbinds.
+func (st *Station) Get(sim *Sim, community string, tr *Traffic, names []oid.OID, done func([]snmp.VarBind)) {
+	vbs := make([]snmp.VarBind, len(names))
+	for i, n := range names {
+		vbs[i] = snmp.VarBind{Name: n, Value: mib.Null()}
+	}
+	req := &snmp.Message{Community: community, Type: snmp.PDUGetRequest, RequestID: int32(sim.Events() + 1), VarBinds: vbs}
+	st.Exchange(sim, req, tr, func(resp *snmp.Message) {
+		if resp == nil || resp.ErrorStatus != snmp.NoError {
+			done(nil)
+			return
+		}
+		done(resp.VarBinds)
+	})
+}
+
+// GetNext issues a GetNext and delivers the successor varbinds.
+func (st *Station) GetNext(sim *Sim, community string, tr *Traffic, names []oid.OID, done func([]snmp.VarBind)) {
+	vbs := make([]snmp.VarBind, len(names))
+	for i, n := range names {
+		vbs[i] = snmp.VarBind{Name: n, Value: mib.Null()}
+	}
+	req := &snmp.Message{Community: community, Type: snmp.PDUGetNextRequest, RequestID: int32(sim.Events() + 1), VarBinds: vbs}
+	st.Exchange(sim, req, tr, func(resp *snmp.Message) {
+		if resp == nil || resp.ErrorStatus != snmp.NoError {
+			done(nil)
+			return
+		}
+		done(resp.VarBinds)
+	})
+}
+
+// Walk traverses the subtree under prefix with sequential GetNext
+// exchanges, delivering all varbinds when the walk leaves the prefix.
+func (st *Station) Walk(sim *Sim, community string, tr *Traffic, prefix oid.OID, done func([]snmp.VarBind)) {
+	var acc []snmp.VarBind
+	var step func(cur oid.OID)
+	step = func(cur oid.OID) {
+		st.GetNext(sim, community, tr, []oid.OID{cur}, func(vbs []snmp.VarBind) {
+			if vbs == nil || !vbs[0].Name.HasPrefix(prefix) || vbs[0].Name.Compare(cur) <= 0 {
+				done(acc)
+				return
+			}
+			acc = append(acc, vbs[0])
+			step(vbs[0].Name)
+		})
+	}
+	step(prefix.Clone())
+}

@@ -1,0 +1,171 @@
+package oid
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAndString(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    string
+		wantLen int
+		wantErr bool
+	}{
+		{in: "1.3.6.1.2.1.1.1.0", want: "1.3.6.1.2.1.1.1.0", wantLen: 9},
+		{in: ".1.3.6.1", want: "1.3.6.1", wantLen: 4},
+		{in: "", want: "", wantLen: 0},
+		{in: "0", want: "0", wantLen: 1},
+		{in: "1..2", wantErr: true},
+		{in: "1.x.2", wantErr: true},
+		{in: "1.-2", wantErr: true},
+		{in: "1.4294967296", wantErr: true}, // exceeds uint32
+		{in: "1.4294967295", want: "1.4294967295", wantLen: 2},
+	}
+	for _, tt := range tests {
+		got, err := Parse(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("Parse(%q): want error, got %v", tt.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.in, err)
+			continue
+		}
+		if got.String() != tt.want || len(got) != tt.wantLen {
+			t.Errorf("Parse(%q) = %q (len %d), want %q (len %d)", tt.in, got, len(got), tt.want, tt.wantLen)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on invalid input did not panic")
+		}
+	}()
+	MustParse("not.an.oid")
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"1.2.3", "1.2.3", 0},
+		{"1.2", "1.2.3", -1},
+		{"1.2.3", "1.2", 1},
+		{"1.2.3", "1.2.4", -1},
+		{"1.10", "1.9", 1}, // numeric, not lexical on strings
+		{"", "0", -1},
+		{"", "", 0},
+	}
+	for _, tt := range tests {
+		a, b := MustParse(tt.a), MustParse(tt.b)
+		if got := a.Compare(b); got != tt.want {
+			t.Errorf("Compare(%q, %q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+		if got := b.Compare(a); got != -tt.want {
+			t.Errorf("Compare(%q, %q) = %d, want %d", tt.b, tt.a, got, -tt.want)
+		}
+	}
+}
+
+func TestHasPrefixAndIndex(t *testing.T) {
+	base := MustParse("1.3.6.1.2.1.2.2.1")
+	inst := base.Append(2, 42)
+	if !inst.HasPrefix(base) {
+		t.Fatalf("%v should have prefix %v", inst, base)
+	}
+	if base.HasPrefix(inst) {
+		t.Fatalf("%v should not have prefix %v", base, inst)
+	}
+	idx, ok := inst.Index(base)
+	if !ok || idx.String() != "2.42" {
+		t.Fatalf("Index = %v, %v; want 2.42, true", idx, ok)
+	}
+	if _, ok := base.Index(base); ok {
+		t.Fatal("an OID must not index under itself")
+	}
+	if !base.HasPrefix(base) {
+		t.Fatal("an OID is a prefix of itself")
+	}
+}
+
+func TestAppendDoesNotAliasReceiver(t *testing.T) {
+	base := MustParse("1.3.6")
+	a := base.Append(1)
+	b := base.Append(2)
+	if a.String() != "1.3.6.1" || b.String() != "1.3.6.2" {
+		t.Fatalf("Append aliased storage: a=%v b=%v", a, b)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := MustParse("1.2.3")
+	c := a.Clone()
+	c[0] = 9
+	if a[0] != 1 {
+		t.Fatal("Clone shares storage with receiver")
+	}
+	if OID(nil).Clone() != nil {
+		t.Fatal("Clone(nil) should be nil")
+	}
+}
+
+func randOID(r *rand.Rand) OID {
+	n := r.Intn(10)
+	o := make(OID, n)
+	for i := range o {
+		o[i] = uint32(r.Intn(1000))
+	}
+	return o
+}
+
+// Property: Compare is a total order — antisymmetric, transitive via
+// sort consistency, and consistent with Equal.
+func TestCompareIsTotalOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	oids := make([]OID, 200)
+	for i := range oids {
+		oids[i] = randOID(r)
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i].Compare(oids[j]) < 0 })
+	for i := 1; i < len(oids); i++ {
+		if oids[i-1].Compare(oids[i]) > 0 {
+			t.Fatalf("sort produced out-of-order pair at %d: %v > %v", i, oids[i-1], oids[i])
+		}
+	}
+	f := func(a, b []uint32) bool {
+		x, y := OID(a), OID(b)
+		if x.Compare(y) != -y.Compare(x) {
+			return false
+		}
+		return (x.Compare(y) == 0) == x.Equal(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Parse(String(o)) == o.
+func TestStringParseRoundTrip(t *testing.T) {
+	f := func(arcs []uint32) bool {
+		o := OID(arcs)
+		p, err := Parse(o.String())
+		if err != nil {
+			return false
+		}
+		if len(arcs) == 0 {
+			return len(p) == 0
+		}
+		return p.Equal(o)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,278 @@
+package rds
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrClosed reports use of a closed client.
+var ErrClosed = errors.New("rds: client closed")
+
+// RemoteError is a server-side failure relayed in a reply.
+type RemoteError struct {
+	Op  Op
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rds: %s failed: %s", e.Op, e.Msg)
+}
+
+// Event is a DPI event received over a subscription.
+type Event struct {
+	DPI     string
+	Kind    string // report | notify | log | exit
+	Payload string
+	TimeMS  int64
+}
+
+// Client is a delegator's endpoint: it issues RDS requests over one
+// connection and, after Subscribe, receives DPI events on Events().
+type Client struct {
+	conn      net.Conn
+	principal string
+	auth      *Authenticator
+
+	mu      sync.Mutex
+	seq     uint32
+	pending map[uint32]chan *Message
+	closed  bool
+	readErr error
+
+	events chan Event
+
+	bytesIn  uint64
+	bytesOut uint64
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithAuth signs every request for the client's principal using auth
+// (which must know the principal's secret).
+func WithAuth(auth *Authenticator) ClientOption {
+	return func(c *Client) { c.auth = auth }
+}
+
+// NewClient wraps an established connection. The caller owns conn until
+// NewClient returns; afterwards Close releases it.
+func NewClient(conn net.Conn, principal string, opts ...ClientOption) *Client {
+	c := &Client{
+		conn:      conn,
+		principal: principal,
+		pending:   make(map[uint32]chan *Message),
+		events:    make(chan Event, 256),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	go c.readLoop()
+	return c
+}
+
+// Dial connects to an RDS server at addr ("host:port").
+func Dial(addr, principal string, opts ...ClientOption) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rds: dial %s: %w", addr, err)
+	}
+	return NewClient(conn, principal, opts...), nil
+}
+
+// Close shuts the connection down and fails all pending requests.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// Events returns the stream of subscribed DPI events. The channel is
+// closed when the connection drops. Slow consumers lose events once the
+// 256-deep buffer fills (the event is dropped, never the connection).
+func (c *Client) Events() <-chan Event { return c.events }
+
+// Bytes returns wire bytes sent and received, for the experiment
+// harness.
+func (c *Client) Bytes() (out, in uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytesOut, c.bytesIn
+}
+
+func (c *Client) readLoop() {
+	defer func() {
+		c.mu.Lock()
+		if c.readErr == nil {
+			c.readErr = ErrClosed
+		}
+		for seq, ch := range c.pending {
+			close(ch)
+			delete(c.pending, seq)
+		}
+		c.closed = true
+		c.mu.Unlock()
+		close(c.events)
+	}()
+	for {
+		body, err := ReadFrame(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		c.bytesIn += uint64(FrameSize(body))
+		c.mu.Unlock()
+		m, err := Decode(body)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			c.mu.Unlock()
+			return
+		}
+		switch m.Op {
+		case OpEvent:
+			select {
+			case c.events <- Event{DPI: m.Name, Kind: m.Entry, Payload: string(m.Payload), TimeMS: m.TimeMS}:
+			default: // drop on overflow
+			}
+		case OpReply:
+			c.mu.Lock()
+			ch, ok := c.pending[m.Seq]
+			if ok {
+				delete(c.pending, m.Seq)
+			}
+			c.mu.Unlock()
+			if ok {
+				ch <- m
+			}
+		}
+	}
+}
+
+func (c *Client) roundTrip(ctx context.Context, req *Message) (*Message, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.seq++
+	req.Seq = c.seq
+	ch := make(chan *Message, 1)
+	c.pending[req.Seq] = ch
+	c.mu.Unlock()
+
+	req.Principal = c.principal
+	if err := c.auth.Sign(req); err != nil {
+		return nil, err
+	}
+	body := req.Encode()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetWriteDeadline(deadline)
+	} else {
+		_ = c.conn.SetWriteDeadline(time.Time{})
+	}
+	if err := WriteFrame(c.conn, body); err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.Seq)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("rds: send: %w", err)
+	}
+	c.mu.Lock()
+	c.bytesOut += uint64(FrameSize(body))
+	c.mu.Unlock()
+
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.readErr
+			c.mu.Unlock()
+			return nil, fmt.Errorf("rds: connection lost: %w", err)
+		}
+		if !m.OK {
+			return nil, &RemoteError{Op: req.Op, Msg: m.Error}
+		}
+		return m, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, req.Seq)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Delegate transfers a DPL program to the server under name.
+func (c *Client) Delegate(ctx context.Context, name, source string) error {
+	_, err := c.roundTrip(ctx, &Message{Op: OpDelegate, Name: name, Lang: "dpl", Payload: []byte(source)})
+	return err
+}
+
+// Instantiate starts an instance of dp calling entry(args...) and
+// returns the new DPI id. Arguments are wire strings; see ParseArg for
+// their interpretation server-side.
+func (c *Client) Instantiate(ctx context.Context, dp, entry string, args ...string) (string, error) {
+	m, err := c.roundTrip(ctx, &Message{Op: OpInstantiate, Name: dp, Entry: entry, Args: args})
+	if err != nil {
+		return "", err
+	}
+	return m.Name, nil
+}
+
+// Control applies suspend / resume / terminate to an instance.
+func (c *Client) Control(ctx context.Context, dpiID, action string) error {
+	_, err := c.roundTrip(ctx, &Message{Op: OpControl, Name: dpiID, Entry: action})
+	return err
+}
+
+// Send delivers a message to an instance's mailbox.
+func (c *Client) Send(ctx context.Context, dpiID, payload string) error {
+	_, err := c.roundTrip(ctx, &Message{Op: OpSend, Name: dpiID, Payload: []byte(payload)})
+	return err
+}
+
+// Query fetches instance status; empty dpiID lists all instances.
+func (c *Client) Query(ctx context.Context, dpiID string) ([]InfoRec, error) {
+	m, err := c.roundTrip(ctx, &Message{Op: OpQuery, Name: dpiID})
+	if err != nil {
+		return nil, err
+	}
+	return m.Infos, nil
+}
+
+// DeleteDP removes a program from the server's repository.
+func (c *Client) DeleteDP(ctx context.Context, name string) error {
+	_, err := c.roundTrip(ctx, &Message{Op: OpDeleteDP, Name: name})
+	return err
+}
+
+// Eval performs one-shot remote evaluation: the program is translated,
+// entry(args...) runs to completion, its rendered result returns in the
+// reply, and the server retains nothing. This is the REV-style
+// delegation+invocation-in-one-action the paper contrasts with full
+// delegation.
+func (c *Client) Eval(ctx context.Context, source, entry string, args ...string) (string, error) {
+	m, err := c.roundTrip(ctx, &Message{Op: OpEval, Entry: entry, Payload: []byte(source), Args: args})
+	if err != nil {
+		return "", err
+	}
+	return string(m.Payload), nil
+}
+
+// Subscribe asks the server to forward events from DPIs whose id starts
+// with filter (empty = all) onto this connection's Events stream.
+func (c *Client) Subscribe(ctx context.Context, filter string) error {
+	_, err := c.roundTrip(ctx, &Message{Op: OpSubscribe, Name: filter})
+	return err
+}

@@ -1,0 +1,46 @@
+package rds
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a single RDS frame (16 MiB) — large enough for any
+// realistic delegated program, small enough to stop memory abuse.
+const MaxFrame = 16 << 20
+
+// WriteFrame writes one length-prefixed message body to w.
+func WriteFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return fmt.Errorf("rds: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed message body from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("rds: incoming frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// FrameSize returns the on-the-wire size of a message body including
+// the length prefix — the unit the experiment harness accounts.
+func FrameSize(body []byte) int { return 4 + len(body) }

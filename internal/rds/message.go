@@ -1,0 +1,263 @@
+// Package rds implements the Remote Delegation Service: the protocol a
+// delegator (manager) uses to transfer delegated programs to an elastic
+// process, instantiate and control them, exchange messages with running
+// instances, and receive their events.
+//
+// As in the paper's prototype, message headers are encoded with ASN.1
+// BER and the service runs over stream transports (TCP here; the
+// original also spoke UDP). Optional MD5 digest authentication of
+// principals follows the SOS enhancement the dissertation describes
+// ([Dupuy 1995], RFC 1321-era message digests).
+package rds
+
+import (
+	"errors"
+	"fmt"
+
+	"mbd/internal/ber"
+)
+
+// Op is an RDS operation code.
+type Op uint8
+
+// RDS operations.
+const (
+	// OpDelegate transfers a DP (Name, Lang, Payload=source).
+	OpDelegate Op = iota + 1
+	// OpInstantiate creates a DPI (Name=dp, Entry, Args).
+	OpInstantiate
+	// OpControl applies a lifecycle action (Name=dpiID, Entry=action).
+	OpControl
+	// OpSend delivers a message to a DPI's mailbox (Name=dpiID,
+	// Payload=message).
+	OpSend
+	// OpQuery asks for instance status (Name=dpiID or empty for all).
+	OpQuery
+	// OpDeleteDP removes a program from the repository (Name).
+	OpDeleteDP
+	// OpSubscribe asks the server to forward DPI events on this
+	// connection (Name=dpi id prefix filter, empty for all).
+	OpSubscribe
+	// OpReply answers any request (OK, Error, Name holds a created id,
+	// Infos holds query results).
+	OpReply
+	// OpEvent is a server-initiated event notification (Name=dpiID,
+	// Entry=kind, Payload, TimeMS).
+	OpEvent
+	// OpEval is one-shot remote evaluation (the REV model the paper
+	// compares against): Payload=source, Entry=entry, Args; the reply's
+	// Payload carries the rendered result. Nothing persists server-side.
+	OpEval
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpDelegate:
+		return "delegate"
+	case OpInstantiate:
+		return "instantiate"
+	case OpControl:
+		return "control"
+	case OpSend:
+		return "send"
+	case OpQuery:
+		return "query"
+	case OpDeleteDP:
+		return "delete-dp"
+	case OpSubscribe:
+		return "subscribe"
+	case OpReply:
+		return "reply"
+	case OpEvent:
+		return "event"
+	case OpEval:
+		return "eval"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// InfoRec is one instance-status record in a query reply.
+type InfoRec struct {
+	ID     string
+	DP     string
+	Entry  string
+	State  string
+	Steps  uint64
+	Result string
+	Err    string
+}
+
+// Message is one RDS protocol message. Field use depends on Op (see the
+// Op constants). Digest carries the MD5 authenticator and is excluded
+// from its own computation.
+type Message struct {
+	Op        Op
+	Seq       uint32
+	Principal string
+	Digest    []byte
+	Name      string
+	Entry     string
+	Lang      string
+	Payload   []byte
+	Args      []string
+	OK        bool
+	Error     string
+	TimeMS    int64
+	Infos     []InfoRec
+}
+
+// maxArgs bounds decoded argument lists defensively.
+const maxArgs = 1024
+
+// Encode serializes m with BER.
+func (m *Message) Encode() []byte {
+	var w ber.Writer
+	root := w.BeginSeq(ber.TagSequence)
+	w.AppendInt(ber.TagInteger, int64(m.Op))
+	w.AppendInt(ber.TagInteger, int64(m.Seq))
+	w.AppendString(ber.TagOctetString, []byte(m.Principal))
+	w.AppendString(ber.TagOctetString, m.Digest)
+	w.AppendString(ber.TagOctetString, []byte(m.Name))
+	w.AppendString(ber.TagOctetString, []byte(m.Entry))
+	w.AppendString(ber.TagOctetString, []byte(m.Lang))
+	w.AppendString(ber.TagOctetString, m.Payload)
+	ok := int64(0)
+	if m.OK {
+		ok = 1
+	}
+	w.AppendInt(ber.TagInteger, ok)
+	w.AppendString(ber.TagOctetString, []byte(m.Error))
+	w.AppendInt(ber.TagInteger, m.TimeMS)
+	args := w.BeginSeq(ber.TagSequence)
+	for _, a := range m.Args {
+		w.AppendString(ber.TagOctetString, []byte(a))
+	}
+	w.EndSeq(args)
+	infos := w.BeginSeq(ber.TagSequence)
+	for _, inf := range m.Infos {
+		one := w.BeginSeq(ber.TagSequence)
+		w.AppendString(ber.TagOctetString, []byte(inf.ID))
+		w.AppendString(ber.TagOctetString, []byte(inf.DP))
+		w.AppendString(ber.TagOctetString, []byte(inf.Entry))
+		w.AppendString(ber.TagOctetString, []byte(inf.State))
+		w.AppendUint(ber.TagCounter64, inf.Steps)
+		w.AppendString(ber.TagOctetString, []byte(inf.Result))
+		w.AppendString(ber.TagOctetString, []byte(inf.Err))
+		w.EndSeq(one)
+	}
+	w.EndSeq(infos)
+	w.EndSeq(root)
+	return w.Bytes()
+}
+
+// Decode parses a BER-encoded message.
+func Decode(b []byte) (*Message, error) {
+	r, err := ber.NewReader(b).EnterSeq(ber.TagSequence)
+	if err != nil {
+		return nil, fmt.Errorf("rds: bad envelope: %w", err)
+	}
+	m := &Message{}
+	_, op, err := r.ReadInt()
+	if err != nil {
+		return nil, err
+	}
+	if op <= 0 || op > int64(OpEval) {
+		return nil, fmt.Errorf("rds: unknown op %d", op)
+	}
+	m.Op = Op(op)
+	_, seq, err := r.ReadInt()
+	if err != nil {
+		return nil, err
+	}
+	m.Seq = uint32(seq)
+	strs := make([]string, 0, 6)
+	for i := 0; i < 2; i++ { // principal, digest
+		_, s, err := r.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		strs = append(strs, string(s))
+	}
+	m.Principal = strs[0]
+	if strs[1] != "" {
+		m.Digest = []byte(strs[1])
+	}
+	fields := []*string{&m.Name, &m.Entry, &m.Lang}
+	for _, f := range fields {
+		_, s, err := r.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		*f = string(s)
+	}
+	_, payload, err := r.ReadString()
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) > 0 {
+		m.Payload = payload
+	}
+	_, okv, err := r.ReadInt()
+	if err != nil {
+		return nil, err
+	}
+	m.OK = okv != 0
+	_, errStr, err := r.ReadString()
+	if err != nil {
+		return nil, err
+	}
+	m.Error = string(errStr)
+	_, tms, err := r.ReadInt()
+	if err != nil {
+		return nil, err
+	}
+	m.TimeMS = tms
+	ar, err := r.EnterSeq(ber.TagSequence)
+	if err != nil {
+		return nil, err
+	}
+	for !ar.Empty() {
+		if len(m.Args) >= maxArgs {
+			return nil, errors.New("rds: too many arguments")
+		}
+		_, s, err := ar.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		m.Args = append(m.Args, string(s))
+	}
+	ir, err := r.EnterSeq(ber.TagSequence)
+	if err != nil {
+		return nil, err
+	}
+	for !ir.Empty() {
+		one, err := ir.EnterSeq(ber.TagSequence)
+		if err != nil {
+			return nil, err
+		}
+		var inf InfoRec
+		for _, f := range []*string{&inf.ID, &inf.DP, &inf.Entry, &inf.State} {
+			_, s, err := one.ReadString()
+			if err != nil {
+				return nil, err
+			}
+			*f = string(s)
+		}
+		_, steps, err := one.ReadUint()
+		if err != nil {
+			return nil, err
+		}
+		inf.Steps = steps
+		for _, f := range []*string{&inf.Result, &inf.Err} {
+			_, s, err := one.ReadString()
+			if err != nil {
+				return nil, err
+			}
+			*f = string(s)
+		}
+		m.Infos = append(m.Infos, inf)
+	}
+	return m, nil
+}

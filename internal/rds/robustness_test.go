@@ -1,0 +1,46 @@
+package rds
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRDSDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for i := 0; i < 5000; i++ {
+		b := make([]byte, r.Intn(300))
+		r.Read(b)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Decode panicked on % x: %v", b, p)
+				}
+			}()
+			_, _ = Decode(b)
+		}()
+	}
+}
+
+func TestRDSDecodeNeverPanicsOnMutatedValidMessages(t *testing.T) {
+	msg := &Message{
+		Op: OpInstantiate, Seq: 3, Principal: "mgr", Name: "health",
+		Entry: "main", Args: []string{"1", "s:two"},
+		Infos: []InfoRec{{ID: "a#1", DP: "a", State: "running", Steps: 7}},
+	}
+	pkt := msg.Encode()
+	for pos := 0; pos < len(pkt); pos++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := make([]byte, len(pkt))
+			copy(mut, pkt)
+			mut[pos] ^= 1 << bit
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						t.Fatalf("Decode panicked at byte %d bit %d: %v", pos, bit, p)
+					}
+				}()
+				_, _ = Decode(mut)
+			}()
+		}
+	}
+}

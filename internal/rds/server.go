@@ -1,0 +1,234 @@
+package rds
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mbd/internal/dpl"
+	"mbd/internal/elastic"
+)
+
+// Server exposes an elastic process over the RDS protocol. Each
+// connection is handled on its own goroutine; events from subscribed
+// DPIs are pushed to the connection asynchronously.
+type Server struct {
+	proc *elastic.Process
+	auth *Authenticator
+
+	mu    sync.Mutex
+	stats ServerStats
+}
+
+// ServerStats counts server-side protocol activity.
+type ServerStats struct {
+	Requests   uint64
+	AuthFails  uint64
+	BytesIn    uint64
+	BytesOut   uint64
+	EventsSent uint64
+}
+
+// NewServer wraps proc. auth may be nil to disable authentication.
+func NewServer(proc *elastic.Process, auth *Authenticator) *Server {
+	return &Server{proc: proc, auth: auth}
+}
+
+// Stats returns a copy of the server counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Serve accepts connections on l until ctx is cancelled.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	go func() {
+		<-ctx.Done()
+		l.Close()
+	}()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("rds: accept: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.ServeConn(ctx, conn)
+		}()
+	}
+}
+
+// ServeConn runs the RDS exchange on one connection until EOF or ctx
+// cancellation. The connection is closed on return.
+func (s *Server) ServeConn(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		<-ctx.Done()
+		conn.Close() // unblock the read loop
+	}()
+
+	var writeMu sync.Mutex
+	write := func(m *Message) error {
+		body := m.Encode()
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		s.mu.Lock()
+		s.stats.BytesOut += uint64(FrameSize(body))
+		s.mu.Unlock()
+		return WriteFrame(conn, body)
+	}
+
+	var unsubscribe func()
+	defer func() {
+		if unsubscribe != nil {
+			unsubscribe()
+		}
+	}()
+
+	for {
+		body, err := ReadFrame(conn)
+		if err != nil {
+			return // EOF, cancellation, or peer error — all terminal
+		}
+		s.mu.Lock()
+		s.stats.Requests++
+		s.stats.BytesIn += uint64(FrameSize(body))
+		s.mu.Unlock()
+		req, err := Decode(body)
+		if err != nil {
+			// Undecodable requests cannot be answered (no seq); drop
+			// the connection as the stream is unsynchronized.
+			return
+		}
+		if err := s.auth.Verify(req); err != nil {
+			s.mu.Lock()
+			s.stats.AuthFails++
+			s.mu.Unlock()
+			_ = write(reply(req, nil, err))
+			continue
+		}
+		switch req.Op {
+		case OpSubscribe:
+			if unsubscribe == nil {
+				filter := req.Name
+				unsubscribe = s.proc.Subscribe(func(ev elastic.Event) {
+					if filter != "" && !strings.HasPrefix(ev.DPI, filter) {
+						return
+					}
+					msg := &Message{
+						Op:      OpEvent,
+						Name:    ev.DPI,
+						Entry:   ev.Kind.String(),
+						Payload: []byte(ev.Payload),
+						TimeMS:  ev.Time.Milliseconds(),
+					}
+					if write(msg) == nil {
+						s.mu.Lock()
+						s.stats.EventsSent++
+						s.mu.Unlock()
+					}
+				})
+			}
+			_ = write(reply(req, nil, nil))
+		default:
+			resp := s.dispatch(ctx, req)
+			_ = write(resp)
+		}
+	}
+}
+
+func reply(req *Message, fill func(*Message), err error) *Message {
+	m := &Message{Op: OpReply, Seq: req.Seq, OK: err == nil}
+	if err != nil {
+		m.Error = err.Error()
+	} else if fill != nil {
+		fill(m)
+	}
+	return m
+}
+
+// ParseArg converts a wire argument string to a DPL value: ints and
+// floats when they parse, the bare words true/false/nil, a string
+// otherwise. A leading "s:" forces string interpretation.
+func ParseArg(s string) dpl.Value {
+	if strings.HasPrefix(s, "s:") {
+		return s[2:]
+	}
+	switch s {
+	case "true":
+		return true
+	case "false":
+		return false
+	case "nil":
+		return nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}
+
+// evalTimeout bounds one-shot remote evaluations; a runaway eval must
+// not hold a connection's request loop forever.
+const evalTimeout = 60 * time.Second
+
+func (s *Server) dispatch(ctx context.Context, req *Message) *Message {
+	switch req.Op {
+	case OpDelegate:
+		err := s.proc.Delegate(req.Principal, req.Name, req.Lang, string(req.Payload))
+		return reply(req, nil, err)
+	case OpInstantiate:
+		args := make([]dpl.Value, len(req.Args))
+		for i, a := range req.Args {
+			args[i] = ParseArg(a)
+		}
+		d, err := s.proc.Instantiate(req.Principal, req.Name, req.Entry, args...)
+		return reply(req, func(m *Message) { m.Name = d.ID }, err)
+	case OpControl:
+		err := s.proc.Control(req.Principal, req.Name, elastic.ControlAction(req.Entry))
+		return reply(req, nil, err)
+	case OpSend:
+		err := s.proc.Send(req.Principal, req.Name, string(req.Payload))
+		return reply(req, nil, err)
+	case OpQuery:
+		infos, err := s.proc.Query(req.Principal, req.Name)
+		return reply(req, func(m *Message) {
+			for _, inf := range infos {
+				m.Infos = append(m.Infos, InfoRec{
+					ID: inf.ID, DP: inf.DP, Entry: inf.Entry, State: inf.State,
+					Steps: inf.Steps, Result: inf.Result, Err: inf.Err,
+				})
+			}
+		}, err)
+	case OpDeleteDP:
+		err := s.proc.DeleteDP(req.Principal, req.Name)
+		return reply(req, nil, err)
+	case OpEval:
+		args := make([]dpl.Value, len(req.Args))
+		for i, a := range req.Args {
+			args[i] = ParseArg(a)
+		}
+		ectx, cancel := context.WithTimeout(ctx, evalTimeout)
+		defer cancel()
+		v, err := s.proc.Evaluate(ectx, req.Principal, "dpl", string(req.Payload), req.Entry, args...)
+		return reply(req, func(m *Message) { m.Payload = []byte(dpl.FormatValue(v)) }, err)
+	default:
+		return reply(req, nil, fmt.Errorf("rds: cannot serve %s", req.Op))
+	}
+}

@@ -1,0 +1,222 @@
+package rds
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// The first prototype ran RDS "over the BSD socket interface and uses
+// either tcp connections or udp datagrams". This file supplies the
+// datagram flavor: each request and reply is one datagram (no framing
+// needed), suited to short control operations on lossy-but-fast paths.
+// Event subscriptions are stream-only; a datagram client polls with
+// Query instead.
+
+// maxDatagram bounds one RDS datagram (a UDP-practical limit; large
+// delegations should use the TCP transport).
+const maxDatagram = 60 * 1024
+
+// ServePacket answers single-datagram RDS requests on pc until ctx is
+// cancelled. Subscription requests are refused. The conn is closed on
+// return.
+func (s *Server) ServePacket(ctx context.Context, pc net.PacketConn) error {
+	defer pc.Close()
+	go func() {
+		<-ctx.Done()
+		pc.Close()
+	}()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, addr, err := pc.ReadFrom(buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("rds: packet read: %w", err)
+		}
+		s.mu.Lock()
+		s.stats.Requests++
+		s.stats.BytesIn += uint64(n)
+		s.mu.Unlock()
+		req, err := Decode(buf[:n])
+		if err != nil {
+			continue // undecodable datagrams are dropped
+		}
+		var resp *Message
+		if err := s.auth.Verify(req); err != nil {
+			s.mu.Lock()
+			s.stats.AuthFails++
+			s.mu.Unlock()
+			resp = reply(req, nil, err)
+		} else if req.Op == OpSubscribe {
+			resp = reply(req, nil, fmt.Errorf("rds: subscriptions need the stream transport"))
+		} else {
+			resp = s.dispatch(ctx, req)
+		}
+		out := resp.Encode()
+		if len(out) > maxDatagram {
+			resp = reply(req, nil, fmt.Errorf("rds: reply of %d bytes exceeds datagram limit", len(out)))
+			out = resp.Encode()
+		}
+		s.mu.Lock()
+		s.stats.BytesOut += uint64(len(out))
+		s.mu.Unlock()
+		if _, err := pc.WriteTo(out, addr); err != nil && ctx.Err() == nil {
+			return fmt.Errorf("rds: packet write: %w", err)
+		}
+	}
+}
+
+// PacketClient is a datagram RDS client: every operation is one
+// request/response datagram pair with timeout-based retransmission (the
+// classic UDP management pattern). It supports every operation except
+// Subscribe.
+type PacketClient struct {
+	principal string
+	auth      *Authenticator
+	timeout   time.Duration
+	retries   int
+
+	mu   sync.Mutex
+	conn net.Conn
+	seq  uint32
+}
+
+// PacketOption configures a PacketClient.
+type PacketOption func(*PacketClient)
+
+// WithPacketAuth signs requests with the principal's secret.
+func WithPacketAuth(auth *Authenticator) PacketOption {
+	return func(c *PacketClient) { c.auth = auth }
+}
+
+// WithPacketTimeout sets the per-attempt timeout (default 2s).
+func WithPacketTimeout(d time.Duration) PacketOption {
+	return func(c *PacketClient) { c.timeout = d }
+}
+
+// WithPacketRetries sets retransmissions after the first attempt
+// (default 2).
+func WithPacketRetries(n int) PacketOption {
+	return func(c *PacketClient) { c.retries = n }
+}
+
+// DialPacket connects a datagram client to addr ("host:port").
+func DialPacket(addr, principal string, opts ...PacketOption) (*PacketClient, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rds: dial udp %s: %w", addr, err)
+	}
+	c := &PacketClient{principal: principal, conn: conn, timeout: 2 * time.Second, retries: 2}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Close releases the socket.
+func (c *PacketClient) Close() error { return c.conn.Close() }
+
+func (c *PacketClient) do(ctx context.Context, req *Message) (*Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	req.Seq = c.seq
+	req.Principal = c.principal
+	if err := c.auth.Sign(req); err != nil {
+		return nil, err
+	}
+	pkt := req.Encode()
+	if len(pkt) > maxDatagram {
+		return nil, fmt.Errorf("rds: request of %d bytes exceeds datagram limit (use the TCP transport)", len(pkt))
+	}
+	buf := make([]byte, maxDatagram)
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		deadline := time.Now().Add(c.timeout)
+		if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+			deadline = d
+		}
+		_ = c.conn.SetDeadline(deadline)
+		if _, err := c.conn.Write(pkt); err != nil {
+			lastErr = err
+			continue
+		}
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := Decode(buf[:n])
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Op != OpReply || resp.Seq != req.Seq {
+			lastErr = fmt.Errorf("rds: stray datagram (op %s seq %d)", resp.Op, resp.Seq)
+			continue
+		}
+		if !resp.OK {
+			return nil, &RemoteError{Op: req.Op, Msg: resp.Error}
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("rds: datagram exchange failed after %d attempts: %w", c.retries+1, lastErr)
+}
+
+// Delegate transfers a DPL program (must fit one datagram).
+func (c *PacketClient) Delegate(ctx context.Context, name, source string) error {
+	_, err := c.do(ctx, &Message{Op: OpDelegate, Name: name, Lang: "dpl", Payload: []byte(source)})
+	return err
+}
+
+// Instantiate starts an instance and returns its id.
+func (c *PacketClient) Instantiate(ctx context.Context, dp, entry string, args ...string) (string, error) {
+	m, err := c.do(ctx, &Message{Op: OpInstantiate, Name: dp, Entry: entry, Args: args})
+	if err != nil {
+		return "", err
+	}
+	return m.Name, nil
+}
+
+// Control applies suspend / resume / terminate.
+func (c *PacketClient) Control(ctx context.Context, dpiID, action string) error {
+	_, err := c.do(ctx, &Message{Op: OpControl, Name: dpiID, Entry: action})
+	return err
+}
+
+// Send delivers a mailbox message.
+func (c *PacketClient) Send(ctx context.Context, dpiID, payload string) error {
+	_, err := c.do(ctx, &Message{Op: OpSend, Name: dpiID, Payload: []byte(payload)})
+	return err
+}
+
+// Query fetches instance status.
+func (c *PacketClient) Query(ctx context.Context, dpiID string) ([]InfoRec, error) {
+	m, err := c.do(ctx, &Message{Op: OpQuery, Name: dpiID})
+	if err != nil {
+		return nil, err
+	}
+	return m.Infos, nil
+}
+
+// DeleteDP removes a program.
+func (c *PacketClient) DeleteDP(ctx context.Context, name string) error {
+	_, err := c.do(ctx, &Message{Op: OpDeleteDP, Name: name})
+	return err
+}
+
+// Eval performs one-shot remote evaluation.
+func (c *PacketClient) Eval(ctx context.Context, source, entry string, args ...string) (string, error) {
+	m, err := c.do(ctx, &Message{Op: OpEval, Entry: entry, Payload: []byte(source), Args: args})
+	if err != nil {
+		return "", err
+	}
+	return string(m.Payload), nil
+}

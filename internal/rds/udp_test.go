@@ -1,0 +1,200 @@
+package rds
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"mbd/internal/elastic"
+)
+
+func startPacketServer(t *testing.T, proc *elastic.Process, auth *Authenticator, copts ...PacketOption) *PacketClient {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(proc, auth)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.ServePacket(ctx, pc)
+	}()
+	t.Cleanup(func() { cancel(); <-done })
+	c, err := DialPacket(pc.LocalAddr().String(), "mgr", copts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestUDPDelegationLifecycle(t *testing.T) {
+	proc := elastic.NewProcess(elastic.Config{})
+	t.Cleanup(proc.Stop)
+	c := startPacketServer(t, proc, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	if err := c.Delegate(ctx, "echo", `func main() { return "got:" + recv(-1); }`); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Instantiate(ctx, "echo", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(ctx, id, "over-udp"); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := proc.Lookup(id)
+	v, err := d.Wait(ctx)
+	if err != nil || v != "got:over-udp" {
+		t.Fatalf("result = %v, %v", v, err)
+	}
+	infos, err := c.Query(ctx, id)
+	if err != nil || len(infos) != 1 || infos[0].State != "exited" {
+		t.Fatalf("query = %+v, %v", infos, err)
+	}
+	if err := c.DeleteDP(ctx, "echo"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Eval(ctx, `func main() { return 6 * 7; }`, "main")
+	if err != nil || out != "42" {
+		t.Fatalf("eval = %q, %v", out, err)
+	}
+	// Control over UDP.
+	if err := c.Delegate(ctx, "spin", `func main() { recv(-1); }`); err != nil {
+		t.Fatal(err)
+	}
+	id2, err := c.Instantiate(ctx, "spin", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Control(ctx, id2, "terminate"); err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := proc.Lookup(id2)
+	if _, err := d2.Wait(ctx); err == nil {
+		t.Fatal("terminate over UDP had no effect")
+	}
+}
+
+func TestUDPSubscribeRefused(t *testing.T) {
+	proc := elastic.NewProcess(elastic.Config{})
+	t.Cleanup(proc.Stop)
+	c := startPacketServer(t, proc, nil)
+	ctx := context.Background()
+	_, err := c.do(ctx, &Message{Op: OpSubscribe})
+	var re *RemoteError
+	if !errors.As(err, &re) || !strings.Contains(re.Msg, "stream transport") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUDPAuth(t *testing.T) {
+	proc := elastic.NewProcess(elastic.Config{})
+	t.Cleanup(proc.Stop)
+	serverAuth := NewAuthenticator()
+	serverAuth.SetSecret("mgr", "k")
+	good := NewAuthenticator()
+	good.SetSecret("mgr", "k")
+	c := startPacketServer(t, proc, serverAuth, WithPacketAuth(good))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.Delegate(ctx, "a", `func main() {}`); err != nil {
+		t.Fatal(err)
+	}
+	// Unsigned datagrams are answered with an auth failure.
+	unsigned, err := DialPacket(c.conn.RemoteAddr().String(), "mgr",
+		WithPacketRetries(0), WithPacketTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unsigned.Close()
+	if err := unsigned.Delegate(ctx, "b", `func main() {}`); err == nil {
+		t.Fatal("unsigned datagram accepted")
+	}
+}
+
+func TestUDPOversizedDelegateRejectedClientSide(t *testing.T) {
+	proc := elastic.NewProcess(elastic.Config{})
+	t.Cleanup(proc.Stop)
+	c := startPacketServer(t, proc, nil)
+	big := strings.Repeat("// padding\n", 10000) + "func main() {}"
+	err := c.Delegate(context.Background(), "big", big)
+	if err == nil || !strings.Contains(err.Error(), "datagram limit") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUDPRetransmissionSurvivesLoss(t *testing.T) {
+	// A lossy "network": a relay that drops the first request datagram.
+	proc := elastic.NewProcess(elastic.Config{})
+	t.Cleanup(proc.Stop)
+	inner, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(proc, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = srv.ServePacket(ctx, inner) }()
+
+	relay, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	serverAddr, _ := net.ResolveUDPAddr("udp", inner.LocalAddr().String())
+	go func() {
+		buf := make([]byte, maxDatagram)
+		dropped := false
+		var client net.Addr
+		up, err := net.DialUDP("udp", nil, serverAddr)
+		if err != nil {
+			return
+		}
+		defer up.Close()
+		go func() {
+			rbuf := make([]byte, maxDatagram)
+			for {
+				n, err := up.Read(rbuf)
+				if err != nil {
+					return
+				}
+				if client != nil {
+					_, _ = relay.WriteTo(rbuf[:n], client)
+				}
+			}
+		}()
+		for {
+			n, addr, err := relay.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			client = addr
+			if !dropped {
+				dropped = true // swallow the first request
+				continue
+			}
+			_, _ = up.Write(buf[:n])
+		}
+	}()
+
+	c, err := DialPacket(relay.LocalAddr().String(), "mgr",
+		WithPacketTimeout(200*time.Millisecond), WithPacketRetries(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cctx, ccancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer ccancel()
+	out, err := c.Eval(cctx, `func main() { return "alive"; }`, "main")
+	if err != nil || out != "alive" {
+		t.Fatalf("eval through lossy relay = %q, %v", out, err)
+	}
+}

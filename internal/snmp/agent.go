@@ -1,0 +1,168 @@
+package snmp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"mbd/internal/mib"
+)
+
+// Agent serves SNMPv1 requests against a mib.Tree. It is transport
+// independent: HandlePacket implements the request/response exchange on
+// raw bytes, and ServeUDP binds it to a socket. The netsim package
+// feeds it encoded packets directly with virtual-time accounting.
+type Agent struct {
+	tree      *mib.Tree
+	community string
+
+	mu    sync.Mutex
+	stats AgentStats
+}
+
+// AgentStats counts protocol activity, mirroring the snmp MIB group's
+// spirit (inPkts, outPkts, badCommunity, errors).
+type AgentStats struct {
+	InPkts       uint64
+	OutPkts      uint64
+	BadCommunity uint64
+	BadVersion   uint64
+	GetRequests  uint64
+	GetNexts     uint64
+	SetRequests  uint64
+	Errors       uint64
+}
+
+// NewAgent returns an agent serving tree; requests must carry the given
+// community string.
+func NewAgent(tree *mib.Tree, community string) *Agent {
+	return &Agent{tree: tree, community: community}
+}
+
+// Stats returns a copy of the agent's counters.
+func (a *Agent) Stats() AgentStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// HandlePacket processes one encoded request and returns the encoded
+// response, or nil when the request must be dropped (undecodable or
+// failed authentication — RFC 1157 drops silently).
+func (a *Agent) HandlePacket(pkt []byte) []byte {
+	a.mu.Lock()
+	a.stats.InPkts++
+	a.mu.Unlock()
+	req, err := Decode(pkt)
+	if err != nil {
+		a.count(func(s *AgentStats) { s.BadVersion++ })
+		return nil
+	}
+	resp := a.Handle(req)
+	if resp == nil {
+		return nil
+	}
+	out, err := resp.Encode()
+	if err != nil {
+		a.count(func(s *AgentStats) { s.Errors++ })
+		return nil
+	}
+	a.count(func(s *AgentStats) { s.OutPkts++ })
+	return out
+}
+
+func (a *Agent) count(f func(*AgentStats)) {
+	a.mu.Lock()
+	f(&a.stats)
+	a.mu.Unlock()
+}
+
+// Handle processes a decoded request message and returns the response
+// message, or nil for drops.
+func (a *Agent) Handle(req *Message) *Message {
+	if req.Community != a.community {
+		a.count(func(s *AgentStats) { s.BadCommunity++ })
+		return nil
+	}
+	resp := &Message{
+		Community: req.Community,
+		Type:      PDUGetResponse,
+		RequestID: req.RequestID,
+		VarBinds:  make([]VarBind, len(req.VarBinds)),
+	}
+	copy(resp.VarBinds, req.VarBinds)
+
+	fail := func(status ErrorStatus, index int) *Message {
+		a.count(func(s *AgentStats) { s.Errors++ })
+		resp.ErrorStatus = status
+		resp.ErrorIndex = index
+		// RFC 1157: on error, the varbind list is returned as received.
+		copy(resp.VarBinds, req.VarBinds)
+		return resp
+	}
+
+	switch req.Type {
+	case PDUGetRequest:
+		a.count(func(s *AgentStats) { s.GetRequests++ })
+		for i, vb := range req.VarBinds {
+			v, err := a.tree.Get(vb.Name)
+			if err != nil {
+				return fail(NoSuchName, i+1)
+			}
+			resp.VarBinds[i] = VarBind{Name: vb.Name, Value: v}
+		}
+	case PDUGetNextRequest:
+		a.count(func(s *AgentStats) { s.GetNexts++ })
+		for i, vb := range req.VarBinds {
+			next, v, err := a.tree.GetNext(vb.Name)
+			if err != nil {
+				return fail(NoSuchName, i+1)
+			}
+			resp.VarBinds[i] = VarBind{Name: next, Value: v}
+		}
+	case PDUSetRequest:
+		a.count(func(s *AgentStats) { s.SetRequests++ })
+		for i, vb := range req.VarBinds {
+			if err := a.tree.Set(vb.Name, vb.Value); err != nil {
+				switch {
+				case errors.Is(err, mib.ErrReadOnly):
+					return fail(ReadOnly, i+1)
+				case errors.Is(err, mib.ErrBadValue):
+					return fail(BadValue, i+1)
+				default:
+					return fail(NoSuchName, i+1)
+				}
+			}
+		}
+	default:
+		return nil // agents do not answer responses or traps
+	}
+	return resp
+}
+
+// ServeUDP answers requests on conn until ctx is cancelled. It blocks;
+// run it on its own goroutine. The conn is closed on return.
+func (a *Agent) ServeUDP(ctx context.Context, conn net.PacketConn) error {
+	defer conn.Close()
+	go func() {
+		<-ctx.Done()
+		conn.Close() // unblocks ReadFrom
+	}()
+	buf := make([]byte, 65536)
+	for {
+		n, addr, err := conn.ReadFrom(buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("snmp: agent read: %w", err)
+		}
+		if resp := a.HandlePacket(buf[:n]); resp != nil {
+			if _, err := conn.WriteTo(resp, addr); err != nil && ctx.Err() == nil {
+				return fmt.Errorf("snmp: agent write: %w", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,318 @@
+// Package snmp implements the SNMPv1 protocol (RFC 1157): message
+// encoding over ASN.1 BER, an agent engine serving a mib.Tree, and a
+// manager client with Get/GetNext/Set/Walk operations, retries and
+// timeouts. Traps are supported for agent-initiated notifications.
+//
+// This is the "micro-management" interface the paper's centralized
+// baseline uses; the MbD server mounts the same MIB and lets delegated
+// agents bypass the wire entirely.
+package snmp
+
+import (
+	"errors"
+	"fmt"
+
+	"mbd/internal/ber"
+	"mbd/internal/mib"
+	"mbd/internal/oid"
+)
+
+// Version0 is the SNMPv1 version number carried on the wire.
+const Version0 = 0
+
+// PDUType is the context-specific constructed tag of an SNMP PDU.
+type PDUType byte
+
+// SNMPv1 PDU types.
+const (
+	PDUGetRequest     PDUType = 0xA0
+	PDUGetNextRequest PDUType = 0xA1
+	PDUGetResponse    PDUType = 0xA2
+	PDUSetRequest     PDUType = 0xA3
+	PDUTrap           PDUType = 0xA4
+)
+
+// String names the PDU type.
+func (t PDUType) String() string {
+	switch t {
+	case PDUGetRequest:
+		return "GetRequest"
+	case PDUGetNextRequest:
+		return "GetNextRequest"
+	case PDUGetResponse:
+		return "GetResponse"
+	case PDUSetRequest:
+		return "SetRequest"
+	case PDUTrap:
+		return "Trap"
+	default:
+		return fmt.Sprintf("PDUType(0x%02x)", byte(t))
+	}
+}
+
+// ErrorStatus is the SNMPv1 PDU error-status field.
+type ErrorStatus int
+
+// SNMPv1 error-status values.
+const (
+	NoError    ErrorStatus = 0
+	TooBig     ErrorStatus = 1
+	NoSuchName ErrorStatus = 2
+	BadValue   ErrorStatus = 3
+	ReadOnly   ErrorStatus = 4
+	GenErr     ErrorStatus = 5
+)
+
+// String names the error status.
+func (e ErrorStatus) String() string {
+	switch e {
+	case NoError:
+		return "noError"
+	case TooBig:
+		return "tooBig"
+	case NoSuchName:
+		return "noSuchName"
+	case BadValue:
+		return "badValue"
+	case ReadOnly:
+		return "readOnly"
+	case GenErr:
+		return "genErr"
+	default:
+		return fmt.Sprintf("errorStatus(%d)", int(e))
+	}
+}
+
+// VarBind is one name/value pair in a PDU.
+type VarBind struct {
+	Name  oid.OID
+	Value mib.Value
+}
+
+// Message is a complete SNMPv1 message. For Trap PDUs the Trap field is
+// populated instead of RequestID/ErrorStatus/ErrorIndex.
+type Message struct {
+	Community   string
+	Type        PDUType
+	RequestID   int32
+	ErrorStatus ErrorStatus
+	ErrorIndex  int
+	VarBinds    []VarBind
+	Trap        *TrapInfo
+}
+
+// TrapInfo carries the SNMPv1 trap header fields.
+type TrapInfo struct {
+	Enterprise   oid.OID
+	AgentAddr    [4]byte
+	GenericTrap  int
+	SpecificTrap int
+	Timestamp    uint64 // TimeTicks
+}
+
+// Generic trap numbers (RFC 1157).
+const (
+	TrapColdStart          = 0
+	TrapLinkDown           = 2
+	TrapLinkUp             = 3
+	TrapEnterpriseSpecific = 6
+)
+
+// appendValue encodes a mib.Value into w.
+func appendValue(w *ber.Writer, v mib.Value) {
+	switch v.Kind {
+	case mib.KindNull:
+		w.AppendNull()
+	case mib.KindInteger:
+		w.AppendInt(ber.TagInteger, v.Int)
+	case mib.KindOctetString:
+		w.AppendString(ber.TagOctetString, v.Bytes)
+	case mib.KindOID:
+		w.AppendOID(v.OID)
+	case mib.KindIPAddress:
+		w.AppendString(ber.TagIPAddress, v.Bytes)
+	case mib.KindCounter32:
+		w.AppendUint(ber.TagCounter32, v.Uint)
+	case mib.KindGauge32:
+		w.AppendUint(ber.TagGauge32, v.Uint)
+	case mib.KindTimeTicks:
+		w.AppendUint(ber.TagTimeTicks, v.Uint)
+	case mib.KindCounter64:
+		w.AppendUint(ber.TagCounter64, v.Uint)
+	default:
+		w.AppendNull()
+	}
+}
+
+// readValue decodes one mib.Value from r.
+func readValue(r *ber.Reader) (mib.Value, error) {
+	tag, err := r.PeekTag()
+	if err != nil {
+		return mib.Value{}, err
+	}
+	switch tag {
+	case ber.TagNull:
+		return mib.Null(), r.ReadNull()
+	case ber.TagInteger:
+		_, v, err := r.ReadInt()
+		return mib.Int(v), err
+	case ber.TagOctetString:
+		_, s, err := r.ReadString()
+		return mib.Octets(s), err
+	case ber.TagOID:
+		o, err := r.ReadOID()
+		return mib.OIDValue(o), err
+	case ber.TagIPAddress:
+		_, s, err := r.ReadString()
+		if err != nil {
+			return mib.Value{}, err
+		}
+		if len(s) != 4 {
+			return mib.Value{}, fmt.Errorf("snmp: IpAddress of %d bytes", len(s))
+		}
+		return mib.Value{Kind: mib.KindIPAddress, Bytes: s}, nil
+	case ber.TagCounter32:
+		_, v, err := r.ReadUint()
+		return mib.Counter32(v), err
+	case ber.TagGauge32:
+		_, v, err := r.ReadUint()
+		return mib.Gauge32(v), err
+	case ber.TagTimeTicks:
+		_, v, err := r.ReadUint()
+		return mib.TimeTicks(v), err
+	case ber.TagCounter64:
+		_, v, err := r.ReadUint()
+		return mib.Counter64(v), err
+	default:
+		return mib.Value{}, fmt.Errorf("snmp: unsupported value tag 0x%02x", tag)
+	}
+}
+
+// Encode serializes the message to its BER wire form.
+func (m *Message) Encode() ([]byte, error) {
+	if m.Type == PDUTrap && m.Trap == nil {
+		return nil, errors.New("snmp: trap message without TrapInfo")
+	}
+	var w ber.Writer
+	msg := w.BeginSeq(ber.TagSequence)
+	w.AppendInt(ber.TagInteger, Version0)
+	w.AppendString(ber.TagOctetString, []byte(m.Community))
+	pdu := w.BeginSeq(byte(m.Type))
+	if m.Type == PDUTrap {
+		w.AppendOID(m.Trap.Enterprise)
+		w.AppendString(ber.TagIPAddress, m.Trap.AgentAddr[:])
+		w.AppendInt(ber.TagInteger, int64(m.Trap.GenericTrap))
+		w.AppendInt(ber.TagInteger, int64(m.Trap.SpecificTrap))
+		w.AppendUint(ber.TagTimeTicks, m.Trap.Timestamp)
+	} else {
+		w.AppendInt(ber.TagInteger, int64(m.RequestID))
+		w.AppendInt(ber.TagInteger, int64(m.ErrorStatus))
+		w.AppendInt(ber.TagInteger, int64(m.ErrorIndex))
+	}
+	vbl := w.BeginSeq(ber.TagSequence)
+	for _, vb := range m.VarBinds {
+		one := w.BeginSeq(ber.TagSequence)
+		w.AppendOID(vb.Name)
+		appendValue(&w, vb.Value)
+		w.EndSeq(one)
+	}
+	w.EndSeq(vbl)
+	w.EndSeq(pdu)
+	w.EndSeq(msg)
+	return w.Bytes(), nil
+}
+
+// Decode parses a BER wire message.
+func Decode(b []byte) (*Message, error) {
+	r, err := ber.NewReader(b).EnterSeq(ber.TagSequence)
+	if err != nil {
+		return nil, fmt.Errorf("snmp: bad message envelope: %w", err)
+	}
+	_, version, err := r.ReadInt()
+	if err != nil {
+		return nil, fmt.Errorf("snmp: bad version: %w", err)
+	}
+	if version != Version0 {
+		return nil, fmt.Errorf("snmp: unsupported version %d", version)
+	}
+	_, community, err := r.ReadString()
+	if err != nil {
+		return nil, fmt.Errorf("snmp: bad community: %w", err)
+	}
+	tag, err := r.PeekTag()
+	if err != nil {
+		return nil, err
+	}
+	m := &Message{Community: string(community), Type: PDUType(tag)}
+	pr, err := r.EnterSeq(tag)
+	if err != nil {
+		return nil, fmt.Errorf("snmp: bad PDU: %w", err)
+	}
+	switch m.Type {
+	case PDUGetRequest, PDUGetNextRequest, PDUGetResponse, PDUSetRequest:
+		_, rid, err := pr.ReadInt()
+		if err != nil {
+			return nil, err
+		}
+		_, es, err := pr.ReadInt()
+		if err != nil {
+			return nil, err
+		}
+		_, ei, err := pr.ReadInt()
+		if err != nil {
+			return nil, err
+		}
+		m.RequestID = int32(rid)
+		m.ErrorStatus = ErrorStatus(es)
+		m.ErrorIndex = int(ei)
+	case PDUTrap:
+		var ti TrapInfo
+		if ti.Enterprise, err = pr.ReadOID(); err != nil {
+			return nil, err
+		}
+		_, addr, err := pr.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		if len(addr) != 4 {
+			return nil, fmt.Errorf("snmp: trap agent-addr of %d bytes", len(addr))
+		}
+		copy(ti.AgentAddr[:], addr)
+		_, gt, err := pr.ReadInt()
+		if err != nil {
+			return nil, err
+		}
+		_, st, err := pr.ReadInt()
+		if err != nil {
+			return nil, err
+		}
+		_, ts, err := pr.ReadUint()
+		if err != nil {
+			return nil, err
+		}
+		ti.GenericTrap, ti.SpecificTrap, ti.Timestamp = int(gt), int(st), ts
+		m.Trap = &ti
+	default:
+		return nil, fmt.Errorf("snmp: unknown PDU type 0x%02x", tag)
+	}
+	vr, err := pr.EnterSeq(ber.TagSequence)
+	if err != nil {
+		return nil, fmt.Errorf("snmp: bad varbind list: %w", err)
+	}
+	for !vr.Empty() {
+		one, err := vr.EnterSeq(ber.TagSequence)
+		if err != nil {
+			return nil, err
+		}
+		name, err := one.ReadOID()
+		if err != nil {
+			return nil, err
+		}
+		val, err := readValue(one)
+		if err != nil {
+			return nil, err
+		}
+		m.VarBinds = append(m.VarBinds, VarBind{Name: name, Value: val})
+	}
+	return m, nil
+}

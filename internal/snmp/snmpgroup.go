@@ -1,0 +1,59 @@
+package snmp
+
+import (
+	"fmt"
+
+	"mbd/internal/mib"
+	"mbd/internal/oid"
+)
+
+// The snmp MIB group (1.3.6.1.2.1.11, RFC 1213): an agent's own
+// protocol statistics, served through the same MIB it manages — so a
+// manager (or a delegated program) can observe the management traffic
+// itself. The experiments' "management is itself load" point, made
+// observable.
+
+// OIDSnmpGroup is the snmp group root.
+var OIDSnmpGroup = oid.MustParse("1.3.6.1.2.1.11")
+
+// snmp group object arcs served by MountStats (RFC 1213 numbering).
+const (
+	snmpInPkts              = 1
+	snmpOutPkts             = 2
+	snmpInBadVersions       = 3
+	snmpInBadCommunityNames = 4
+	snmpInGetRequests       = 15
+	snmpInGetNexts          = 16
+	snmpInSetRequests       = 17
+	snmpInGetResponses      = 18 // unused by an agent; present, zero
+	snmpOutGetResponses     = 28
+)
+
+// MountStats mounts the agent's live protocol counters into tree as
+// the standard snmp group. Call once after NewAgent.
+func (a *Agent) MountStats(tree *mib.Tree) error {
+	counters := []struct {
+		arc uint32
+		get func(AgentStats) uint64
+	}{
+		{snmpInPkts, func(s AgentStats) uint64 { return s.InPkts }},
+		{snmpOutPkts, func(s AgentStats) uint64 { return s.OutPkts }},
+		{snmpInBadVersions, func(s AgentStats) uint64 { return s.BadVersion }},
+		{snmpInBadCommunityNames, func(s AgentStats) uint64 { return s.BadCommunity }},
+		{snmpInGetRequests, func(s AgentStats) uint64 { return s.GetRequests }},
+		{snmpInGetNexts, func(s AgentStats) uint64 { return s.GetNexts }},
+		{snmpInSetRequests, func(s AgentStats) uint64 { return s.SetRequests }},
+		{snmpInGetResponses, func(AgentStats) uint64 { return 0 }},
+		{snmpOutGetResponses, func(s AgentStats) uint64 { return s.OutPkts }},
+	}
+	for _, c := range counters {
+		get := c.get
+		err := tree.Mount(OIDSnmpGroup.Append(c.arc), &mib.Scalar{
+			Get: func() mib.Value { return mib.Counter32(get(a.Stats())) },
+		})
+		if err != nil {
+			return fmt.Errorf("snmp: mounting stats: %w", err)
+		}
+	}
+	return nil
+}

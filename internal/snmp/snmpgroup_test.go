@@ -1,0 +1,63 @@
+package snmp
+
+import (
+	"context"
+	"testing"
+
+	"mbd/internal/mib"
+)
+
+func TestSnmpGroupServesOwnCounters(t *testing.T) {
+	dev, err := mib.NewDevice(mib.DeviceConfig{Name: "self", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := NewAgent(dev.Tree(), "public")
+	if err := agent.MountStats(dev.Tree()); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(AgentTripper(agent), "public")
+	ctx := context.Background()
+
+	// Generate some traffic: 3 Gets and a bad community.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get(ctx, mib.OIDSysName.Append(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad := NewClient(AgentTripper(agent), "wrong", WithRetries(0))
+	_, _ = bad.Get(ctx, mib.OIDSysName.Append(0))
+
+	// Now read the agent's own counters through the agent itself.
+	vbs, err := c.Get(ctx,
+		OIDSnmpGroup.Append(1, 0),  // snmpInPkts
+		OIDSnmpGroup.Append(4, 0),  // snmpInBadCommunityNames
+		OIDSnmpGroup.Append(15, 0), // snmpInGetRequests
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inPkts := vbs[0].Value.Uint
+	badComm := vbs[1].Value.Uint
+	gets := vbs[2].Value.Uint
+	// 3 good + 1 bad + this one = 5 in-packets at handling time.
+	if inPkts < 5 {
+		t.Fatalf("snmpInPkts = %d, want ≥5", inPkts)
+	}
+	if badComm != 1 {
+		t.Fatalf("snmpInBadCommunityNames = %d", badComm)
+	}
+	if gets < 4 {
+		t.Fatalf("snmpInGetRequests = %d, want ≥4", gets)
+	}
+
+	// The group participates in walks (9 scalars).
+	n, err := c.Walk(ctx, OIDSnmpGroup, func(VarBind) bool { return true })
+	if err != nil || n != 9 {
+		t.Fatalf("snmp group walk = %d, %v", n, err)
+	}
+	// Double-mount is rejected cleanly.
+	if err := agent.MountStats(dev.Tree()); err == nil {
+		t.Fatal("double MountStats accepted")
+	}
+}

@@ -1,0 +1,500 @@
+package vdl
+
+import (
+	"fmt"
+
+	"mbd/internal/dpl"
+	"mbd/internal/mib"
+	"mbd/internal/oid"
+)
+
+// Row is one view result row. Index is the base-table instance index
+// (left table's for joins; nil for aggregates).
+type Row struct {
+	Index oid.OID
+	Cells []Value
+}
+
+// Result is a materialized view evaluation.
+type Result struct {
+	View    string
+	Columns []string
+	Rows    []Row
+	// BaseRows counts base-table rows scanned — the data the manager
+	// did NOT have to transfer.
+	BaseRows int
+}
+
+// Evaluator computes views over a MIB tree using a schema.
+type Evaluator struct {
+	tree   *mib.Tree
+	schema *Schema
+}
+
+// NewEvaluator returns an evaluator over tree.
+func NewEvaluator(tree *mib.Tree, schema *Schema) *Evaluator {
+	return &Evaluator{tree: tree, schema: schema}
+}
+
+// baseRow is a materialized conceptual row.
+type baseRow struct {
+	index oid.OID
+	cells map[string]Value // column name → value
+}
+
+// materialize walks one table into memory.
+func (ev *Evaluator) materialize(ref TableRef) ([]baseRow, error) {
+	ts, ok := ev.schema.Lookup(ref.Table)
+	if !ok {
+		return nil, fmt.Errorf("vdl: unknown table %q", ref.Table)
+	}
+	colByNum := make(map[uint32]string, len(ts.Columns))
+	for name, num := range ts.Columns {
+		colByNum[num] = name
+	}
+	rows := make(map[string]*baseRow)
+	var order []string
+	ev.tree.Walk(ts.Entry, func(o oid.OID, v mib.Value) bool {
+		rel, ok := o.Index(ts.Entry)
+		if !ok || len(rel) < 2 {
+			return true
+		}
+		name, known := colByNum[rel[0]]
+		if !known {
+			return true
+		}
+		idx := rel[1:]
+		key := idx.String()
+		r, exists := rows[key]
+		if !exists {
+			r = &baseRow{index: idx, cells: make(map[string]Value)}
+			rows[key] = r
+			order = append(order, key)
+		}
+		r.cells[name] = fromSMI(v)
+		return true
+	})
+	out := make([]baseRow, 0, len(order))
+	for _, key := range order {
+		out = append(out, *rows[key])
+	}
+	return out, nil
+}
+
+// env resolves column references for one (possibly joined) row.
+type env struct {
+	byAlias map[string]map[string]Value
+	flat    map[string]Value
+}
+
+func newEnv() *env {
+	return &env{byAlias: make(map[string]map[string]Value), flat: make(map[string]Value)}
+}
+
+func (e *env) add(alias string, cells map[string]Value) {
+	e.byAlias[alias] = cells
+	for k, v := range cells {
+		e.flat[k] = v
+	}
+}
+
+func (e *env) lookup(c ColRef) (Value, error) {
+	if c.Alias != "" {
+		cells, ok := e.byAlias[c.Alias]
+		if !ok {
+			return nil, fmt.Errorf("vdl: unknown alias %q", c.Alias)
+		}
+		v, ok := cells[c.Col]
+		if !ok {
+			return nil, fmt.Errorf("vdl: no column %q in %q", c.Col, c.Alias)
+		}
+		return v, nil
+	}
+	v, ok := e.flat[c.Col]
+	if !ok {
+		return nil, fmt.Errorf("vdl: unknown column %q", c.Col)
+	}
+	return v, nil
+}
+
+// hasAgg reports whether the expression contains an aggregate call.
+func hasAgg(e Expr) bool {
+	switch n := e.(type) {
+	case Agg:
+		return true
+	case Bin:
+		return hasAgg(n.L) || hasAgg(n.R)
+	case Un:
+		return hasAgg(n.X)
+	default:
+		return false
+	}
+}
+
+// Eval materializes the view against the current MIB contents.
+func (ev *Evaluator) Eval(v *ViewDef) (*Result, error) {
+	left, err := ev.materialize(v.From)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{View: v.Name}
+	for _, s := range v.Select {
+		res.Columns = append(res.Columns, s.Name)
+	}
+
+	// Build the working set of row environments.
+	var envs []*env
+	var indices []oid.OID
+	res.BaseRows = len(left)
+	if v.Join == nil {
+		for _, lr := range left {
+			e := newEnv()
+			e.add(v.From.Alias, lr.cells)
+			envs = append(envs, e)
+			indices = append(indices, lr.index)
+		}
+	} else {
+		right, err := ev.materialize(v.Join.Right)
+		if err != nil {
+			return nil, err
+		}
+		res.BaseRows += len(right)
+		for _, lr := range left {
+			le := newEnv()
+			le.add(v.From.Alias, lr.cells)
+			lv, err := le.lookup(v.Join.LeftCol)
+			if err != nil {
+				return nil, err
+			}
+			for _, rr := range right {
+				re := newEnv()
+				re.add(v.Join.Right.Alias, rr.cells)
+				rv, err := re.lookup(v.Join.RightCol)
+				if err != nil {
+					return nil, err
+				}
+				eq, err := evalBinOp(dpl.TokEq, lv, rv)
+				if err != nil {
+					return nil, err
+				}
+				if eq == true {
+					joined := newEnv()
+					joined.add(v.From.Alias, lr.cells)
+					joined.add(v.Join.Right.Alias, rr.cells)
+					envs = append(envs, joined)
+					indices = append(indices, lr.index)
+				}
+			}
+		}
+	}
+
+	// Apply the where clause.
+	var kept []*env
+	var keptIdx []oid.OID
+	for i, e := range envs {
+		if v.Where != nil {
+			cond, err := evalExpr(v.Where, e)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(cond) {
+				continue
+			}
+		}
+		kept = append(kept, e)
+		keptIdx = append(keptIdx, indices[i])
+	}
+
+	// Aggregate or project.
+	aggregate := false
+	for _, s := range v.Select {
+		if hasAgg(s.Expr) {
+			aggregate = true
+			break
+		}
+	}
+	if aggregate {
+		row := Row{Cells: make([]Value, len(v.Select))}
+		for i, s := range v.Select {
+			val, err := evalAggregate(s.Expr, kept)
+			if err != nil {
+				return nil, err
+			}
+			row.Cells[i] = val
+		}
+		res.Rows = []Row{row}
+		return res, nil
+	}
+	for i, e := range kept {
+		row := Row{Index: keptIdx[i], Cells: make([]Value, len(v.Select))}
+		for j, s := range v.Select {
+			val, err := evalExpr(s.Expr, e)
+			if err != nil {
+				return nil, err
+			}
+			row.Cells[j] = val
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// evalAggregate computes an expression that may contain aggregate calls
+// over the kept row set.
+func evalAggregate(e Expr, rows []*env) (Value, error) {
+	switch n := e.(type) {
+	case Agg:
+		switch n.Fn {
+		case "count":
+			return int64(len(rows)), nil
+		default:
+			var acc float64
+			var best Value
+			cnt := 0
+			for _, r := range rows {
+				v, err := evalExpr(n.X, r)
+				if err != nil {
+					return nil, err
+				}
+				f, ok := asFloat(v)
+				switch n.Fn {
+				case "sum", "avg":
+					if !ok {
+						return nil, fmt.Errorf("vdl: %s over non-numeric value", n.Fn)
+					}
+					acc += f
+				case "min", "max":
+					if best == nil {
+						best = v
+					} else {
+						cmpTok := dpl.TokLt
+						if n.Fn == "max" {
+							cmpTok = dpl.TokGt
+						}
+						c, err := evalBinOp(cmpTok, v, best)
+						if err != nil {
+							return nil, err
+						}
+						if c == true {
+							best = v
+						}
+					}
+				}
+				cnt++
+			}
+			switch n.Fn {
+			case "sum":
+				return acc, nil
+			case "avg":
+				if cnt == 0 {
+					return nil, nil
+				}
+				return acc / float64(cnt), nil
+			default:
+				return best, nil
+			}
+		}
+	case Bin:
+		l, err := evalAggregate(n.L, rows)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalAggregate(n.R, rows)
+		if err != nil {
+			return nil, err
+		}
+		return evalBinOp(n.Op, l, r)
+	case Un:
+		x, err := evalAggregate(n.X, rows)
+		if err != nil {
+			return nil, err
+		}
+		return evalUnOp(n.Op, x)
+	case Lit:
+		return n.V, nil
+	case ColRef:
+		return nil, fmt.Errorf("vdl: bare column %q in aggregate select", n.Col)
+	default:
+		return nil, fmt.Errorf("vdl: unknown expression %T", e)
+	}
+}
+
+func evalExpr(e Expr, env *env) (Value, error) {
+	switch n := e.(type) {
+	case Lit:
+		return n.V, nil
+	case ColRef:
+		return env.lookup(n)
+	case Un:
+		x, err := evalExpr(n.X, env)
+		if err != nil {
+			return nil, err
+		}
+		return evalUnOp(n.Op, x)
+	case Bin:
+		if n.Op == dpl.TokAndAnd || n.Op == dpl.TokOrOr {
+			l, err := evalExpr(n.L, env)
+			if err != nil {
+				return nil, err
+			}
+			if n.Op == dpl.TokAndAnd && !truthy(l) {
+				return false, nil
+			}
+			if n.Op == dpl.TokOrOr && truthy(l) {
+				return true, nil
+			}
+			r, err := evalExpr(n.R, env)
+			if err != nil {
+				return nil, err
+			}
+			return truthy(r), nil
+		}
+		l, err := evalExpr(n.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalExpr(n.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return evalBinOp(n.Op, l, r)
+	case Agg:
+		return nil, fmt.Errorf("vdl: aggregate %s() outside select", n.Fn)
+	default:
+		return nil, fmt.Errorf("vdl: unknown expression %T", e)
+	}
+}
+
+func truthy(v Value) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return x
+	case int64:
+		return x != 0
+	case float64:
+		return x != 0
+	case string:
+		return x != ""
+	default:
+		return true
+	}
+}
+
+func asFloat(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+
+func evalUnOp(op dpl.TokenKind, x Value) (Value, error) {
+	if op == dpl.TokBang {
+		return !truthy(x), nil
+	}
+	switch v := x.(type) {
+	case int64:
+		return -v, nil
+	case float64:
+		return -v, nil
+	default:
+		return nil, fmt.Errorf("vdl: cannot negate %T", x)
+	}
+}
+
+func evalBinOp(op dpl.TokenKind, l, r Value) (Value, error) {
+	// Equality handles strings and nil specially.
+	if op == dpl.TokEq || op == dpl.TokNe {
+		eq := looseEqual(l, r)
+		if op == dpl.TokNe {
+			eq = !eq
+		}
+		return eq, nil
+	}
+	if ls, ok := l.(string); ok {
+		rs, ok := r.(string)
+		if !ok {
+			return nil, fmt.Errorf("vdl: cannot compare string and %T", r)
+		}
+		switch op {
+		case dpl.TokLt:
+			return ls < rs, nil
+		case dpl.TokLe:
+			return ls <= rs, nil
+		case dpl.TokGt:
+			return ls > rs, nil
+		case dpl.TokGe:
+			return ls >= rs, nil
+		case dpl.TokPlus:
+			return ls + rs, nil
+		default:
+			return nil, fmt.Errorf("vdl: invalid string operation")
+		}
+	}
+	lf, lok := asFloat(l)
+	rf, rok := asFloat(r)
+	if !lok || !rok {
+		return nil, fmt.Errorf("vdl: non-numeric operands (%T, %T)", l, r)
+	}
+	li, lInt := l.(int64)
+	ri, rInt := r.(int64)
+	bothInt := lInt && rInt
+	switch op {
+	case dpl.TokLt:
+		return lf < rf, nil
+	case dpl.TokLe:
+		return lf <= rf, nil
+	case dpl.TokGt:
+		return lf > rf, nil
+	case dpl.TokGe:
+		return lf >= rf, nil
+	case dpl.TokPlus:
+		if bothInt {
+			return li + ri, nil
+		}
+		return lf + rf, nil
+	case dpl.TokMinus:
+		if bothInt {
+			return li - ri, nil
+		}
+		return lf - rf, nil
+	case dpl.TokStar:
+		if bothInt {
+			return li * ri, nil
+		}
+		return lf * rf, nil
+	case dpl.TokSlash:
+		if rf == 0 {
+			return nil, fmt.Errorf("vdl: division by zero")
+		}
+		if bothInt && li%ri == 0 {
+			return li / ri, nil
+		}
+		return lf / rf, nil
+	case dpl.TokPercent:
+		if !bothInt {
+			return nil, fmt.Errorf("vdl: %% needs integers")
+		}
+		if ri == 0 {
+			return nil, fmt.Errorf("vdl: modulo by zero")
+		}
+		return li % ri, nil
+	default:
+		return nil, fmt.Errorf("vdl: unknown operator %s", op)
+	}
+}
+
+func looseEqual(l, r Value) bool {
+	if lf, ok := asFloat(l); ok {
+		if rf, ok := asFloat(r); ok {
+			return lf == rf
+		}
+		return false
+	}
+	return l == r
+}

@@ -1,0 +1,53 @@
+package vdl_test
+
+import (
+	"fmt"
+	"time"
+
+	"mbd/internal/mib"
+	"mbd/internal/vdl"
+)
+
+// ExampleMCVA shows defining and querying a view over a live MIB.
+func ExampleMCVA() {
+	dev, err := mib.NewDevice(mib.DeviceConfig{Name: "r1", Interfaces: 2, Seed: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dev.Advance(10 * time.Second)
+
+	mcva := vdl.NewMCVA(dev.Tree(), vdl.MIB2())
+	if _, err := mcva.Define(`view up {
+  from ifTable;
+  select ifIndex, ifDescr;
+  where ifOperStatus == 1;
+}`); err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := mcva.Query("up")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, r := range res.Rows {
+		fmt.Printf("%v %v\n", r.Cells[0], r.Cells[1])
+	}
+	// Output:
+	// 1 eth0
+	// 2 eth1
+}
+
+// ExampleRenderSMI contrasts a five-line VDL view with its verbose
+// SMI-extension equivalent.
+func ExampleRenderSMI() {
+	v, _ := vdl.Parse(`view busy {
+  from ifTable;
+  select ifIndex, ifInOctets + ifOutOctets as total;
+  where ifOperStatus == 1;
+}`)
+	smi := vdl.RenderSMI(v, 424242)
+	fmt.Printf("VDL: %d lines, SMI-style: %d lines\n", vdl.SpecLines(v.Source), vdl.SpecLines(smi))
+	// Output: VDL: 5 lines, SMI-style: 40 lines
+}

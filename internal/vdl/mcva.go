@@ -1,0 +1,251 @@
+package vdl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mbd/internal/dpl"
+	"mbd/internal/mib"
+	"mbd/internal/oid"
+)
+
+// OIDViews is the v-mib root under which the MCVA exposes computed
+// views (an enterprise arc reserved for this implementation).
+var OIDViews = oid.MustParse("1.3.6.1.4.1.424242.1")
+
+// MCVA is the MIB Computations-of-Views Agent: it holds named view
+// definitions, evaluates them on demand against the live MIB, keeps
+// immutable snapshots, and exposes both as a virtual MIB subtree so
+// plain SNMP managers can read computed views.
+type MCVA struct {
+	ev *Evaluator
+
+	mu        sync.Mutex
+	views     map[string]*ViewDef
+	viewOrder []string
+	snapshots map[int64]*Result
+	snapSeq   int64
+}
+
+// NewMCVA builds an MCVA over the tree and schema.
+func NewMCVA(tree *mib.Tree, schema *Schema) *MCVA {
+	return &MCVA{
+		ev:        NewEvaluator(tree, schema),
+		views:     make(map[string]*ViewDef),
+		snapshots: make(map[int64]*Result),
+	}
+}
+
+// Define parses and installs a view definition, replacing any previous
+// view of the same name.
+func (m *MCVA) Define(src string) (*ViewDef, error) {
+	v, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	// Validate eagerly: an empty evaluation exposes schema errors now
+	// rather than at first query.
+	if _, err := m.ev.Eval(v); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.views[v.Name]; !exists {
+		m.viewOrder = append(m.viewOrder, v.Name)
+	}
+	m.views[v.Name] = v
+	return v, nil
+}
+
+// Views lists installed view names in definition order.
+func (m *MCVA) Views() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.viewOrder))
+	copy(out, m.viewOrder)
+	return out
+}
+
+// Query evaluates the named view against the current MIB contents.
+func (m *MCVA) Query(name string) (*Result, error) {
+	m.mu.Lock()
+	v, ok := m.views[name]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("vdl: no view %q", name)
+	}
+	return m.ev.Eval(v)
+}
+
+// Snapshot materializes the named view and retains the result
+// immutably, returning its id. "View Snapshots ... provide an
+// instantaneous copy of the values of a collection of mib variables."
+func (m *MCVA) Snapshot(name string) (int64, error) {
+	res, err := m.Query(name)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snapSeq++
+	m.snapshots[m.snapSeq] = res
+	return m.snapSeq, nil
+}
+
+// SnapshotResult fetches a retained snapshot by id.
+func (m *MCVA) SnapshotResult(id int64) (*Result, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.snapshots[id]
+	return r, ok
+}
+
+// DropSnapshot releases a snapshot.
+func (m *MCVA) DropSnapshot(id int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.snapshots[id]; !ok {
+		return false
+	}
+	delete(m.snapshots, id)
+	return true
+}
+
+// Bindings returns the host functions the MCVA contributes to the MbD
+// server's allowed set, so delegated programs can define and query
+// views:
+//
+//	viewDefine(src)      install a view; returns its name
+//	viewQuery(name)      evaluate; returns array of row arrays
+//	viewSnapshot(name)   materialize; returns snapshot id
+//	snapshotRows(id)     rows of a retained snapshot
+//	snapshotDrop(id)     release a snapshot; returns true if it existed
+func (m *MCVA) Bindings() *dpl.Bindings {
+	b := dpl.NewBindings()
+	rowsToDPL := func(res *Result) *dpl.Array {
+		out := &dpl.Array{}
+		for _, r := range res.Rows {
+			row := &dpl.Array{}
+			for _, c := range r.Cells {
+				row.Elems = append(row.Elems, dpl.Value(c))
+			}
+			out.Elems = append(out.Elems, row)
+		}
+		return out
+	}
+	b.Register("viewDefine", 1, func(env *dpl.Env, args []dpl.Value) (dpl.Value, error) {
+		src, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("vdl: viewDefine wants a string")
+		}
+		v, err := m.Define(src)
+		if err != nil {
+			return nil, err
+		}
+		return v.Name, nil
+	})
+	b.Register("viewQuery", 1, func(env *dpl.Env, args []dpl.Value) (dpl.Value, error) {
+		name, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("vdl: viewQuery wants a string")
+		}
+		res, err := m.Query(name)
+		if err != nil {
+			return nil, err
+		}
+		return rowsToDPL(res), nil
+	})
+	b.Register("viewSnapshot", 1, func(env *dpl.Env, args []dpl.Value) (dpl.Value, error) {
+		name, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("vdl: viewSnapshot wants a string")
+		}
+		return m.Snapshot(name)
+	})
+	b.Register("snapshotRows", 1, func(env *dpl.Env, args []dpl.Value) (dpl.Value, error) {
+		id, ok := args[0].(int64)
+		if !ok {
+			return nil, fmt.Errorf("vdl: snapshotRows wants an id")
+		}
+		res, ok := m.SnapshotResult(id)
+		if !ok {
+			return nil, fmt.Errorf("vdl: no snapshot %d", id)
+		}
+		return rowsToDPL(res), nil
+	})
+	b.Register("snapshotDrop", 1, func(env *dpl.Env, args []dpl.Value) (dpl.Value, error) {
+		id, ok := args[0].(int64)
+		if !ok {
+			return nil, fmt.Errorf("vdl: snapshotDrop wants an id")
+		}
+		return m.DropSnapshot(id), nil
+	})
+	return b
+}
+
+// Handler returns a mib.Handler exposing the MCVA's views as v-mib
+// objects. Mount it at OIDViews. Instances are addressed
+// viewIndex.column.row (1-based); every read re-evaluates the view, so
+// SNMP managers always see fresh computed data.
+func (m *MCVA) Handler() mib.Handler { return &viewHandler{m: m} }
+
+type viewHandler struct {
+	m *MCVA
+}
+
+// materializeAll evaluates every installed view in definition order.
+func (h *viewHandler) materializeAll() []*Result {
+	names := h.m.Views()
+	out := make([]*Result, 0, len(names))
+	for _, n := range names {
+		res, err := h.m.Query(n)
+		if err != nil {
+			res = &Result{View: n} // failed views expose no instances
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// GetRel implements mib.Handler.
+func (h *viewHandler) GetRel(rel oid.OID) (mib.Value, bool) {
+	if len(rel) != 3 {
+		return mib.Value{}, false
+	}
+	all := h.materializeAll()
+	vi, ci, ri := int(rel[0]), int(rel[1]), int(rel[2])
+	if vi < 1 || vi > len(all) {
+		return mib.Value{}, false
+	}
+	res := all[vi-1]
+	if ci < 1 || ci > len(res.Columns) || ri < 1 || ri > len(res.Rows) {
+		return mib.Value{}, false
+	}
+	return toSMI(res.Rows[ri-1].Cells[ci-1]), true
+}
+
+// NextRel implements mib.Handler.
+func (h *viewHandler) NextRel(rel oid.OID) (oid.OID, mib.Value, bool) {
+	all := h.materializeAll()
+	// Enumerate instances in order and return the first beyond rel.
+	var candidates []oid.OID
+	for vi, res := range all {
+		for ci := range res.Columns {
+			for ri := range res.Rows {
+				candidates = append(candidates, oid.OID{uint32(vi + 1), uint32(ci + 1), uint32(ri + 1)})
+			}
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Compare(candidates[j]) < 0 })
+	for _, c := range candidates {
+		if c.Compare(rel) > 0 {
+			v, ok := h.GetRel(c)
+			if !ok {
+				continue
+			}
+			return c, v, true
+		}
+	}
+	return nil, mib.Value{}, false
+}

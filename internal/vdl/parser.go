@@ -1,0 +1,457 @@
+package vdl
+
+import (
+	"fmt"
+
+	"mbd/internal/dpl"
+)
+
+// The VDL parser reuses the DPL lexer (the token inventory is
+// identical) with its own grammar on top.
+
+// ViewDef is a parsed view definition.
+type ViewDef struct {
+	Name   string
+	From   TableRef
+	Join   *JoinClause
+	Select []SelectItem
+	Where  Expr // nil = no filter
+	// Source preserves the original text for spec-economy metrics.
+	Source string
+}
+
+// TableRef names a base table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string // defaults to Table
+}
+
+// JoinClause is an equi-join with a second table.
+type JoinClause struct {
+	Right    TableRef
+	LeftCol  ColRef
+	RightCol ColRef
+}
+
+// SelectItem is one output column.
+type SelectItem struct {
+	Expr Expr
+	Name string
+}
+
+// Expr is a view expression node.
+type Expr interface{ exprNode() }
+
+// ColRef references a column, optionally alias-qualified.
+type ColRef struct {
+	Alias string // empty = unqualified
+	Col   string
+}
+
+// Lit is a literal (int64, float64, string, or bool).
+type Lit struct{ V Value }
+
+// Bin is a binary operation; Op is a dpl token kind.
+type Bin struct {
+	Op   dpl.TokenKind
+	L, R Expr
+}
+
+// Un is unary minus or not.
+type Un struct {
+	Op dpl.TokenKind
+	X  Expr
+}
+
+// Agg is an aggregate call: count, sum, avg, min, max.
+type Agg struct {
+	Fn string
+	X  Expr // nil for count()
+}
+
+func (ColRef) exprNode() {}
+func (Lit) exprNode()    {}
+func (Bin) exprNode()    {}
+func (Un) exprNode()     {}
+func (Agg) exprNode()    {}
+
+type vparser struct {
+	toks []dpl.Token
+	pos  int
+	src  string
+}
+
+// Parse parses one view definition.
+func Parse(src string) (*ViewDef, error) {
+	toks, err := dpl.Lex(src)
+	if err != nil {
+		return nil, fmt.Errorf("vdl: %w", err)
+	}
+	p := &vparser{toks: toks, src: src}
+	v, err := p.view()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != dpl.TokEOF {
+		return nil, p.errf("trailing input after view definition")
+	}
+	return v, nil
+}
+
+// ParseAll parses a file of view definitions.
+func ParseAll(src string) ([]*ViewDef, error) {
+	toks, err := dpl.Lex(src)
+	if err != nil {
+		return nil, fmt.Errorf("vdl: %w", err)
+	}
+	p := &vparser{toks: toks, src: src}
+	var out []*ViewDef
+	for p.cur().Kind != dpl.TokEOF {
+		v, err := p.view()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func (p *vparser) cur() dpl.Token { return p.toks[p.pos] }
+
+func (p *vparser) advance() dpl.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *vparser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("vdl: %d:%d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+func (p *vparser) keyword(word string) error {
+	t := p.cur()
+	if t.Kind != dpl.TokIdent || t.Text != word {
+		return p.errf("expected %q, found %q", word, t.Text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *vparser) ident() (string, error) {
+	t := p.cur()
+	if t.Kind != dpl.TokIdent {
+		return "", p.errf("expected identifier, found %s", t.Kind)
+	}
+	p.advance()
+	return t.Text, nil
+}
+
+func (p *vparser) expect(k dpl.TokenKind) error {
+	if p.cur().Kind != k {
+		return p.errf("expected %s, found %s", k, p.cur().Kind)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *vparser) tableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name, Alias: name}
+	if p.cur().Kind == dpl.TokIdent && p.cur().Text == "as" {
+		p.advance()
+		alias, err := p.ident()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = alias
+	}
+	return ref, nil
+}
+
+func (p *vparser) view() (*ViewDef, error) {
+	if err := p.keyword("view"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(dpl.TokLBrace); err != nil {
+		return nil, err
+	}
+	v := &ViewDef{Name: name, Source: p.src}
+
+	if err := p.keyword("from"); err != nil {
+		return nil, err
+	}
+	if v.From, err = p.tableRef(); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == dpl.TokIdent && p.cur().Text == "join" {
+		p.advance()
+		j := &JoinClause{}
+		if j.Right, err = p.tableRef(); err != nil {
+			return nil, err
+		}
+		if err := p.keyword("on"); err != nil {
+			return nil, err
+		}
+		left, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(dpl.TokEq); err != nil {
+			return nil, err
+		}
+		right, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		j.LeftCol, j.RightCol = left, right
+		v.Join = j
+	}
+	if err := p.expect(dpl.TokSemicolon); err != nil {
+		return nil, err
+	}
+
+	if err := p.keyword("select"); err != nil {
+		return nil, err
+	}
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		item := SelectItem{Expr: e, Name: defaultName(e, len(v.Select))}
+		if p.cur().Kind == dpl.TokIdent && p.cur().Text == "as" {
+			p.advance()
+			if item.Name, err = p.ident(); err != nil {
+				return nil, err
+			}
+		}
+		v.Select = append(v.Select, item)
+		if p.cur().Kind == dpl.TokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expect(dpl.TokSemicolon); err != nil {
+		return nil, err
+	}
+
+	if p.cur().Kind == dpl.TokIdent && p.cur().Text == "where" {
+		p.advance()
+		if v.Where, err = p.expr(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(dpl.TokSemicolon); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(dpl.TokRBrace); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func defaultName(e Expr, i int) string {
+	if c, ok := e.(ColRef); ok {
+		return c.Col
+	}
+	if a, ok := e.(Agg); ok {
+		return a.Fn
+	}
+	return fmt.Sprintf("col%d", i+1)
+}
+
+func (p *vparser) colRef() (ColRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return ColRef{}, err
+	}
+	// alias.col is lexed as ident "." would fail — DPL has no dot token,
+	// so qualification uses alias:col.
+	if p.cur().Kind == dpl.TokColon {
+		p.advance()
+		col, err := p.ident()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Alias: name, Col: col}, nil
+	}
+	return ColRef{Col: name}, nil
+}
+
+// Expression grammar mirrors DPL's precedence.
+
+func (p *vparser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *vparser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == dpl.TokOrOr {
+		p.advance()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin{Op: dpl.TokOrOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *vparser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == dpl.TokAndAnd {
+		p.advance()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin{Op: dpl.TokAndAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *vparser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.cur().Kind
+		switch k {
+		case dpl.TokEq, dpl.TokNe, dpl.TokLt, dpl.TokLe, dpl.TokGt, dpl.TokGe:
+			p.advance()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = Bin{Op: k, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *vparser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == dpl.TokPlus || p.cur().Kind == dpl.TokMinus {
+		k := p.advance().Kind
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin{Op: k, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *vparser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == dpl.TokStar || p.cur().Kind == dpl.TokSlash || p.cur().Kind == dpl.TokPercent {
+		k := p.advance().Kind
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin{Op: k, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *vparser) unaryExpr() (Expr, error) {
+	switch p.cur().Kind {
+	case dpl.TokMinus, dpl.TokBang:
+		k := p.advance().Kind
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Un{Op: k, X: x}, nil
+	}
+	return p.primary()
+}
+
+var aggFns = map[string]bool{"count": true, "sum": true, "avg": true, "min": true, "max": true}
+
+func (p *vparser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case dpl.TokInt:
+		p.advance()
+		var v int64
+		for _, c := range t.Text {
+			v = v*10 + int64(c-'0')
+		}
+		return Lit{V: v}, nil
+	case dpl.TokFloat:
+		p.advance()
+		var f float64
+		_, err := fmt.Sscanf(t.Text, "%g", &f)
+		if err != nil {
+			return nil, p.errf("bad float %q", t.Text)
+		}
+		return Lit{V: f}, nil
+	case dpl.TokString:
+		p.advance()
+		return Lit{V: t.Text}, nil
+	case dpl.TokTrue:
+		p.advance()
+		return Lit{V: true}, nil
+	case dpl.TokFalse:
+		p.advance()
+		return Lit{V: false}, nil
+	case dpl.TokLParen:
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(dpl.TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case dpl.TokIdent:
+		if aggFns[t.Text] && p.toks[p.pos+1].Kind == dpl.TokLParen {
+			fn := t.Text
+			p.advance()
+			p.advance() // (
+			agg := Agg{Fn: fn}
+			if p.cur().Kind != dpl.TokRParen {
+				x, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				agg.X = x
+			} else if fn != "count" {
+				return nil, p.errf("%s() needs an argument", fn)
+			}
+			if err := p.expect(dpl.TokRParen); err != nil {
+				return nil, err
+			}
+			return agg, nil
+		}
+		return p.colRef()
+	default:
+		return nil, p.errf("unexpected %s in expression", t.Kind)
+	}
+}

@@ -1,0 +1,63 @@
+package vdl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// View definitions also arrive from the network; the parser must reject
+// anything malformed without panicking.
+
+func TestVDLParseNeverPanicsOnRandomBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 2000; i++ {
+		n := r.Intn(120)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(r.Intn(256))
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Parse panicked on %q: %v", b, p)
+				}
+			}()
+			_, _ = Parse(string(b))
+			_, _ = ParseAll(string(b))
+		}()
+	}
+}
+
+func TestVDLParseNeverPanicsOnTokenSoup(t *testing.T) {
+	tokens := []string{
+		"view", "from", "select", "where", "join", "on", "as",
+		"count", "sum", "avg", "min", "max", "ifTable", "ifIndex", "r", "i",
+		"42", "1.5", `"s"`, "{", "}", "(", ")", ",", ";", ":", "==", "!=",
+		"<", ">", "+", "-", "*", "/", "%", "&&", "||", "!", "true", "false",
+	}
+	r := rand.New(rand.NewSource(32))
+	for i := 0; i < 2000; i++ {
+		var b strings.Builder
+		n := r.Intn(30)
+		for j := 0; j < n; j++ {
+			b.WriteString(tokens[r.Intn(len(tokens))])
+			b.WriteByte(' ')
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Parse panicked on %q: %v", src, p)
+				}
+			}()
+			if v, err := Parse(src); err == nil {
+				// Whatever parsed must also render without panicking.
+				_ = RenderSMI(v, 1)
+				for _, s := range v.Select {
+					_ = RenderExpr(s.Expr)
+				}
+			}
+		}()
+	}
+}
