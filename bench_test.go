@@ -14,6 +14,7 @@ import (
 
 	"mbd/internal/ber"
 	"mbd/internal/dpl"
+	"mbd/internal/dpl/analysis"
 	"mbd/internal/experiments"
 	"mbd/internal/mib"
 	"mbd/internal/oid"
@@ -213,6 +214,55 @@ func main() { return fib(10); }`
 	for i := 0; i < b.N; i++ {
 		if _, err := dpl.Compile(prog, bindings); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyze measures the full static-analysis pipeline (CFG,
+// dataflow, effect inference, cost) on a representative resident agent
+// — the per-delegation admission overhead the server pays.
+func BenchmarkAnalyze(b *testing.B) {
+	src := `
+var lastUp = 0;
+
+func pct(n, d) {
+	if (d == 0) { return 0.0; }
+	return float(n) * 100.0 / float(d);
+}
+
+func scanIfaces() {
+	var rows = mibWalk("1.3.6.1.2.1.2.2.1.10");
+	var total = 0;
+	for (var i = 0; i < len(rows); i += 1) {
+		total += rows[i][1];
+	}
+	return total;
+}
+
+func main() {
+	while (true) {
+		var up = mibGet("1.3.6.1.2.1.1.3.0");
+		if (up != nil && up < lastUp) {
+			notify(sprintf("%s rebooted", sysname()));
+		}
+		lastUp = up;
+		report(sprintf("octets=%d load=%f", scanIfaces(), pct(3, 7)));
+		sleep(5000);
+	}
+}`
+	bindings := analysis.LintBindings()
+	prog, err := dpl.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if errs := dpl.Check(prog, bindings); len(errs) > 0 {
+		b.Fatal(errs)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep := analysis.Analyze(prog, bindings)
+		if len(rep.Diags) != 0 {
+			b.Fatal(rep.Diags)
 		}
 	}
 }

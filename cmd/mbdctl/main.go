@@ -14,15 +14,24 @@
 //	delete <dp>                    remove a program
 //	eval <file.dpl> <entry> [a..]  one-shot remote evaluation (REV style)
 //	watch [prefix]                 subscribe and stream events
+//	lint <file.dpl>...             static-analyze programs locally
+//
+// lint runs entirely offline — no server connection — against the full
+// MbD host-function surface, printing compiler-style diagnostics plus
+// each program's inferred effects and cost estimate. It exits 1 if any
+// file has error-severity findings (and with -strict, any finding).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"mbd/internal/dpl"
+	"mbd/internal/dpl/analysis"
 	"mbd/internal/rds"
 )
 
@@ -31,16 +40,70 @@ func main() {
 	principal := flag.String("principal", "mgr", "principal name")
 	secret := flag.String("secret", "", "MD5 shared secret (empty = no auth)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	strict := flag.Bool("strict", false, "lint: treat warnings as errors")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// lint is local-only: no dial, no principal.
+	if flag.Arg(0) == "lint" {
+		os.Exit(lint(flag.Args()[1:], *strict))
+	}
 	if err := run(*server, *principal, *secret, *timeout, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "mbdctl:", err)
 		os.Exit(1)
 	}
+}
+
+// lint statically analyzes each file against the full MbD host surface
+// and prints its diagnostics, effects and cost. Returns the exit code:
+// 0 clean, 1 findings, 2 usage/IO/parse failure.
+func lint(files []string, strict bool) int {
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mbdctl [-strict] lint <file.dpl>...")
+		return 2
+	}
+	bindings := analysis.LintBindings()
+	code := 0
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbdctl:", err)
+			return 2
+		}
+		prog, err := dpl.Parse(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", file, err)
+			code = 2
+			continue
+		}
+		if errs := dpl.Check(prog, bindings); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", file, e)
+			}
+			code = 2
+			continue
+		}
+		rep := analysis.Analyze(prog, bindings)
+		for _, d := range rep.Diags {
+			fmt.Printf("%s:%s\n", file, d)
+		}
+		errs, warns := analysis.Counts(rep.Diags)
+		if errs > 0 || (strict && warns > 0) {
+			if code == 0 {
+				code = 1
+			}
+		}
+		fmt.Printf("%s: effects: %s\n", file, rep.Effects.String())
+		if rep.Cost.Unbounded {
+			fmt.Printf("%s: cost: %s (step budget: server default)\n", file, rep.Cost.String())
+		} else {
+			fmt.Printf("%s: cost: %s (suggested step budget: %d)\n", file, rep.Cost.String(), rep.SuggestedBudget(0))
+		}
+	}
+	return code
 }
 
 func run(server, principal, secret string, timeout time.Duration, args []string) error {
@@ -69,7 +132,7 @@ func run(server, principal, secret string, timeout time.Duration, args []string)
 			return err
 		}
 		if err := c.Delegate(ctx, rest[0], string(src)); err != nil {
-			return err
+			return describeReject(rest[1], err)
 		}
 		fmt.Printf("delegated %q (%d bytes)\n", rest[0], len(src))
 	case "instantiate":
@@ -130,7 +193,7 @@ func run(server, principal, secret string, timeout time.Duration, args []string)
 		}
 		out, err := c.Eval(ctx, string(src), rest[1], rest[2:]...)
 		if err != nil {
-			return err
+			return describeReject(rest[0], err)
 		}
 		fmt.Println(out)
 	case "watch":
@@ -149,4 +212,18 @@ func run(server, principal, secret string, timeout time.Duration, args []string)
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 	return nil
+}
+
+// describeReject prints the structured diagnostics of a server-side
+// static-analysis rejection (one compiler-style line per finding) and
+// returns a short summary error; other errors pass through unchanged.
+func describeReject(file string, err error) error {
+	var rej *rds.RejectError
+	if !errors.As(err, &rej) {
+		return err
+	}
+	for _, d := range rej.Diags {
+		fmt.Fprintf(os.Stderr, "%s:%s\n", file, d)
+	}
+	return fmt.Errorf("%s rejected by the server's static analyzer (%d diagnostics)", file, len(rej.Diags))
 }

@@ -8,6 +8,12 @@
 //
 //	mbdserver [-rds :5500] [-snmp :1161] [-name lab-router]
 //	          [-community public] [-secret mgr=s3cret ...] [-repo dir]
+//	          [-strict] [-costceiling n]
+//
+// Every delegation passes through the static analyzer at admission;
+// -strict rejects programs carrying any analyzer warning, and
+// -costceiling n refuses programs whose estimated instruction cost
+// exceeds n (unbounded programs included).
 //
 // With -repo, delegated programs load from dir/*.dpl at startup (each
 // re-checked by the Translator) and the repository is saved back on
@@ -54,16 +60,18 @@ func main() {
 	name := flag.String("name", "lab-router", "device sysName")
 	community := flag.String("community", "public", "SNMP community")
 	repoDir := flag.String("repo", "", "directory backing the DP repository (load at start, save at exit)")
+	strict := flag.Bool("strict", false, "strict admission: reject delegations with any analyzer warning")
+	costCeiling := flag.Uint64("costceiling", 0, "reject delegations whose estimated cost exceeds this (0 = off; nonzero also rejects unbounded programs)")
 	var secrets secretsFlag
 	flag.Var(&secrets, "secret", "principal=secret for MD5 auth (repeatable)")
 	flag.Parse()
 
-	if err := run(*rdsAddr, *snmpAddr, *name, *community, *repoDir, secrets); err != nil {
+	if err := run(*rdsAddr, *snmpAddr, *name, *community, *repoDir, secrets, *strict, *costCeiling); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string) error {
+func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, strict bool, costCeiling uint64) error {
 	dev, err := mib.NewDevice(mib.DeviceConfig{Name: name, Interfaces: 4, Seed: time.Now().UnixNano()})
 	if err != nil {
 		return err
@@ -76,10 +84,12 @@ func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string) e
 		return err
 	}
 	srv, err := mbd.New(mbd.Config{
-		Device:        dev,
-		Community:     community,
-		ExtraBindings: mcva.Bindings(),
-		MaxDPIs:       256,
+		Device:          dev,
+		Community:       community,
+		ExtraBindings:   mcva.Bindings(),
+		MaxDPIs:         256,
+		StrictAdmission: strict,
+		CostCeiling:     costCeiling,
 	})
 	if err != nil {
 		return err

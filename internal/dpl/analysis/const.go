@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"strings"
+
+	"mbd/internal/dpl"
+)
+
+// Constant folding over expressions. The folder is deliberately a
+// subset of the VM's semantics — only results it can predict exactly
+// are folded; everything else reports not-constant.
+
+// constFold evaluates e if it is a compile-time constant. It folds
+// literals, unary -/!, and binary arithmetic/comparison/logic over
+// folded operands (matching VM semantics for int/float/string/bool).
+func constFold(e dpl.Expr) (dpl.Value, bool) {
+	switch n := e.(type) {
+	case *dpl.IntLit:
+		return n.V, true
+	case *dpl.FloatLit:
+		return n.V, true
+	case *dpl.StringLit:
+		return n.V, true
+	case *dpl.BoolLit:
+		return n.V, true
+	case *dpl.NilLit:
+		return nil, true
+	case *dpl.UnaryExpr:
+		x, ok := constFold(n.X)
+		if !ok {
+			return nil, false
+		}
+		switch n.Op {
+		case dpl.TokMinus:
+			switch v := x.(type) {
+			case int64:
+				return -v, true
+			case float64:
+				return -v, true
+			}
+		case dpl.TokBang:
+			return !truthy(x), true
+		}
+		return nil, false
+	case *dpl.BinaryExpr:
+		l, ok := constFold(n.L)
+		if !ok {
+			return nil, false
+		}
+		// Short-circuit operators can fold from the left side alone.
+		switch n.Op {
+		case dpl.TokAndAnd:
+			if !truthy(l) {
+				return false, true
+			}
+			r, ok := constFold(n.R)
+			if !ok {
+				return nil, false
+			}
+			return truthy(r), true
+		case dpl.TokOrOr:
+			if truthy(l) {
+				return true, true
+			}
+			r, ok := constFold(n.R)
+			if !ok {
+				return nil, false
+			}
+			return truthy(r), true
+		}
+		r, ok := constFold(n.R)
+		if !ok {
+			return nil, false
+		}
+		return foldBinary(n.Op, l, r)
+	}
+	return nil, false
+}
+
+func foldBinary(op dpl.TokenKind, l, r dpl.Value) (dpl.Value, bool) {
+	if ls, ok := l.(string); ok {
+		if rs, ok := r.(string); ok {
+			switch op {
+			case dpl.TokPlus:
+				return ls + rs, true
+			case dpl.TokEq:
+				return ls == rs, true
+			case dpl.TokNe:
+				return ls != rs, true
+			case dpl.TokLt:
+				return ls < rs, true
+			case dpl.TokLe:
+				return ls <= rs, true
+			case dpl.TokGt:
+				return ls > rs, true
+			case dpl.TokGe:
+				return ls >= rs, true
+			}
+			return nil, false
+		}
+	}
+	li, lInt := l.(int64)
+	ri, rInt := r.(int64)
+	if lInt && rInt {
+		switch op {
+		case dpl.TokPlus:
+			return li + ri, true
+		case dpl.TokMinus:
+			return li - ri, true
+		case dpl.TokStar:
+			return li * ri, true
+		case dpl.TokSlash:
+			if ri == 0 {
+				return nil, false
+			}
+			return li / ri, true
+		case dpl.TokPercent:
+			if ri == 0 {
+				return nil, false
+			}
+			return li % ri, true
+		case dpl.TokEq:
+			return li == ri, true
+		case dpl.TokNe:
+			return li != ri, true
+		case dpl.TokLt:
+			return li < ri, true
+		case dpl.TokLe:
+			return li <= ri, true
+		case dpl.TokGt:
+			return li > ri, true
+		case dpl.TokGe:
+			return li >= ri, true
+		}
+		return nil, false
+	}
+	lf, lok := toFloat(l)
+	rf, rok := toFloat(r)
+	if lok && rok {
+		switch op {
+		case dpl.TokPlus:
+			return lf + rf, true
+		case dpl.TokMinus:
+			return lf - rf, true
+		case dpl.TokStar:
+			return lf * rf, true
+		case dpl.TokSlash:
+			if rf == 0 {
+				return nil, false
+			}
+			return lf / rf, true
+		case dpl.TokEq:
+			return lf == rf, true
+		case dpl.TokNe:
+			return lf != rf, true
+		case dpl.TokLt:
+			return lf < rf, true
+		case dpl.TokLe:
+			return lf <= rf, true
+		case dpl.TokGt:
+			return lf > rf, true
+		case dpl.TokGe:
+			return lf >= rf, true
+		}
+	}
+	return nil, false
+}
+
+func toFloat(v dpl.Value) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	}
+	return 0, false
+}
+
+// truthy mirrors the language's truth rule: false, nil, 0, 0.0 and ""
+// are false.
+func truthy(v dpl.Value) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return x
+	case int64:
+		return x != 0
+	case float64:
+		return x != 0
+	case string:
+		return x != ""
+	default:
+		return true
+	}
+}
+
+// constBool folds e to a truth value if it is constant.
+func constBool(e dpl.Expr) (val, known bool) {
+	v, ok := constFold(e)
+	if !ok {
+		return false, false
+	}
+	return truthy(v), true
+}
+
+// constIntArg folds e to an int64.
+func constInt(e dpl.Expr) (int64, bool) {
+	v, ok := constFold(e)
+	if !ok {
+		return 0, false
+	}
+	i, ok := v.(int64)
+	return i, ok
+}
+
+// constOIDPrefix extracts the statically known OID prefix of e, for the
+// effect inference of MIB primitives:
+//
+//   - a fully constant string folds exactly ("1.3.6.1.2.1.1.3.0");
+//   - "const" + dynamic keeps the constant head, truncated to the last
+//     complete dotted component so a partial trailing number cannot
+//     masquerade as a component boundary;
+//   - anything else is unknown (the caller widens to the whole MIB).
+//
+// The returned prefix has no trailing dot. ok=false means no constant
+// head could be recovered.
+func constOIDPrefix(e dpl.Expr) (prefix string, exact, ok bool) {
+	head, exact := constStringHead(e)
+	if exact {
+		return strings.TrimSuffix(head, "."), true, true
+	}
+	// Keep only whole components of a partial head.
+	i := strings.LastIndex(head, ".")
+	if i <= 0 {
+		return "", false, false
+	}
+	return head[:i], false, true
+}
+
+// constStringHead returns the longest constant leading string of e
+// under string concatenation; exact reports whether the whole
+// expression folded.
+func constStringHead(e dpl.Expr) (head string, exact bool) {
+	if v, ok := constFold(e); ok {
+		if s, ok := v.(string); ok {
+			return s, true
+		}
+		return "", false
+	}
+	if b, ok := e.(*dpl.BinaryExpr); ok && b.Op == dpl.TokPlus {
+		lh, lexact := constStringHead(b.L)
+		if !lexact {
+			return lh, false
+		}
+		rh, rexact := constStringHead(b.R)
+		return lh + rh, rexact
+	}
+	return "", false
+}

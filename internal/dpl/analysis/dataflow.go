@@ -1,0 +1,375 @@
+package analysis
+
+import (
+	"fmt"
+
+	"mbd/internal/dpl"
+)
+
+// Dataflow passes over the CFG: definite assignment (forward, must) and
+// liveness (backward, may). Both run to fixpoint on block boundary
+// states, then a final per-block walk produces diagnostics.
+
+// bitset is a fixed-universe variable set.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) has(i varID) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+func (b bitset) set(i varID)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) clear(i varID)    { b[i/64] &^= 1 << (uint(i) % 64) }
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) fill() {
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+}
+
+// intersect b &= o, reporting whether b changed.
+func (b bitset) intersect(o bitset) bool {
+	changed := false
+	for i := range b {
+		n := b[i] & o[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// union b |= o, reporting whether b changed.
+func (b bitset) union(o bitset) bool {
+	changed := false
+	for i := range b {
+		n := b[i] | o[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b bitset) equal(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// definiteAssignment runs the must-assigned analysis on g and appends
+// DPL001 diagnostics for reads of possibly-uninitialized locals.
+// Globals and parameters count as assigned at entry (globals are
+// initialized by the program prologue, to nil at worst; the
+// never-written-global case is a separate program-level check).
+func definiteAssignment(g *Graph, res *resolution, diags *[]Diagnostic) {
+	nvars := len(res.vars)
+	entry := newBitset(nvars)
+	for i, v := range res.vars {
+		if v.global || v.param {
+			entry.set(varID(i))
+		}
+	}
+
+	in := make(map[*Block]bitset, len(g.Blocks))
+	for _, b := range g.Blocks {
+		s := newBitset(nvars)
+		if b == g.Entry {
+			copy(s, entry)
+		} else {
+			s.fill() // ⊤ for the must-intersection
+		}
+		in[b] = s
+	}
+
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := in[b].clone()
+		daTransfer(b, out, res, nil)
+		for _, s := range b.Succs {
+			if in[s].intersect(out) {
+				work = append(work, s)
+			}
+		}
+	}
+
+	reach := g.Reachable()
+	reported := make(map[dpl.Pos]bool)
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue // unreachable code is reported by DPL002
+		}
+		state := in[b].clone()
+		daTransfer(b, state, res, func(id varID, pos dpl.Pos) {
+			if reported[pos] {
+				return
+			}
+			reported[pos] = true
+			*diags = append(*diags, Diagnostic{
+				Code: CodeUseBeforeInit,
+				Sev:  SevWarning,
+				Pos:  pos,
+				Msg:  fmt.Sprintf("variable %q may be used before it is assigned (reads as nil)", res.vars[id].name),
+			})
+		})
+	}
+}
+
+// daTransfer applies block b to the assigned-set state. When report is
+// non-nil, each read of an unassigned local is reported.
+func daTransfer(b *Block, state bitset, res *resolution, report func(varID, dpl.Pos)) {
+	check := func(e dpl.Expr) {
+		if report == nil {
+			return
+		}
+		res.eachUse(e, func(id varID, pos dpl.Pos) {
+			v := res.vars[id]
+			if !v.global && !v.param && !state.has(id) {
+				report(id, pos)
+			}
+		})
+	}
+	for _, node := range b.Nodes {
+		switch n := node.(type) {
+		case *dpl.VarDecl:
+			if n.Init != nil {
+				check(n.Init)
+				if id, ok := res.decl[n]; ok {
+					state.set(id)
+				}
+			}
+		case *dpl.AssignStmt:
+			check(n.Value)
+			switch t := n.Target.(type) {
+			case *dpl.Ident:
+				if n.Op != dpl.TokAssign {
+					check(t) // compound assignment reads the old value
+				}
+				if id, ok := res.use[t]; ok && id != varNone {
+					state.set(id)
+				}
+			case *dpl.IndexExpr:
+				check(t) // x[i] = v reads both x and i
+			}
+		case *dpl.ExprStmt:
+			check(n.X)
+		case *dpl.ReturnStmt:
+			if n.Value != nil {
+				check(n.Value)
+			}
+		case dpl.Expr: // branch condition
+			check(n)
+		}
+	}
+}
+
+// liveness runs the backward may-live analysis and appends DPL003
+// dead-store diagnostics for assignments to locals that no later read
+// observes. Globals are exempt: they outlive every activation.
+func liveness(g *Graph, res *resolution, diags *[]Diagnostic) {
+	nvars := len(res.vars)
+	out := make(map[*Block]bitset, len(g.Blocks))
+	for _, b := range g.Blocks {
+		out[b] = newBitset(nvars)
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for i := len(g.Blocks) - 1; i >= 0; i-- {
+			b := g.Blocks[i]
+			state := out[b].clone()
+			liveTransfer(b, state, res, nil)
+			for _, p := range b.Preds {
+				if out[p].union(state) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	reach := g.Reachable()
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		state := out[b].clone()
+		liveTransfer(b, state, res, func(id varID, pos dpl.Pos, decl bool) {
+			verb := "assigned to"
+			if decl {
+				verb = "stored in"
+			}
+			*diags = append(*diags, Diagnostic{
+				Code: CodeDeadStore,
+				Sev:  SevWarning,
+				Pos:  pos,
+				Msg:  fmt.Sprintf("value %s %q is never used", verb, res.vars[id].name),
+			})
+		})
+	}
+}
+
+// liveTransfer applies block b backward to the live-set state. When
+// report is non-nil it is called for each dead store (decl=true for a
+// VarDecl initializer).
+func liveTransfer(b *Block, state bitset, res *resolution, report func(varID, dpl.Pos, bool)) {
+	gen := func(e dpl.Expr) {
+		res.eachUse(e, func(id varID, _ dpl.Pos) { state.set(id) })
+	}
+	for i := len(b.Nodes) - 1; i >= 0; i-- {
+		switch n := b.Nodes[i].(type) {
+		case *dpl.VarDecl:
+			if id, ok := res.decl[n]; ok && n.Init != nil {
+				if report != nil && !state.has(id) && !isTrivial(n.Init) {
+					report(id, n.Position(), true)
+				}
+				state.clear(id)
+			}
+			if n.Init != nil {
+				gen(n.Init)
+			}
+		case *dpl.AssignStmt:
+			switch t := n.Target.(type) {
+			case *dpl.Ident:
+				if id, ok := res.use[t]; ok && id != varNone {
+					v := res.vars[id]
+					if report != nil && !v.global && !state.has(id) {
+						report(id, n.Position(), false)
+					}
+					state.clear(id)
+					if n.Op != dpl.TokAssign {
+						state.set(id) // compound assignment also reads
+					}
+				}
+			case *dpl.IndexExpr:
+				gen(t)
+			}
+			gen(n.Value)
+		case *dpl.ExprStmt:
+			gen(n.X)
+		case *dpl.ReturnStmt:
+			if n.Value != nil {
+				gen(n.Value)
+			}
+		case dpl.Expr: // branch condition
+			gen(n)
+		}
+	}
+}
+
+// isTrivial reports whether e is a bare literal initializer.
+// `var x = 0;` followed by an unconditional re-assignment is a common,
+// harmless idiom — only initializers that do work are worth a DPL003.
+func isTrivial(e dpl.Expr) bool {
+	switch e.(type) {
+	case *dpl.IntLit, *dpl.FloatLit, *dpl.StringLit, *dpl.BoolLit, *dpl.NilLit:
+		return true
+	}
+	return false
+}
+
+// globalDiags reports DPL004 for globals that are read somewhere but
+// have no initializer and no assignment anywhere in the program.
+func globalDiags(prog *dpl.Program, res *resolution, diags *[]Diagnostic) {
+	written := make(map[varID]bool)
+	firstRead := make(map[varID]dpl.Pos)
+	for _, g := range prog.Globals {
+		if g.Init != nil {
+			written[res.decl[g]] = true
+		}
+	}
+	var walkStmt func(st dpl.Stmt)
+	noteReads := func(e dpl.Expr) {
+		res.eachUse(e, func(id varID, pos dpl.Pos) {
+			if res.vars[id].global {
+				if _, ok := firstRead[id]; !ok {
+					firstRead[id] = pos
+				}
+			}
+		})
+	}
+	walkStmt = func(st dpl.Stmt) {
+		switch n := st.(type) {
+		case *dpl.VarDecl:
+			if n.Init != nil {
+				noteReads(n.Init)
+			}
+		case *dpl.Block:
+			for _, s := range n.Stmts {
+				walkStmt(s)
+			}
+		case *dpl.AssignStmt:
+			if t, ok := n.Target.(*dpl.Ident); ok {
+				if id, ok := res.use[t]; ok && id != varNone && res.vars[id].global {
+					written[id] = true
+					if n.Op != dpl.TokAssign {
+						noteReads(t)
+					}
+				}
+			} else {
+				noteReads(n.Target)
+			}
+			noteReads(n.Value)
+		case *dpl.IfStmt:
+			noteReads(n.Cond)
+			walkStmt(n.Then)
+			if n.Else != nil {
+				walkStmt(n.Else)
+			}
+		case *dpl.WhileStmt:
+			noteReads(n.Cond)
+			walkStmt(n.Body)
+		case *dpl.ForStmt:
+			if n.Init != nil {
+				walkStmt(n.Init)
+			}
+			if n.Cond != nil {
+				noteReads(n.Cond)
+			}
+			if n.Post != nil {
+				walkStmt(n.Post)
+			}
+			walkStmt(n.Body)
+		case *dpl.ReturnStmt:
+			if n.Value != nil {
+				noteReads(n.Value)
+			}
+		case *dpl.ExprStmt:
+			noteReads(n.X)
+		}
+	}
+	for _, g := range prog.Globals {
+		if g.Init != nil {
+			noteReads(g.Init)
+		}
+	}
+	for _, f := range prog.Funcs {
+		walkStmt(f.Body)
+	}
+	for _, id := range res.globals {
+		if written[id] {
+			continue
+		}
+		pos, read := firstRead[id]
+		if !read {
+			continue
+		}
+		*diags = append(*diags, Diagnostic{
+			Code: CodeGlobalNeverWritten,
+			Sev:  SevWarning,
+			Pos:  pos,
+			Msg:  fmt.Sprintf("global %q is read but never written anywhere (always nil)", res.vars[id].name),
+		})
+	}
+}

@@ -1,0 +1,147 @@
+// Package analysis is the delegation-time static analyzer for DPL
+// programs. The paper's translator rejects a dp that "violates any of a
+// set of defined rules for the given language"; package dpl's Check
+// enforces the name-resolution rules, and this package adds the deeper,
+// flow-sensitive rules an elastic process wants before admitting code
+// from another administrative domain:
+//
+//   - dataflow diagnostics over a per-function control-flow graph
+//     (use-before-init, unreachable code, dead stores, never-written
+//     globals);
+//   - capability/effect inference: which host bindings and which MIB
+//     OID prefixes a dp can reach, computed transitively and
+//     constant-folded from the arguments of the MIB primitives, so the
+//     admission path can compare a dp's footprint against the
+//     delegating principal's grant instead of discovering violations at
+//     runtime;
+//   - cost analysis: instruction-cost estimates per function with
+//     constant-trip loop bounding, used to derive a default VM step
+//     budget and to enforce a server-side admission cost ceiling.
+//
+// Every diagnostic carries a stable machine-readable code (DPL001…)
+// so rejections survive serialization across the RDS protocol.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mbd/internal/dpl"
+)
+
+// Severity ranks a diagnostic.
+type Severity uint8
+
+// Severities.
+const (
+	// SevWarning marks a suspicious construct that does not, by
+	// itself, reject a dp (strict admission upgrades warnings).
+	SevWarning Severity = iota + 1
+	// SevError marks a rule violation that rejects the dp at
+	// admission.
+	SevError
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	default:
+		return "warning"
+	}
+}
+
+// Stable diagnostic codes. Codes are append-only: once published they
+// keep their meaning forever, because delegators match on them.
+const (
+	// CodeUseBeforeInit: a local variable may be read before any
+	// assignment reaches it (it reads as nil).
+	CodeUseBeforeInit = "DPL001"
+	// CodeUnreachable: statements that no control path reaches.
+	CodeUnreachable = "DPL002"
+	// CodeDeadStore: a value assigned to a local that is never read.
+	CodeDeadStore = "DPL003"
+	// CodeGlobalNeverWritten: a global read somewhere but written
+	// nowhere (it is always nil).
+	CodeGlobalNeverWritten = "DPL004"
+	// CodeBusyLoop: a provably infinite loop that never yields (no
+	// sleep/recv on any path) and has no break.
+	CodeBusyLoop = "DPL005"
+	// CodeDynamicOID: a MIB primitive whose OID argument is not a
+	// foldable constant, widening the inferred effect to the whole MIB.
+	CodeDynamicOID = "DPL006"
+	// CodeEffectDenied: the dp's inferred effects exceed the
+	// delegating principal's capability grant (admission-time).
+	CodeEffectDenied = "DPL007"
+	// CodeCostCeiling: the dp's bounded cost estimate exceeds the
+	// server's admission ceiling (admission-time).
+	CodeCostCeiling = "DPL008"
+	// CodeRecursion: a recursive call cycle, making cost unbounded.
+	CodeRecursion = "DPL009"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Code string
+	Sev  Severity
+	Pos  dpl.Pos
+	Msg  string
+}
+
+// String renders "line:col: severity[CODE]: message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s[%s]: %s", d.Pos, d.Sev, d.Code, d.Msg)
+}
+
+// SortDiags orders diagnostics by position, then code.
+func SortDiags(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		return a.Code < b.Code
+	})
+}
+
+// HasErrors reports whether any diagnostic is error-severity.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Sev == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Counts returns the number of errors and warnings.
+func Counts(diags []Diagnostic) (errs, warns int) {
+	for _, d := range diags {
+		if d.Sev == SevError {
+			errs++
+		} else {
+			warns++
+		}
+	}
+	return errs, warns
+}
+
+// Error bundles diagnostics as a single error value, for callers that
+// reject a dp outright.
+type Error struct {
+	Diags []Diagnostic
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	msgs := make([]string, len(e.Diags))
+	for i, d := range e.Diags {
+		msgs[i] = d.String()
+	}
+	return "dpl analysis:\n  " + strings.Join(msgs, "\n  ")
+}

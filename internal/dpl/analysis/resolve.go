@@ -1,0 +1,198 @@
+package analysis
+
+import "mbd/internal/dpl"
+
+// Variable resolution. The dataflow passes need flow-insensitive
+// binding of every identifier occurrence to the declaration it names,
+// because DPL allows shadowing in nested scopes and a purely name-based
+// analysis would conflate distinct variables. The resolver mirrors the
+// scope rules of dpl.Check: lexical block scopes chained over a global
+// scope, parameters in a function's outermost scope.
+
+// varID indexes resolution.vars. varNone marks an unresolved
+// identifier (the program failed Check, or the name is a function).
+type varID int
+
+const varNone varID = -1
+
+type varInfo struct {
+	name   string
+	global bool
+	param  bool
+	pos    dpl.Pos
+}
+
+// resolution maps identifier occurrences and declarations to variable
+// ids for one program.
+type resolution struct {
+	vars []varInfo
+	// use binds every *dpl.Ident expression occurrence (reads and
+	// assignment targets alike) to its variable.
+	use map[*dpl.Ident]varID
+	// decl binds each VarDecl to the variable it introduces.
+	decl map[*dpl.VarDecl]varID
+	// params lists each function's parameter ids in order.
+	params map[*dpl.FuncDecl][]varID
+	// globals lists the program's global ids in declaration order.
+	globals []varID
+}
+
+type rscope struct {
+	parent *rscope
+	names  map[string]varID
+}
+
+func (s *rscope) lookup(name string) varID {
+	for cur := s; cur != nil; cur = cur.parent {
+		if id, ok := cur.names[name]; ok {
+			return id
+		}
+	}
+	return varNone
+}
+
+func resolve(prog *dpl.Program) *resolution {
+	r := &resolution{
+		use:    make(map[*dpl.Ident]varID),
+		decl:   make(map[*dpl.VarDecl]varID),
+		params: make(map[*dpl.FuncDecl][]varID),
+	}
+	global := &rscope{names: make(map[string]varID)}
+	for _, g := range prog.Globals {
+		// Initializers may reference only earlier globals (enforced by
+		// Check); resolving before declaring matches that rule.
+		if g.Init != nil {
+			r.resolveExpr(g.Init, global)
+		}
+		id := r.newVar(varInfo{name: g.Name, global: true, pos: g.Position()})
+		global.names[g.Name] = id
+		r.decl[g] = id
+		r.globals = append(r.globals, id)
+	}
+	for _, f := range prog.Funcs {
+		fs := &rscope{parent: global, names: make(map[string]varID)}
+		for _, p := range f.Params {
+			id := r.newVar(varInfo{name: p, param: true, pos: f.Position()})
+			fs.names[p] = id
+			r.params[f] = append(r.params[f], id)
+		}
+		r.resolveBlock(f.Body, &rscope{parent: fs, names: make(map[string]varID)})
+	}
+	return r
+}
+
+func (r *resolution) newVar(info varInfo) varID {
+	r.vars = append(r.vars, info)
+	return varID(len(r.vars) - 1)
+}
+
+func (r *resolution) resolveBlock(b *dpl.Block, s *rscope) {
+	for _, st := range b.Stmts {
+		r.resolveStmt(st, s)
+	}
+}
+
+func (r *resolution) resolveStmt(st dpl.Stmt, s *rscope) {
+	switch n := st.(type) {
+	case *dpl.VarDecl:
+		if n.Init != nil {
+			r.resolveExpr(n.Init, s)
+		}
+		id := r.newVar(varInfo{name: n.Name, pos: n.Position()})
+		s.names[n.Name] = id
+		r.decl[n] = id
+	case *dpl.Block:
+		r.resolveBlock(n, &rscope{parent: s, names: make(map[string]varID)})
+	case *dpl.AssignStmt:
+		r.resolveExpr(n.Target, s)
+		r.resolveExpr(n.Value, s)
+	case *dpl.IfStmt:
+		r.resolveExpr(n.Cond, s)
+		r.resolveBlock(n.Then, &rscope{parent: s, names: make(map[string]varID)})
+		if n.Else != nil {
+			r.resolveStmt(n.Else, &rscope{parent: s, names: make(map[string]varID)})
+		}
+	case *dpl.WhileStmt:
+		r.resolveExpr(n.Cond, s)
+		r.resolveBlock(n.Body, &rscope{parent: s, names: make(map[string]varID)})
+	case *dpl.ForStmt:
+		fs := &rscope{parent: s, names: make(map[string]varID)}
+		if n.Init != nil {
+			r.resolveStmt(n.Init, fs)
+		}
+		if n.Cond != nil {
+			r.resolveExpr(n.Cond, fs)
+		}
+		if n.Post != nil {
+			r.resolveStmt(n.Post, fs)
+		}
+		r.resolveBlock(n.Body, fs)
+	case *dpl.ReturnStmt:
+		if n.Value != nil {
+			r.resolveExpr(n.Value, s)
+		}
+	case *dpl.ExprStmt:
+		r.resolveExpr(n.X, s)
+	}
+}
+
+func (r *resolution) resolveExpr(e dpl.Expr, s *rscope) {
+	switch n := e.(type) {
+	case *dpl.Ident:
+		r.use[n] = s.lookup(n.Name)
+	case *dpl.UnaryExpr:
+		r.resolveExpr(n.X, s)
+	case *dpl.BinaryExpr:
+		r.resolveExpr(n.L, s)
+		r.resolveExpr(n.R, s)
+	case *dpl.IndexExpr:
+		r.resolveExpr(n.X, s)
+		r.resolveExpr(n.I, s)
+	case *dpl.ArrayLit:
+		for _, el := range n.Elems {
+			r.resolveExpr(el, s)
+		}
+	case *dpl.MapLit:
+		for i := range n.Keys {
+			r.resolveExpr(n.Keys[i], s)
+			r.resolveExpr(n.Vals[i], s)
+		}
+	case *dpl.CallExpr:
+		// The callee name is not a variable; only arguments resolve.
+		for _, a := range n.Args {
+			r.resolveExpr(a, s)
+		}
+	}
+}
+
+// eachUse walks e and calls fn for every resolved variable read. Assign
+// targets are not "uses" — callers handle them explicitly.
+func (r *resolution) eachUse(e dpl.Expr, fn func(id varID, pos dpl.Pos)) {
+	switch n := e.(type) {
+	case *dpl.Ident:
+		if id, ok := r.use[n]; ok && id != varNone {
+			fn(id, n.Position())
+		}
+	case *dpl.UnaryExpr:
+		r.eachUse(n.X, fn)
+	case *dpl.BinaryExpr:
+		r.eachUse(n.L, fn)
+		r.eachUse(n.R, fn)
+	case *dpl.IndexExpr:
+		r.eachUse(n.X, fn)
+		r.eachUse(n.I, fn)
+	case *dpl.ArrayLit:
+		for _, el := range n.Elems {
+			r.eachUse(el, fn)
+		}
+	case *dpl.MapLit:
+		for i := range n.Keys {
+			r.eachUse(n.Keys[i], fn)
+			r.eachUse(n.Vals[i], fn)
+		}
+	case *dpl.CallExpr:
+		for _, a := range n.Args {
+			r.eachUse(a, fn)
+		}
+	}
+}

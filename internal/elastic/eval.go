@@ -22,7 +22,12 @@ func (p *Process) Evaluate(ctx context.Context, principal, lang, source, entry s
 	if !p.cfg.ACL.Allow(principal, RightDelegate) || !p.cfg.ACL.Allow(principal, RightInstantiate) {
 		return nil, fmt.Errorf("%w: %s may not evaluate", ErrDenied, principal)
 	}
-	obj, err := p.translator.Translate(lang, source)
+	obj, rep, err := p.translator.TranslateAnalyzed(lang, source)
+	if err == nil {
+		// Remote evaluation admits under the same static rules as full
+		// delegation: same capability grants, same cost ceiling.
+		err = p.admit(principal, rep)
+	}
 	if err != nil {
 		p.mu.Lock()
 		p.stats.Rejections++
@@ -33,12 +38,15 @@ func (p *Process) Evaluate(ctx context.Context, principal, lang, source, entry s
 	// evaluations by the same principal must not observe each other's
 	// programs, and nothing may persist.
 	dp := &DP{
-		Name:     fmt.Sprintf("<eval:%s>", principal),
-		Owner:    principal,
-		Lang:     lang,
-		Source:   source,
-		Object:   obj,
-		StoredAt: p.clock.Now(),
+		Name:       fmt.Sprintf("<eval:%s>", principal),
+		Owner:      principal,
+		Lang:       lang,
+		Source:     source,
+		Object:     obj,
+		StoredAt:   p.clock.Now(),
+		Effects:    rep.Effects,
+		Cost:       rep.Cost,
+		StepBudget: rep.SuggestedBudget(p.cfg.MaxStepsPerDPI),
 	}
 	d, err := p.startInstance(dp, entry, args)
 	if err != nil {

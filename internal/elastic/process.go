@@ -81,9 +81,20 @@ type Config struct {
 	// MaxDPIs bounds concurrently live instances (0 = 1024).
 	MaxDPIs int
 	// MaxStepsPerDPI is each instance's VM step quota (0 = unlimited).
+	// Programs whose static cost analysis bounds them tighter run under
+	// their derived budget instead.
 	MaxStepsPerDPI uint64
 	// MailboxDepth bounds each instance's pending messages (0 = 64).
 	MailboxDepth int
+	// StrictAdmission rejects delegations carrying any analyzer
+	// diagnostic, warnings included. The default accepts warnings and
+	// rejects only error-severity findings (capability and cost
+	// violations).
+	StrictAdmission bool
+	// CostCeiling rejects delegations whose statically estimated
+	// instruction cost exceeds it; any nonzero ceiling also rejects
+	// programs with unbounded cost. 0 disables the ceiling.
+	CostCeiling uint64
 }
 
 // Process is an elastic process: it accepts delegated programs,
@@ -194,13 +205,20 @@ func (p *Process) emit(ev Event) {
 	}
 }
 
-// Delegate translates and stores a DP. This is the paper's "delegate"
-// primitive: transfer once, instantiate many times.
+// Delegate translates, statically verifies, and stores a DP. This is
+// the paper's "delegate" primitive: transfer once, instantiate many
+// times. Beyond translation, the program's inferred effects are checked
+// against the principal's capability and its estimated cost against the
+// admission ceiling; violations return a *RejectError carrying the
+// analyzer diagnostics.
 func (p *Process) Delegate(principal, name, lang, source string) error {
 	if !p.cfg.ACL.Allow(principal, RightDelegate) {
 		return fmt.Errorf("%w: %s may not delegate", ErrDenied, principal)
 	}
-	obj, err := p.translator.Translate(lang, source)
+	obj, rep, err := p.translator.TranslateAnalyzed(lang, source)
+	if err == nil {
+		err = p.admit(principal, rep)
+	}
 	if err != nil {
 		p.mu.Lock()
 		p.stats.Rejections++
@@ -208,12 +226,15 @@ func (p *Process) Delegate(principal, name, lang, source string) error {
 		return err
 	}
 	p.repo.Store(&DP{
-		Name:     name,
-		Owner:    principal,
-		Lang:     lang,
-		Source:   source,
-		Object:   obj,
-		StoredAt: p.clock.Now(),
+		Name:       name,
+		Owner:      principal,
+		Lang:       lang,
+		Source:     source,
+		Object:     obj,
+		StoredAt:   p.clock.Now(),
+		Effects:    rep.Effects,
+		Cost:       rep.Cost,
+		StepBudget: rep.SuggestedBudget(p.cfg.MaxStepsPerDPI),
 	})
 	p.mu.Lock()
 	p.stats.Delegations++
@@ -267,9 +288,15 @@ func (p *Process) startInstance(dp *DP, entry string, args []dpl.Value) (*DPI, e
 	p.seq[dp.Name]++
 	id := fmt.Sprintf("%s#%d", dp.Name, p.seq[dp.Name])
 	ctrl := &dpl.Control{}
+	// The statically derived budget, when one exists, is already
+	// clamped to the server quota at admission; it only ever tightens.
+	budget := p.cfg.MaxStepsPerDPI
+	if dp.StepBudget != 0 {
+		budget = dp.StepBudget
+	}
 	vm := dpl.NewVM(dp.Object, p.bindings,
 		dpl.WithControl(ctrl),
-		dpl.WithMaxSteps(p.cfg.MaxStepsPerDPI),
+		dpl.WithMaxSteps(budget),
 	)
 	ctx, cancel := context.WithCancel(context.Background())
 	d := &DPI{

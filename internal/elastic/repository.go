@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mbd/internal/dpl"
+	"mbd/internal/dpl/analysis"
 )
 
 // DP is a delegated program: source code accepted by the Translator,
@@ -19,6 +20,15 @@ type DP struct {
 	Source   string
 	Object   *dpl.Compiled
 	StoredAt time.Duration // process-clock time of delegation
+
+	// Effects is the admission-time static summary of what the program
+	// can reach (host bindings, MIB OID prefixes).
+	Effects analysis.Effects
+	// Cost is the admission-time static cost estimate.
+	Cost analysis.CostEstimate
+	// StepBudget is the VM step quota derived from Cost at admission
+	// (already clamped to the server quota); 0 means unlimited.
+	StepBudget uint64
 }
 
 // Repository stores delegated programs, the paper's "common database
@@ -95,16 +105,26 @@ func NewTranslator(bindings *dpl.Bindings) *Translator {
 
 // Translate parses, checks, and compiles source. Lang must be "dpl".
 func (t *Translator) Translate(lang, source string) (*dpl.Compiled, error) {
+	obj, _, err := t.TranslateAnalyzed(lang, source)
+	return obj, err
+}
+
+// TranslateAnalyzed translates source and additionally runs the static
+// analyzer over it, returning both the object code and the analysis
+// report. The report is non-nil whenever the program parses and
+// compiles; deciding what to do with its diagnostics (reject, warn,
+// derive a step budget) is the caller's admission policy.
+func (t *Translator) TranslateAnalyzed(lang, source string) (*dpl.Compiled, *analysis.Report, error) {
 	if lang != "dpl" {
-		return nil, fmt.Errorf("elastic: unsupported dp language %q (this process accepts \"dpl\")", lang)
+		return nil, nil, fmt.Errorf("elastic: unsupported dp language %q (this process accepts \"dpl\")", lang)
 	}
 	prog, err := dpl.Parse(source)
 	if err != nil {
-		return nil, fmt.Errorf("elastic: parse: %w", err)
+		return nil, nil, fmt.Errorf("elastic: parse: %w", err)
 	}
 	obj, err := dpl.Compile(prog, t.bindings)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return obj, nil
+	return obj, analysis.Analyze(prog, t.bindings), nil
 }

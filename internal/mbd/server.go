@@ -33,6 +33,10 @@ type Config struct {
 	MaxDPIs        int
 	MaxStepsPerDPI uint64
 	MailboxDepth   int
+	// StrictAdmission and CostCeiling pass through to the elastic
+	// process's static-analysis admission policy.
+	StrictAdmission bool
+	CostCeiling     uint64
 	// ExtraBindings are additional host functions (e.g. the MCVA's
 	// view services) merged into the allowed-function table before the
 	// process is built.
@@ -88,12 +92,14 @@ func New(cfg Config) (*Server, error) {
 	s.registerMIBServices(bindings)
 	s.registerTrapService(bindings)
 	s.proc = elastic.NewProcess(elastic.Config{
-		Clock:          cfg.Clock,
-		Bindings:       bindings,
-		ACL:            cfg.ACL,
-		MaxDPIs:        cfg.MaxDPIs,
-		MaxStepsPerDPI: cfg.MaxStepsPerDPI,
-		MailboxDepth:   cfg.MailboxDepth,
+		Clock:           cfg.Clock,
+		Bindings:        bindings,
+		ACL:             cfg.ACL,
+		MaxDPIs:         cfg.MaxDPIs,
+		MaxStepsPerDPI:  cfg.MaxStepsPerDPI,
+		MailboxDepth:    cfg.MailboxDepth,
+		StrictAdmission: cfg.StrictAdmission,
+		CostCeiling:     cfg.CostCeiling,
 	})
 	s.agent = snmp.NewAgent(cfg.Device.Tree(), cfg.Community)
 	return s, nil

@@ -23,6 +23,30 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("rds: %s failed: %s", e.Op, e.Msg)
 }
 
+// RejectError is a server-side static-analysis rejection relayed in a
+// reply, carrying the structured diagnostics (stable DPLnnn codes with
+// positions) that refused the program.
+type RejectError struct {
+	Op    Op
+	Msg   string
+	Diags []DiagRec
+}
+
+// Error implements error.
+func (e *RejectError) Error() string {
+	return fmt.Sprintf("rds: %s rejected: %s (%d diagnostics)", e.Op, e.Msg, len(e.Diags))
+}
+
+// HasCode reports whether any diagnostic carries the given code.
+func (e *RejectError) HasCode(code string) bool {
+	for _, d := range e.Diags {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
 // Event is a DPI event received over a subscription.
 type Event struct {
 	DPI     string
@@ -202,6 +226,9 @@ func (c *Client) roundTrip(ctx context.Context, req *Message) (*Message, error) 
 			return nil, fmt.Errorf("rds: connection lost: %w", err)
 		}
 		if !m.OK {
+			if len(m.Diags) > 0 {
+				return nil, &RejectError{Op: req.Op, Msg: m.Error, Diags: m.Diags}
+			}
 			return nil, &RemoteError{Op: req.Op, Msg: m.Error}
 		}
 		return m, nil

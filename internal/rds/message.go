@@ -78,6 +78,23 @@ func (o Op) String() string {
 	}
 }
 
+// DiagRec is one static-analysis diagnostic in a rejection reply: the
+// structured reason a delegation or evaluation was refused. Code is a
+// stable machine-readable identifier (DPL001…), Severity is "error" or
+// "warning".
+type DiagRec struct {
+	Code     string
+	Severity string
+	Msg      string
+	Line     int64
+	Col      int64
+}
+
+// String renders the record like a compiler diagnostic.
+func (d DiagRec) String() string {
+	return fmt.Sprintf("%d:%d: %s[%s]: %s", d.Line, d.Col, d.Severity, d.Code, d.Msg)
+}
+
 // InfoRec is one instance-status record in a query reply.
 type InfoRec struct {
 	ID     string
@@ -106,10 +123,14 @@ type Message struct {
 	Error     string
 	TimeMS    int64
 	Infos     []InfoRec
+	Diags     []DiagRec
 }
 
 // maxArgs bounds decoded argument lists defensively.
 const maxArgs = 1024
+
+// maxDiags bounds decoded diagnostic lists defensively.
+const maxDiags = 4096
 
 // Encode serializes m with BER.
 func (m *Message) Encode() []byte {
@@ -148,6 +169,17 @@ func (m *Message) Encode() []byte {
 		w.EndSeq(one)
 	}
 	w.EndSeq(infos)
+	diags := w.BeginSeq(ber.TagSequence)
+	for _, d := range m.Diags {
+		one := w.BeginSeq(ber.TagSequence)
+		w.AppendString(ber.TagOctetString, []byte(d.Code))
+		w.AppendString(ber.TagOctetString, []byte(d.Severity))
+		w.AppendString(ber.TagOctetString, []byte(d.Msg))
+		w.AppendInt(ber.TagInteger, d.Line)
+		w.AppendInt(ber.TagInteger, d.Col)
+		w.EndSeq(one)
+	}
+	w.EndSeq(diags)
 	w.EndSeq(root)
 	return w.Bytes()
 }
@@ -258,6 +290,40 @@ func Decode(b []byte) (*Message, error) {
 			*f = string(s)
 		}
 		m.Infos = append(m.Infos, inf)
+	}
+	// The diagnostics sequence is a later protocol addition; accept its
+	// absence for messages from older encoders.
+	if r.Empty() {
+		return m, nil
+	}
+	dr, err := r.EnterSeq(ber.TagSequence)
+	if err != nil {
+		return nil, err
+	}
+	for !dr.Empty() {
+		if len(m.Diags) >= maxDiags {
+			return nil, errors.New("rds: too many diagnostics")
+		}
+		one, err := dr.EnterSeq(ber.TagSequence)
+		if err != nil {
+			return nil, err
+		}
+		var d DiagRec
+		for _, f := range []*string{&d.Code, &d.Severity, &d.Msg} {
+			_, s, err := one.ReadString()
+			if err != nil {
+				return nil, err
+			}
+			*f = string(s)
+		}
+		for _, f := range []*int64{&d.Line, &d.Col} {
+			_, v, err := one.ReadInt()
+			if err != nil {
+				return nil, err
+			}
+			*f = v
+		}
+		m.Diags = append(m.Diags, d)
 	}
 	return m, nil
 }

@@ -2,6 +2,7 @@ package rds
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"strconv"
@@ -154,6 +155,20 @@ func reply(req *Message, fill func(*Message), err error) *Message {
 	m := &Message{Op: OpReply, Seq: req.Seq, OK: err == nil}
 	if err != nil {
 		m.Error = err.Error()
+		// Static-analysis rejections travel with their full structured
+		// diagnostics so delegators can match on stable codes.
+		var rej *elastic.RejectError
+		if errors.As(err, &rej) {
+			for _, d := range rej.Diags {
+				m.Diags = append(m.Diags, DiagRec{
+					Code:     d.Code,
+					Severity: d.Sev.String(),
+					Msg:      d.Msg,
+					Line:     int64(d.Pos.Line),
+					Col:      int64(d.Pos.Col),
+				})
+			}
+		}
 	} else if fill != nil {
 		fill(m)
 	}
