@@ -9,12 +9,14 @@ package mbd_test
 
 import (
 	"context"
+	"net"
 	"testing"
 	"time"
 
 	"mbd/internal/ber"
 	"mbd/internal/dpl"
 	"mbd/internal/dpl/analysis"
+	"mbd/internal/elastic"
 	"mbd/internal/experiments"
 	"mbd/internal/mib"
 	"mbd/internal/oid"
@@ -124,11 +126,14 @@ func BenchmarkBEREncodeSNMPGet(b *testing.B) {
 		vbs[i] = snmp.VarBind{Name: n, Value: mib.Null()}
 	}
 	msg := &snmp.Message{Community: "public", Type: snmp.PDUGetRequest, RequestID: 9, VarBinds: vbs}
+	var buf []byte
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := msg.Encode(); err != nil {
+		out, err := msg.AppendEncode(buf[:0])
+		if err != nil {
 			b.Fatal(err)
 		}
+		buf = out
 	}
 }
 
@@ -144,9 +149,11 @@ func BenchmarkBERDecodeSNMPGet(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	var dec snmp.Decoder
+	var out snmp.Message
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := snmp.Decode(pkt); err != nil {
+		if err := dec.Decode(pkt, &out); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -166,11 +173,14 @@ func BenchmarkAgentHandleGet(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	var out []byte
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if agent.HandlePacket(pkt) == nil {
+		resp := agent.HandlePacketAppend(out[:0], pkt)
+		if resp == nil {
 			b.Fatal("request dropped")
 		}
+		out = resp
 	}
 }
 
@@ -312,7 +322,10 @@ func BenchmarkBERWriterOID(b *testing.B) {
 	}
 }
 
-func BenchmarkTreeGetNextDeepTable(b *testing.B) {
+// benchConnDevice builds a device with a 1000-row TCP connection table,
+// the deep-table workload for GetNext and walk benchmarks.
+func benchConnDevice(b *testing.B) *mib.Device {
+	b.Helper()
 	dev, err := mib.NewDevice(mib.DeviceConfig{Name: "bench", Seed: 2})
 	if err != nil {
 		b.Fatal(err)
@@ -323,12 +336,165 @@ func BenchmarkTreeGetNextDeepTable(b *testing.B) {
 			RemAddr: [4]byte{1, byte(i / 256), byte(i % 256), 1}, RemPort: uint16(1024 + i),
 		})
 	}
+	return dev
+}
+
+func BenchmarkTreeGetNextDeepTable(b *testing.B) {
+	dev := benchConnDevice(b)
 	start := mib.OIDTCPConnEntry.Append(mib.TCPConnState)
+	var buf oid.OID
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := dev.Tree().GetNext(start); err != nil {
+		next, _, err := dev.Tree().GetNextInto(buf[:0], start)
+		if err != nil {
 			b.Fatal(err)
+		}
+		buf = next
+	}
+}
+
+// walkByGetNext retrieves the subtree under prefix one GetNext at a
+// time — the classic SNMP walk loop that re-resolves the mount table
+// and re-searches the table on every step. BenchmarkTreeWalkBulk
+// measures the same retrieval through Tree.Walk's pinned-mount bulk
+// path for comparison.
+func walkByGetNext(tree *mib.Tree, prefix oid.OID) int {
+	n := 0
+	cur := append(oid.OID(nil), prefix...)
+	spare := make(oid.OID, 0, 32)
+	for {
+		next, _, err := tree.GetNextInto(spare[:0], cur)
+		if err != nil || !next.HasPrefix(prefix) {
+			return n
+		}
+		n++
+		spare, cur = cur, next
+	}
+}
+
+func BenchmarkTreeWalkGetNext(b *testing.B) {
+	dev := benchConnDevice(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := walkByGetNext(dev.Tree(), mib.OIDTCPConnEntry); n < 1000 {
+			b.Fatalf("walked %d instances", n)
+		}
+	}
+}
+
+func BenchmarkTreeWalkBulk(b *testing.B) {
+	dev := benchConnDevice(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := dev.Tree().Walk(mib.OIDTCPConnEntry, func(o oid.OID, v mib.Value) bool { return true })
+		if n < 1000 {
+			b.Fatalf("walked %d instances", n)
+		}
+	}
+}
+
+// BenchmarkRDSRoundTrip measures one full RDS request/reply exchange
+// over loopback TCP — framing, BER codec, server dispatch and the
+// per-connection buffered writer.
+func BenchmarkRDSRoundTrip(b *testing.B) {
+	proc := elastic.NewProcess(elastic.Config{})
+	defer proc.Stop()
+	srv := rds.NewServer(proc, nil)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(ctx, l) }()
+	defer func() { cancel(); <-done }()
+	cl, err := rds.Dial(l.Addr().String(), "mgr")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Query(ctx, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEventFanout measures DPI event delivery through the server's
+// bounded subscriber queues: one resident DPI reports a message per
+// iteration, fanned out to three reading subscribers and one subscriber
+// that never drains its socket (exercising the drop-oldest policy
+// without stalling the emitter).
+func BenchmarkEventFanout(b *testing.B) {
+	proc := elastic.NewProcess(elastic.Config{})
+	defer proc.Stop()
+	srv := rds.NewServer(proc, nil)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(ctx, l) }()
+	defer func() { cancel(); <-done }()
+
+	var readers []*rds.Client
+	for i := 0; i < 3; i++ {
+		cl, err := rds.Dial(l.Addr().String(), "mgr")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		if err := cl.Subscribe(ctx, ""); err != nil {
+			b.Fatal(err)
+		}
+		readers = append(readers, cl)
+	}
+	// The stuck subscriber: subscribes, then never reads its socket
+	// again, so the server-side queue must absorb or drop its events.
+	stuck, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer stuck.Close()
+	sub := &rds.Message{Op: rds.OpSubscribe, Seq: 1, Principal: "mgr"}
+	if err := rds.WriteFrame(stuck, sub.Encode()); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rds.ReadFrame(stuck); err != nil { // the subscribe reply
+		b.Fatal(err)
+	}
+
+	cl := readers[0]
+	if err := cl.Delegate(ctx, "echo", `
+func main() { while (true) { report(recv(-1)); } }`); err != nil {
+		b.Fatal(err)
+	}
+	id, err := cl.Instantiate(ctx, "echo", "main")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Send(ctx, id, "e"); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			ev, ok := <-cl.Events()
+			if !ok {
+				b.Fatal("event stream closed")
+			}
+			if ev.Kind == "report" {
+				break
+			}
 		}
 	}
 }

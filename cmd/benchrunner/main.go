@@ -7,9 +7,11 @@
 //	benchrunner -quick      # bounded configurations (seconds)
 //	benchrunner -list       # list experiment ids
 //	benchrunner -only E3    # run one experiment
+//	benchrunner -json       # machine-readable results (one JSON doc)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,10 +20,24 @@ import (
 	"mbd/internal/experiments"
 )
 
+// jsonResult is one experiment's outcome in -json mode. The table is
+// embedded verbatim so downstream tooling (baselines, dashboards,
+// cross-run diffs) can consume every cell without scraping text.
+type jsonResult struct {
+	ID         string     `json:"id"`
+	Title      string     `json:"title"`
+	Headers    []string   `json:"headers"`
+	Rows       [][]string `json:"rows"`
+	Notes      []string   `json:"notes,omitempty"`
+	Error      string     `json:"error,omitempty"`
+	DurationMS int64      `json:"duration_ms"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	only := flag.String("only", "", "run a single experiment by id")
 	quick := flag.Bool("quick", false, "bounded configurations for CI-speed runs")
+	asJSON := flag.Bool("json", false, "emit results as JSON instead of rendered tables")
 	flag.Parse()
 
 	if *list {
@@ -43,16 +59,36 @@ func main() {
 		run = []experiments.Experiment{e}
 	}
 	failed := false
+	var results []jsonResult
 	for _, e := range run {
 		start := time.Now()
 		tb, err := e.Run()
+		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
 			failed = true
+			if *asJSON {
+				results = append(results, jsonResult{ID: e.ID, Error: err.Error(), DurationMS: elapsed.Milliseconds()})
+			}
+			continue
+		}
+		if *asJSON {
+			results = append(results, jsonResult{
+				ID: tb.ID, Title: tb.Title, Headers: tb.Headers, Rows: tb.Rows,
+				Notes: tb.Notes, DurationMS: elapsed.Milliseconds(),
+			})
 			continue
 		}
 		fmt.Println(tb)
-		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	if failed {
 		os.Exit(1)

@@ -56,9 +56,18 @@ var ErrTruncated = errors.New("ber: truncated encoding")
 
 // Writer incrementally builds a BER encoding. The zero value is ready
 // for use. All Append methods return the writer to allow chaining.
+//
+// Encoding is pure appending: no method allocates beyond growing the
+// buffer, so a writer seeded with a reused buffer (NewWriter) encodes
+// with zero steady-state allocations.
 type Writer struct {
 	buf []byte
 }
+
+// NewWriter returns a Writer that appends to dst, which may be nil.
+// Callers reusing a buffer across encodes pass dst[:0]; Bytes returns
+// the extended slice when encoding is done.
+func NewWriter(dst []byte) Writer { return Writer{buf: dst} }
 
 // Bytes returns the encoded bytes accumulated so far. The returned
 // slice aliases the writer's internal buffer.
@@ -141,6 +150,8 @@ func (w *Writer) AppendNull() *Writer {
 
 // AppendOID appends an OBJECT IDENTIFIER. OIDs with fewer than two
 // arcs are padded per convention (the empty OID encodes as 0.0).
+// The contents are appended directly to the writer's buffer; no
+// intermediate slice is allocated.
 func (w *Writer) AppendOID(o oid.OID) *Writer {
 	var first, second uint32
 	rest := oid.OID(nil)
@@ -150,12 +161,28 @@ func (w *Writer) AppendOID(o oid.OID) *Writer {
 	case len(o) == 1:
 		first = o[0]
 	}
-	contents := make([]byte, 0, len(o)*2+1)
-	contents = appendBase128(contents, uint64(first)*40+uint64(second))
+	head := uint64(first)*40 + uint64(second)
+	n := base128Len(head)
 	for _, arc := range rest {
-		contents = appendBase128(contents, uint64(arc))
+		n += base128Len(uint64(arc))
 	}
-	return w.AppendTLV(TagOID, contents)
+	w.buf = append(w.buf, TagOID)
+	w.appendLength(n)
+	w.buf = appendBase128(w.buf, head)
+	for _, arc := range rest {
+		w.buf = appendBase128(w.buf, uint64(arc))
+	}
+	return w
+}
+
+// base128Len returns the number of octets base-128 encoding of v takes.
+func base128Len(v uint64) int {
+	n := 1
+	for v > 0x7F {
+		n++
+		v >>= 7
+	}
+	return n
 }
 
 func appendBase128(dst []byte, v uint64) []byte {
@@ -343,6 +370,15 @@ func (r *Reader) ReadString() (tag byte, s []byte, err error) {
 
 // ReadOID consumes an OBJECT IDENTIFIER element.
 func (r *Reader) ReadOID() (oid.OID, error) {
+	return r.AppendOID(nil)
+}
+
+// AppendOID consumes an OBJECT IDENTIFIER element and appends its arcs
+// to dst, returning the extended slice (append semantics: the decoded
+// OID is ext[len(dst):]). Decoders that reuse an arc arena across
+// messages pass the arena to decode without allocating; dst may be nil,
+// in which case the result is just the decoded OID.
+func (r *Reader) AppendOID(dst oid.OID) (oid.OID, error) {
 	tag, c, err := r.ReadTLV()
 	if err != nil {
 		return nil, err
@@ -350,44 +386,46 @@ func (r *Reader) ReadOID() (oid.OID, error) {
 	if tag != TagOID {
 		return nil, fmt.Errorf("ber: expected OID tag, got 0x%02x", tag)
 	}
-	return decodeOIDContents(c)
+	return appendOIDContents(dst, c)
 }
 
-func decodeOIDContents(c []byte) (oid.OID, error) {
+func appendOIDContents(dst oid.OID, c []byte) (oid.OID, error) {
 	if len(c) == 0 {
 		return nil, errors.New("ber: empty OID")
 	}
-	var arcs []uint64
 	var v uint64
+	first := true
 	for i, b := range c {
 		v = v<<7 | uint64(b&0x7F)
 		if v > 1<<40 {
 			return nil, errors.New("ber: OID arc overflow")
 		}
-		if b&0x80 == 0 {
-			arcs = append(arcs, v)
-			v = 0
-		} else if i == len(c)-1 {
-			return nil, errors.New("ber: OID ends mid-arc")
+		if b&0x80 != 0 {
+			if i == len(c)-1 {
+				return nil, errors.New("ber: OID ends mid-arc")
+			}
+			continue
 		}
-	}
-	first := arcs[0]
-	o := make(oid.OID, 0, len(arcs)+1)
-	switch {
-	case first < 40:
-		o = append(o, 0, uint32(first))
-	case first < 80:
-		o = append(o, 1, uint32(first-40))
-	default:
-		o = append(o, 2, uint32(first-80))
-	}
-	for _, a := range arcs[1:] {
-		if a > 0xFFFFFFFF {
-			return nil, errors.New("ber: OID arc exceeds 32 bits")
+		if first {
+			// The leading sub-identifier packs the first two arcs.
+			switch {
+			case v < 40:
+				dst = append(dst, 0, uint32(v))
+			case v < 80:
+				dst = append(dst, 1, uint32(v-40))
+			default:
+				dst = append(dst, 2, uint32(v-80))
+			}
+			first = false
+		} else {
+			if v > 0xFFFFFFFF {
+				return nil, errors.New("ber: OID arc exceeds 32 bits")
+			}
+			dst = append(dst, uint32(v))
 		}
-		o = append(o, uint32(a))
+		v = 0
 	}
-	return o, nil
+	return dst, nil
 }
 
 // ReadNull consumes a NULL element.
@@ -405,12 +443,22 @@ func (r *Reader) ReadNull() error {
 // EnterSeq consumes the header of a constructed element with the given
 // tag and returns a sub-reader confined to its contents.
 func (r *Reader) EnterSeq(tag byte) (*Reader, error) {
-	got, c, err := r.ReadTLV()
+	sub, err := r.Seq(tag)
 	if err != nil {
 		return nil, err
 	}
-	if got != tag {
-		return nil, fmt.Errorf("ber: expected constructed tag 0x%02x, got 0x%02x", tag, got)
+	return &sub, nil
+}
+
+// Seq is EnterSeq returning the sub-reader by value: decoders nesting
+// several sequences per message use it to stay allocation-free.
+func (r *Reader) Seq(tag byte) (Reader, error) {
+	got, c, err := r.ReadTLV()
+	if err != nil {
+		return Reader{}, err
 	}
-	return &Reader{buf: c}, nil
+	if got != tag {
+		return Reader{}, fmt.Errorf("ber: expected constructed tag 0x%02x, got 0x%02x", tag, got)
+	}
+	return Reader{buf: c}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mbd/internal/dpl"
@@ -110,12 +111,25 @@ type Process struct {
 	mu      sync.Mutex
 	dpis    map[string]*DPI
 	seq     map[string]int // per-DP instance counter
-	subs    map[int]func(Event)
-	subSeq  int
 	stopped bool
 	wg      sync.WaitGroup
 
-	stats ProcessStats
+	// Subscribers are an immutable snapshot swapped copy-on-write under
+	// subMu, so emit — the per-event hot path shared by every running
+	// DPI — fans out with a single atomic load and no lock.
+	subMu  sync.Mutex
+	subs   atomic.Pointer[[]subscriber]
+	subSeq int
+
+	eventsEmitted atomic.Uint64
+	stats         ProcessStats
+}
+
+// subscriber pairs a registration id with its callback so unsubscribe
+// can remove exactly one entry from the snapshot.
+type subscriber struct {
+	id int
+	fn func(Event)
 }
 
 // ProcessStats counts runtime activity.
@@ -148,7 +162,6 @@ func NewProcess(cfg Config) *Process {
 		repo:  NewRepository(),
 		dpis:  make(map[string]*DPI),
 		seq:   make(map[string]int),
-		subs:  make(map[int]func(Event)),
 	}
 	p.bindings = cfg.Bindings.Clone()
 	p.registerInstanceServices()
@@ -172,7 +185,9 @@ func (p *Process) Bindings() *dpl.Bindings { return p.bindings }
 func (p *Process) Stats() ProcessStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.stats
+	st := p.stats
+	st.EventsEmitted = p.eventsEmitted.Load()
+	return st
 }
 
 // Subscribe registers fn for every event emitted by any DPI and returns
@@ -180,28 +195,43 @@ func (p *Process) Stats() ProcessStats {
 // emitting instance's goroutine — concurrent invocations happen when
 // several DPIs emit at once, so fn must be safe for concurrent use.
 func (p *Process) Subscribe(fn func(Event)) (cancel func()) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.subMu.Lock()
+	defer p.subMu.Unlock()
 	id := p.subSeq
 	p.subSeq++
-	p.subs[id] = fn
+	old := p.subs.Load()
+	var next []subscriber
+	if old != nil {
+		next = append(next, *old...)
+	}
+	next = append(next, subscriber{id: id, fn: fn})
+	p.subs.Store(&next)
 	return func() {
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		delete(p.subs, id)
+		p.subMu.Lock()
+		defer p.subMu.Unlock()
+		cur := p.subs.Load()
+		if cur == nil {
+			return
+		}
+		trimmed := make([]subscriber, 0, len(*cur))
+		for _, s := range *cur {
+			if s.id != id {
+				trimmed = append(trimmed, s)
+			}
+		}
+		p.subs.Store(&trimmed)
 	}
 }
 
+// emit fans ev out to the current subscriber snapshot. No lock: the
+// snapshot is immutable, so a single atomic load suffices even while
+// Subscribe/unsubscribe swap in new snapshots concurrently.
 func (p *Process) emit(ev Event) {
-	p.mu.Lock()
-	p.stats.EventsEmitted++
-	fns := make([]func(Event), 0, len(p.subs))
-	for _, fn := range p.subs {
-		fns = append(fns, fn)
-	}
-	p.mu.Unlock()
-	for _, fn := range fns {
-		fn(ev)
+	p.eventsEmitted.Add(1)
+	if subs := p.subs.Load(); subs != nil {
+		for _, s := range *subs {
+			s.fn(ev)
+		}
 	}
 }
 

@@ -1,0 +1,72 @@
+package mib
+
+import (
+	"testing"
+
+	"mbd/internal/oid"
+)
+
+// allocDevice builds a device with a populated TCP connection table.
+func allocDevice(t *testing.T, rows int) *Device {
+	t.Helper()
+	dev, err := NewDevice(DeviceConfig{Name: "alloc", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		dev.OpenConn(ConnID{
+			LocalAddr: [4]byte{10, 0, 0, 1}, LocalPort: 80,
+			RemAddr: [4]byte{1, byte(i / 256), byte(i % 256), 1}, RemPort: uint16(1024 + i),
+		})
+	}
+	return dev
+}
+
+// TestGetNextIntoAllocs locks in the allocation-free single-step
+// successor path with a warm caller buffer.
+func TestGetNextIntoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	tree := allocDevice(t, 500).Tree()
+	start := OIDTCPConnEntry.Append(TCPConnState)
+	var buf oid.OID
+	for i := 0; i < 4; i++ {
+		next, _, err := tree.GetNextInto(buf[:0], start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = next
+	}
+	n := testing.AllocsPerRun(100, func() {
+		next, _, err := tree.GetNextInto(buf[:0], start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = next
+	})
+	if n != 0 {
+		t.Errorf("GetNextInto allocates %v times per call, want 0", n)
+	}
+}
+
+// TestWalkFromAllocs bounds the whole-subtree walk to a small fixed
+// allocation count independent of table size: the per-instance path
+// (OID assembly, cell fetch, visit) must be allocation-free, leaving
+// only the per-call scratch (cursor buffer and closures).
+func TestWalkFromAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	tree := allocDevice(t, 500).Tree()
+	walk := func() {
+		if n := tree.Walk(OIDTCPConnEntry, func(o oid.OID, v Value) bool { return true }); n < 500 {
+			t.Fatalf("walked %d instances", n)
+		}
+	}
+	walk() // warm up
+	const maxAllocs = 8
+	if n := testing.AllocsPerRun(20, walk); n > maxAllocs {
+		t.Errorf("WalkFrom allocates %v times per 500-row walk, want <= %d", n, maxAllocs)
+	}
+}

@@ -327,14 +327,6 @@ type ifTableHandler struct {
 	d *Device
 }
 
-func (h *ifTableHandler) rows() []oid.OID {
-	out := make([]oid.OID, len(h.d.ifaces))
-	for i, ifc := range h.d.ifaces {
-		out[i] = oid.OID{ifc.index}
-	}
-	return out
-}
-
 var ifColumns = []uint32{
 	IfIndex, IfDescr, IfType, IfMtu, IfSpeed, IfPhysAddress,
 	IfAdminStatus, IfOperStatus, IfLastChange, IfInOctets, IfInUcastPkts,
@@ -345,18 +337,20 @@ func (h *ifTableHandler) cell(col uint32, index oid.OID) (Value, bool) {
 	if len(index) != 1 {
 		return Value{}, false
 	}
-	h.d.mu.Lock()
-	defer h.d.mu.Unlock()
-	var ifc *deviceIface
+	// Interface membership is fixed after construction; only the
+	// counter fields need the device lock (taken in cellOf).
 	for _, c := range h.d.ifaces {
 		if c.index == index[0] {
-			ifc = c
-			break
+			return h.cellOf(c, col)
 		}
 	}
-	if ifc == nil {
-		return Value{}, false
-	}
+	return Value{}, false
+}
+
+// cellOf returns column col of interface ifc.
+func (h *ifTableHandler) cellOf(ifc *deviceIface, col uint32) (Value, bool) {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
 	switch col {
 	case IfIndex:
 		return Int(int64(ifc.index)), true
@@ -407,26 +401,72 @@ func (h *ifTableHandler) GetRel(rel oid.OID) (Value, bool) {
 
 // NextRel implements Handler.
 func (h *ifTableHandler) NextRel(rel oid.OID) (oid.OID, Value, bool) {
-	rows := h.rows()
+	next, v, ok := h.AppendNextRel(nil, rel)
+	return next, v, ok
+}
+
+// colStart reports whether column col can hold a successor of rel and,
+// when rel points inside the column, the exclusive interface-index
+// lower bound. Row indexes are single-arc, so "index strictly greater
+// than rel[1:]" reduces to a plain arc comparison.
+func colStart(col uint32, rel oid.OID) (after uint32, bounded, ok bool) {
+	if len(rel) == 0 || rel[0] < col {
+		return 0, false, true
+	}
+	if rel[0] > col {
+		return 0, false, false
+	}
+	if len(rel) >= 2 {
+		return rel[1], true, true
+	}
+	return 0, false, true
+}
+
+// AppendNextRel implements AppendNexter.
+func (h *ifTableHandler) AppendNextRel(dst oid.OID, rel oid.OID) (oid.OID, Value, bool) {
 	for _, col := range ifColumns {
-		colOID := oid.OID{col}
-		var startIdx oid.OID
-		switch {
-		case rel.Compare(colOID) < 0:
-			startIdx = nil
-		case rel[0] == col:
-			startIdx = rel[1:]
-		default:
+		after, bounded, ok := colStart(col, rel)
+		if !ok {
 			continue
 		}
-		for _, idx := range rows {
-			if startIdx != nil && idx.Compare(startIdx) <= 0 {
+		for _, ifc := range h.d.ifaces {
+			if bounded && ifc.index <= after {
 				continue
 			}
-			if v, ok := h.cell(col, idx); ok {
-				return colOID.Append(idx...), v, true
+			if v, ok := h.cellOf(ifc, col); ok {
+				return append(append(dst, col), ifc.index), v, true
 			}
 		}
 	}
 	return nil, Value{}, false
+}
+
+// NextRelN implements BulkHandler.
+func (h *ifTableHandler) NextRelN(rel oid.OID, max int, visit func(rel oid.OID, v Value) bool) int {
+	var buf oid.OID
+	n := 0
+	for _, col := range ifColumns {
+		after, bounded, ok := colStart(col, rel)
+		if !ok {
+			continue
+		}
+		for _, ifc := range h.d.ifaces {
+			if bounded && ifc.index <= after {
+				continue
+			}
+			v, ok := h.cellOf(ifc, col)
+			if !ok {
+				continue
+			}
+			buf = append(buf[:0], col, ifc.index)
+			n++
+			if !visit(buf, v) {
+				return n
+			}
+			if max > 0 && n >= max {
+				return n
+			}
+		}
+	}
+	return n
 }

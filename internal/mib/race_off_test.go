@@ -1,0 +1,5 @@
+//go:build !race
+
+package mib
+
+const raceEnabled = false

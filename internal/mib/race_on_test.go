@@ -1,0 +1,7 @@
+//go:build race
+
+package mib
+
+// raceEnabled gates allocation assertions: the race detector's
+// instrumentation allocates, so alloc tests are skipped under -race.
+const raceEnabled = true

@@ -13,7 +13,9 @@ import (
 // Implementations must be safe for concurrent use.
 type RowSource interface {
 	// Rows returns the index OIDs of all conceptual rows in ascending
-	// lexicographic order. Callers must not mutate the result.
+	// lexicographic order. Callers must not mutate the result; sources
+	// are encouraged to return a shared immutable snapshot rather than
+	// a fresh copy, since Rows sits on the GetNext hot path.
 	Rows() []oid.OID
 	// Cell returns the value at (column, index) if the row exists and
 	// the column is populated for it.
@@ -50,38 +52,98 @@ func (t *Table) GetRel(rel oid.OID) (Value, bool) {
 	return t.Source.Cell(rel[0], rel[1:])
 }
 
+// start locates the column-major position demanded by rel: the index
+// of the first candidate column in t.Columns and the row position
+// within it (rows[pos] is the first candidate row of that column).
+func (t *Table) start(rel oid.OID, rows []oid.OID) (colIdx, pos int) {
+	for ci, col := range t.Columns {
+		switch {
+		case len(rel) == 0 || rel[0] < col:
+			return ci, 0
+		case rel[0] == col:
+			startIdx := rel[1:]
+			if len(startIdx) == 0 {
+				return ci, 0
+			}
+			// Rows are sorted; binary-search the first index > startIdx.
+			return ci, sort.Search(len(rows), func(i int) bool {
+				return rows[i].Compare(startIdx) > 0
+			})
+		}
+	}
+	return len(t.Columns), 0
+}
+
 // NextRel implements Handler.
 func (t *Table) NextRel(rel oid.OID) (oid.OID, Value, bool) {
+	next, v, ok := t.AppendNextRel(nil, rel)
+	return next, v, ok
+}
+
+// AppendNextRel implements AppendNexter.
+func (t *Table) AppendNextRel(dst oid.OID, rel oid.OID) (oid.OID, Value, bool) {
 	rows := t.Source.Rows()
 	if len(rows) == 0 || len(t.Columns) == 0 {
 		return nil, Value{}, false
 	}
-	for _, col := range t.Columns {
-		colOID := oid.OID{col}
-		// Determine the position within this column that rel demands.
-		var startIdx oid.OID // first index must be strictly greater than this; nil = from start
-		switch {
-		case rel.Compare(colOID) < 0:
-			startIdx = nil
-		case rel[0] == col:
-			startIdx = rel[1:]
-		default:
-			continue // rel sorts after this entire column
-		}
-		// Rows are sorted; binary-search the first index > startIdx.
-		pos := 0
-		if startIdx != nil {
-			pos = sort.Search(len(rows), func(i int) bool {
-				return rows[i].Compare(startIdx) > 0
-			})
-		}
+	ci, pos := t.start(rel, rows)
+	for ; ci < len(t.Columns); ci, pos = ci+1, 0 {
+		col := t.Columns[ci]
 		for _, idx := range rows[pos:] {
 			if v, ok := t.Source.Cell(col, idx); ok {
-				return colOID.Append(idx...), v, true
+				return append(append(dst, col), idx...), v, true
 			}
 		}
 	}
 	return nil, Value{}, false
+}
+
+// PosCeller is an optional RowSource extension for bulk enumeration:
+// the cell is addressed by its row's position in the snapshot most
+// recently returned by Rows, letting a column-major sweep skip the
+// per-cell index search. Implementations must verify that pos still
+// names index (membership may have changed concurrently) and fall back
+// to a search when it does not.
+type PosCeller interface {
+	CellAt(col uint32, pos int, index oid.OID) (Value, bool)
+}
+
+// NextRelN implements BulkHandler: one Rows snapshot and one position
+// search serve the entire enumeration, instead of re-fetching and
+// re-searching per instance as a GetNext loop does.
+func (t *Table) NextRelN(rel oid.OID, max int, visit func(rel oid.OID, v Value) bool) int {
+	rows := t.Source.Rows()
+	if len(rows) == 0 || len(t.Columns) == 0 {
+		return 0
+	}
+	pc, byPos := t.Source.(PosCeller)
+	var buf oid.OID // reused col.index scratch
+	n := 0
+	ci, pos := t.start(rel, rows)
+	for ; ci < len(t.Columns); ci, pos = ci+1, 0 {
+		col := t.Columns[ci]
+		for ri, idx := range rows[pos:] {
+			var v Value
+			var ok bool
+			if byPos {
+				v, ok = pc.CellAt(col, pos+ri, idx)
+			} else {
+				v, ok = t.Source.Cell(col, idx)
+			}
+			if !ok {
+				continue
+			}
+			buf = append(append(buf[:0], col), idx...)
+			n++
+			if !visit(buf, v) {
+				return n
+			}
+			if max > 0 && n >= max {
+				return n
+			}
+		}
+	}
+	return n
 }
 
 // SetRel implements Setter.
@@ -95,35 +157,58 @@ func (t *Table) SetRel(rel oid.OID, v Value) error {
 	return t.SetCell(rel[0], rel[1:], v)
 }
 
+// memRow is one MemRows row: its index and cell values.
+type memRow struct {
+	index oid.OID
+	cells map[uint32]Value
+}
+
 // MemRows is an in-memory RowSource backed by a sorted row list. The
 // zero value is an empty source ready for use.
+//
+// Row membership is copy-on-write: Rows returns a shared immutable
+// snapshot (no per-call copy), and cell lookups binary-search the
+// sorted row list instead of hashing a rendered string key — both
+// matter on the GetNext hot path, where a walk over an N-row table
+// would otherwise copy the index N times.
 type MemRows struct {
 	mu    sync.RWMutex
-	index []oid.OID                   // sorted
-	cells map[string]map[uint32]Value // key: index.String()
+	rows  []memRow  // sorted by index; slice replaced on membership change
+	index []oid.OID // immutable snapshot, same order as rows
+}
+
+// search returns the position of index in rows, and whether it is
+// present. Callers hold m.mu.
+func search(rows []memRow, index oid.OID) (int, bool) {
+	pos := sort.Search(len(rows), func(i int) bool {
+		return rows[i].index.Compare(index) >= 0
+	})
+	return pos, pos < len(rows) && rows[pos].index.Equal(index)
 }
 
 // Upsert creates or replaces a row's cell values.
 func (m *MemRows) Upsert(index oid.OID, cells map[uint32]Value) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.cells == nil {
-		m.cells = make(map[string]map[uint32]Value)
-	}
-	key := index.String()
-	if _, exists := m.cells[key]; !exists {
-		pos := sort.Search(len(m.index), func(i int) bool {
-			return m.index[i].Compare(index) >= 0
-		})
-		m.index = append(m.index, nil)
-		copy(m.index[pos+1:], m.index[pos:])
-		m.index[pos] = index.Clone()
-	}
 	row := make(map[uint32]Value, len(cells))
 	for c, v := range cells {
 		row[c] = v
 	}
-	m.cells[key] = row
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pos, found := search(m.rows, index)
+	if found {
+		m.rows[pos].cells = row
+		return
+	}
+	idx := index.Clone()
+	rows := make([]memRow, 0, len(m.rows)+1)
+	rows = append(rows, m.rows[:pos]...)
+	rows = append(rows, memRow{index: idx, cells: row})
+	rows = append(rows, m.rows[pos:]...)
+	snap := make([]oid.OID, 0, len(m.index)+1)
+	snap = append(snap, m.index[:pos]...)
+	snap = append(snap, idx)
+	snap = append(snap, m.index[pos:]...)
+	m.rows, m.index = rows, snap
 }
 
 // SetCellValue writes one cell of an existing row, returning false when
@@ -131,11 +216,11 @@ func (m *MemRows) Upsert(index oid.OID, cells map[uint32]Value) {
 func (m *MemRows) SetCellValue(index oid.OID, col uint32, v Value) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	row, ok := m.cells[index.String()]
-	if !ok {
+	pos, found := search(m.rows, index)
+	if !found {
 		return false
 	}
-	row[col] = v
+	m.rows[pos].cells[col] = v
 	return true
 }
 
@@ -143,17 +228,17 @@ func (m *MemRows) SetCellValue(index oid.OID, col uint32, v Value) bool {
 func (m *MemRows) Delete(index oid.OID) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	key := index.String()
-	if _, ok := m.cells[key]; !ok {
+	pos, found := search(m.rows, index)
+	if !found {
 		return false
 	}
-	delete(m.cells, key)
-	for i, idx := range m.index {
-		if idx.Equal(index) {
-			m.index = append(m.index[:i], m.index[i+1:]...)
-			break
-		}
-	}
+	rows := make([]memRow, 0, len(m.rows)-1)
+	rows = append(rows, m.rows[:pos]...)
+	rows = append(rows, m.rows[pos+1:]...)
+	snap := make([]oid.OID, 0, len(m.index)-1)
+	snap = append(snap, m.index[:pos]...)
+	snap = append(snap, m.index[pos+1:]...)
+	m.rows, m.index = rows, snap
 	return true
 }
 
@@ -161,26 +246,41 @@ func (m *MemRows) Delete(index oid.OID) bool {
 func (m *MemRows) Len() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return len(m.index)
+	return len(m.rows)
 }
 
-// Rows implements RowSource.
+// Rows implements RowSource. The returned slice is an immutable shared
+// snapshot; callers must not mutate it.
 func (m *MemRows) Rows() []oid.OID {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	out := make([]oid.OID, len(m.index))
-	copy(out, m.index)
-	return out
+	return m.index
 }
 
 // Cell implements RowSource.
 func (m *MemRows) Cell(col uint32, index oid.OID) (Value, bool) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	row, ok := m.cells[index.String()]
-	if !ok {
+	pos, found := search(m.rows, index)
+	if !found {
 		return Value{}, false
 	}
-	v, ok := row[col]
+	v, ok := m.rows[pos].cells[col]
+	return v, ok
+}
+
+// CellAt implements PosCeller: when pos still names index (the common
+// case — membership unchanged since the Rows snapshot) the row is
+// reached without any search.
+func (m *MemRows) CellAt(col uint32, pos int, index oid.OID) (Value, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if pos >= len(m.rows) || !m.rows[pos].index.Equal(index) {
+		var found bool
+		if pos, found = search(m.rows, index); !found {
+			return Value{}, false
+		}
+	}
+	v, ok := m.rows[pos].cells[col]
 	return v, ok
 }

@@ -1,0 +1,33 @@
+package rds
+
+import "testing"
+
+// TestAppendFrameAllocs locks in the allocation-free event/reply encode
+// path: framing a message into a warm reused buffer must not allocate.
+func TestAppendFrameAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	msg := &Message{
+		Op: OpEvent, Seq: 42, Principal: "mgr", Name: "watch#1",
+		Entry: "report", Payload: []byte("ifInOctets=123456"), TimeMS: 99,
+	}
+	var buf []byte
+	for i := 0; i < 4; i++ { // grow the buffer to steady state
+		out, err := msg.AppendFrame(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out
+	}
+	n := testing.AllocsPerRun(100, func() {
+		out, err := msg.AppendFrame(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out
+	})
+	if n != 0 {
+		t.Errorf("AppendFrame allocates %v times per frame, want 0", n)
+	}
+}

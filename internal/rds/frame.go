@@ -44,3 +44,20 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 // FrameSize returns the on-the-wire size of a message body including
 // the length prefix — the unit the experiment harness accounts.
 func FrameSize(body []byte) int { return 4 + len(body) }
+
+// AppendFrame appends m's complete wire frame — the 4-byte length
+// prefix followed by the BER-encoded body — to dst, returning the
+// extended slice. Encoding body and prefix into one buffer lets a
+// connection writer emit the frame as a single write instead of the
+// two WriteFrame issues.
+func (m *Message) AppendFrame(dst []byte) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = m.AppendEncode(dst)
+	n := len(dst) - start - 4
+	if n > MaxFrame {
+		return nil, fmt.Errorf("rds: frame of %d bytes exceeds limit", n)
+	}
+	binary.BigEndian.PutUint32(dst[start:start+4], uint32(n))
+	return dst, nil
+}

@@ -134,7 +134,16 @@ const maxDiags = 4096
 
 // Encode serializes m with BER.
 func (m *Message) Encode() []byte {
-	var w ber.Writer
+	return m.AppendEncode(nil)
+}
+
+// AppendEncode serializes m with BER appended to dst, returning the
+// extended slice. dst may be nil; the server's per-connection writers
+// pass a reused buffer so steady-state encoding does not allocate. The
+// result aliases dst's storage when capacity suffices and is owned by
+// the caller.
+func (m *Message) AppendEncode(dst []byte) []byte {
+	w := ber.NewWriter(dst)
 	root := w.BeginSeq(ber.TagSequence)
 	w.AppendInt(ber.TagInteger, int64(m.Op))
 	w.AppendInt(ber.TagInteger, int64(m.Seq))

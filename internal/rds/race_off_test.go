@@ -1,0 +1,5 @@
+//go:build !race
+
+package rds
+
+const raceEnabled = false

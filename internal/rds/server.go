@@ -1,6 +1,7 @@
 package rds
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -8,21 +9,41 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mbd/internal/dpl"
 	"mbd/internal/elastic"
 )
 
+// subscriberQueueDepth bounds each subscribed connection's pending
+// event queue. When a manager falls this far behind, the oldest
+// undelivered events are dropped (counted in ServerStats.EventsDropped)
+// rather than letting the connection's write path backpressure every
+// DPI's event emission.
+const subscriberQueueDepth = 256
+
 // Server exposes an elastic process over the RDS protocol. Each
 // connection is handled on its own goroutine; events from subscribed
-// DPIs are pushed to the connection asynchronously.
+// DPIs are pushed to the connection asynchronously through a bounded
+// per-connection queue, so a slow manager never stalls the emitting
+// instances. All counters are atomics — the message path takes no
+// server-wide lock.
 type Server struct {
 	proc *elastic.Process
 	auth *Authenticator
 
-	mu    sync.Mutex
-	stats ServerStats
+	stats serverCounters
+}
+
+// serverCounters is the lock-free backing store for ServerStats.
+type serverCounters struct {
+	requests      atomic.Uint64
+	authFails     atomic.Uint64
+	bytesIn       atomic.Uint64
+	bytesOut      atomic.Uint64
+	eventsSent    atomic.Uint64
+	eventsDropped atomic.Uint64
 }
 
 // ServerStats counts server-side protocol activity.
@@ -32,6 +53,9 @@ type ServerStats struct {
 	BytesIn    uint64
 	BytesOut   uint64
 	EventsSent uint64
+	// EventsDropped counts events discarded because a subscriber's
+	// bounded queue overflowed (drop-oldest policy).
+	EventsDropped uint64
 }
 
 // NewServer wraps proc. auth may be nil to disable authentication.
@@ -39,11 +63,16 @@ func NewServer(proc *elastic.Process, auth *Authenticator) *Server {
 	return &Server{proc: proc, auth: auth}
 }
 
-// Stats returns a copy of the server counters.
+// Stats returns a snapshot of the server counters.
 func (s *Server) Stats() ServerStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return ServerStats{
+		Requests:      s.stats.requests.Load(),
+		AuthFails:     s.stats.authFails.Load(),
+		BytesIn:       s.stats.bytesIn.Load(),
+		BytesOut:      s.stats.bytesOut.Load(),
+		EventsSent:    s.stats.eventsSent.Load(),
+		EventsDropped: s.stats.eventsDropped.Load(),
+	}
 }
 
 // Serve accepts connections on l until ctx is cancelled.
@@ -70,6 +99,139 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	}
 }
 
+// connWriter serializes frame writes onto one connection. Frames are
+// assembled (length prefix + body) in a reused buffer and written
+// through a buffered writer; callers choose when to flush, so bursts
+// of event frames coalesce into few syscalls while replies flush
+// immediately.
+type connWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	buf []byte // reused frame-encode scratch
+	err error  // sticky: once a write fails the connection is done
+}
+
+func newConnWriter(conn net.Conn) *connWriter {
+	return &connWriter{bw: bufio.NewWriter(conn)}
+}
+
+// write encodes and queues one message frame, flushing when asked. It
+// accounts the frame to the server's BytesOut.
+func (cw *connWriter) write(s *Server, m *Message, flush bool) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.err != nil {
+		return cw.err
+	}
+	frame, err := m.AppendFrame(cw.buf[:0])
+	if err != nil {
+		return err // oversized message; connection remains usable
+	}
+	cw.buf = frame
+	if _, err := cw.bw.Write(frame); err != nil {
+		cw.err = err
+		return err
+	}
+	s.stats.bytesOut.Add(uint64(len(frame)))
+	if flush {
+		if err := cw.bw.Flush(); err != nil {
+			cw.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// eventQueue is a bounded FIFO of pending subscriber events. push
+// never blocks: when the ring is full the oldest event is discarded
+// (drop-oldest), keeping DPI event emission decoupled from the
+// subscriber connection's write speed.
+type eventQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []elastic.Event // ring storage
+	head   int
+	n      int
+	closed bool
+}
+
+func newEventQueue(depth int) *eventQueue {
+	q := &eventQueue{buf: make([]elastic.Event, depth)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues ev, reporting whether an older event was dropped to
+// make room.
+func (q *eventQueue) push(ev elastic.Event) (dropped bool) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	if q.n == len(q.buf) {
+		q.head = (q.head + 1) % len(q.buf)
+		q.n--
+		dropped = true
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = ev
+	q.n++
+	q.mu.Unlock()
+	q.cond.Signal()
+	return dropped
+}
+
+// pop dequeues the oldest event, blocking until one arrives or the
+// queue closes. more reports whether further events are already
+// waiting — the pump uses it to batch flushes.
+func (q *eventQueue) pop() (ev elastic.Event, more, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.n == 0 {
+		return elastic.Event{}, false, false
+	}
+	ev = q.buf[q.head]
+	q.buf[q.head] = elastic.Event{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return ev, q.n > 0, true
+}
+
+// close wakes the pump and makes further pushes no-ops. Events still
+// queued are discarded.
+func (q *eventQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.n = 0
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// pumpEvents drains q onto cw until the queue closes, flushing only
+// when the queue momentarily runs dry so event bursts batch.
+func (s *Server) pumpEvents(q *eventQueue, cw *connWriter, done chan<- struct{}) {
+	defer close(done)
+	for {
+		ev, more, ok := q.pop()
+		if !ok {
+			return
+		}
+		msg := Message{
+			Op:      OpEvent,
+			Name:    ev.DPI,
+			Entry:   ev.Kind.String(),
+			Payload: []byte(ev.Payload),
+			TimeMS:  ev.Time.Milliseconds(),
+		}
+		if cw.write(s, &msg, !more) == nil {
+			s.stats.eventsSent.Add(1)
+		}
+	}
+}
+
 // ServeConn runs the RDS exchange on one connection until EOF or ctx
 // cancellation. The connection is closed on return.
 func (s *Server) ServeConn(ctx context.Context, conn net.Conn) {
@@ -81,21 +243,19 @@ func (s *Server) ServeConn(ctx context.Context, conn net.Conn) {
 		conn.Close() // unblock the read loop
 	}()
 
-	var writeMu sync.Mutex
-	write := func(m *Message) error {
-		body := m.Encode()
-		writeMu.Lock()
-		defer writeMu.Unlock()
-		s.mu.Lock()
-		s.stats.BytesOut += uint64(FrameSize(body))
-		s.mu.Unlock()
-		return WriteFrame(conn, body)
-	}
-
-	var unsubscribe func()
+	cw := newConnWriter(conn)
+	var (
+		events      *eventQueue
+		unsubscribe func()
+		pumpDone    chan struct{}
+	)
 	defer func() {
 		if unsubscribe != nil {
 			unsubscribe()
+		}
+		if events != nil {
+			events.close()
+			<-pumpDone
 		}
 	}()
 
@@ -104,10 +264,8 @@ func (s *Server) ServeConn(ctx context.Context, conn net.Conn) {
 		if err != nil {
 			return // EOF, cancellation, or peer error — all terminal
 		}
-		s.mu.Lock()
-		s.stats.Requests++
-		s.stats.BytesIn += uint64(FrameSize(body))
-		s.mu.Unlock()
+		s.stats.requests.Add(1)
+		s.stats.bytesIn.Add(uint64(FrameSize(body)))
 		req, err := Decode(body)
 		if err != nil {
 			// Undecodable requests cannot be answered (no seq); drop
@@ -115,38 +273,29 @@ func (s *Server) ServeConn(ctx context.Context, conn net.Conn) {
 			return
 		}
 		if err := s.auth.Verify(req); err != nil {
-			s.mu.Lock()
-			s.stats.AuthFails++
-			s.mu.Unlock()
-			_ = write(reply(req, nil, err))
+			s.stats.authFails.Add(1)
+			_ = cw.write(s, reply(req, nil, err), true)
 			continue
 		}
 		switch req.Op {
 		case OpSubscribe:
-			if unsubscribe == nil {
-				filter := req.Name
+			if events == nil {
+				events = newEventQueue(subscriberQueueDepth)
+				pumpDone = make(chan struct{})
+				go s.pumpEvents(events, cw, pumpDone)
+				q, filter := events, req.Name
 				unsubscribe = s.proc.Subscribe(func(ev elastic.Event) {
 					if filter != "" && !strings.HasPrefix(ev.DPI, filter) {
 						return
 					}
-					msg := &Message{
-						Op:      OpEvent,
-						Name:    ev.DPI,
-						Entry:   ev.Kind.String(),
-						Payload: []byte(ev.Payload),
-						TimeMS:  ev.Time.Milliseconds(),
-					}
-					if write(msg) == nil {
-						s.mu.Lock()
-						s.stats.EventsSent++
-						s.mu.Unlock()
+					if q.push(ev) {
+						s.stats.eventsDropped.Add(1)
 					}
 				})
 			}
-			_ = write(reply(req, nil, nil))
+			_ = cw.write(s, reply(req, nil, nil), true)
 		default:
-			resp := s.dispatch(ctx, req)
-			_ = write(resp)
+			_ = cw.write(s, s.dispatch(ctx, req), true)
 		}
 	}
 }

@@ -29,6 +29,7 @@ func (s *Server) ServePacket(ctx context.Context, pc net.PacketConn) error {
 		pc.Close()
 	}()
 	buf := make([]byte, maxDatagram)
+	var out []byte // reused reply-encode buffer
 	for {
 		n, addr, err := pc.ReadFrom(buf)
 		if err != nil {
@@ -37,33 +38,27 @@ func (s *Server) ServePacket(ctx context.Context, pc net.PacketConn) error {
 			}
 			return fmt.Errorf("rds: packet read: %w", err)
 		}
-		s.mu.Lock()
-		s.stats.Requests++
-		s.stats.BytesIn += uint64(n)
-		s.mu.Unlock()
+		s.stats.requests.Add(1)
+		s.stats.bytesIn.Add(uint64(n))
 		req, err := Decode(buf[:n])
 		if err != nil {
 			continue // undecodable datagrams are dropped
 		}
 		var resp *Message
 		if err := s.auth.Verify(req); err != nil {
-			s.mu.Lock()
-			s.stats.AuthFails++
-			s.mu.Unlock()
+			s.stats.authFails.Add(1)
 			resp = reply(req, nil, err)
 		} else if req.Op == OpSubscribe {
 			resp = reply(req, nil, fmt.Errorf("rds: subscriptions need the stream transport"))
 		} else {
 			resp = s.dispatch(ctx, req)
 		}
-		out := resp.Encode()
+		out = resp.AppendEncode(out[:0])
 		if len(out) > maxDatagram {
 			resp = reply(req, nil, fmt.Errorf("rds: reply of %d bytes exceeds datagram limit", len(out)))
-			out = resp.Encode()
+			out = resp.AppendEncode(out[:0])
 		}
-		s.mu.Lock()
-		s.stats.BytesOut += uint64(len(out))
-		s.mu.Unlock()
+		s.stats.bytesOut.Add(uint64(len(out)))
 		if _, err := pc.WriteTo(out, addr); err != nil && ctx.Err() == nil {
 			return fmt.Errorf("rds: packet write: %w", err)
 		}

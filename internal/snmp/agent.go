@@ -6,20 +6,39 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"mbd/internal/mib"
+	"mbd/internal/oid"
 )
 
 // Agent serves SNMPv1 requests against a mib.Tree. It is transport
 // independent: HandlePacket implements the request/response exchange on
 // raw bytes, and ServeUDP binds it to a socket. The netsim package
 // feeds it encoded packets directly with virtual-time accounting.
+//
+// The packet path is allocation-free in steady state: decode scratch
+// (message structs, OID arenas, successor buffers) is pooled, counters
+// are atomics, and responses are encoded into a caller-supplied buffer
+// via HandlePacketAppend.
 type Agent struct {
 	tree      *mib.Tree
 	community string
 
-	mu    sync.Mutex
-	stats AgentStats
+	pool  sync.Pool // *serveState
+	stats agentCounters
+}
+
+// agentCounters is the lock-free backing store for AgentStats.
+type agentCounters struct {
+	inPkts       atomic.Uint64
+	outPkts      atomic.Uint64
+	badCommunity atomic.Uint64
+	badVersion   atomic.Uint64
+	getRequests  atomic.Uint64
+	getNexts     atomic.Uint64
+	setRequests  atomic.Uint64
+	errors       atomic.Uint64
 }
 
 // AgentStats counts protocol activity, mirroring the snmp MIB group's
@@ -35,77 +54,108 @@ type AgentStats struct {
 	Errors       uint64
 }
 
+// serveState is the pooled per-packet scratch: request/response
+// messages with their varbind storage, the wire decoder, and one
+// successor buffer per GetNext varbind position.
+type serveState struct {
+	dec      Decoder
+	req      Message
+	resp     Message
+	nextBufs []oid.OID
+}
+
 // NewAgent returns an agent serving tree; requests must carry the given
 // community string.
 func NewAgent(tree *mib.Tree, community string) *Agent {
-	return &Agent{tree: tree, community: community}
+	a := &Agent{tree: tree, community: community}
+	a.pool.New = func() any { return &serveState{} }
+	return a
 }
 
-// Stats returns a copy of the agent's counters.
+// Stats returns a snapshot of the agent's counters.
 func (a *Agent) Stats() AgentStats {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.stats
+	return AgentStats{
+		InPkts:       a.stats.inPkts.Load(),
+		OutPkts:      a.stats.outPkts.Load(),
+		BadCommunity: a.stats.badCommunity.Load(),
+		BadVersion:   a.stats.badVersion.Load(),
+		GetRequests:  a.stats.getRequests.Load(),
+		GetNexts:     a.stats.getNexts.Load(),
+		SetRequests:  a.stats.setRequests.Load(),
+		Errors:       a.stats.errors.Load(),
+	}
 }
 
 // HandlePacket processes one encoded request and returns the encoded
 // response, or nil when the request must be dropped (undecodable or
 // failed authentication — RFC 1157 drops silently).
 func (a *Agent) HandlePacket(pkt []byte) []byte {
-	a.mu.Lock()
-	a.stats.InPkts++
-	a.mu.Unlock()
-	req, err := Decode(pkt)
+	return a.HandlePacketAppend(nil, pkt)
+}
+
+// HandlePacketAppend is HandlePacket with a caller-supplied response
+// buffer: the encoded response is appended to dst (typically a reused
+// buf[:0]) and returned, so the serve path performs no steady-state
+// allocation. A nil return still means "drop".
+func (a *Agent) HandlePacketAppend(dst, pkt []byte) []byte {
+	a.stats.inPkts.Add(1)
+	sc := a.pool.Get().(*serveState)
+	defer a.pool.Put(sc)
+	if err := sc.dec.Decode(pkt, &sc.req); err != nil {
+		a.stats.badVersion.Add(1)
+		return nil
+	}
+	if !a.serve(&sc.req, &sc.resp, sc) {
+		return nil
+	}
+	out, err := sc.resp.AppendEncode(dst)
 	if err != nil {
-		a.count(func(s *AgentStats) { s.BadVersion++ })
+		a.stats.errors.Add(1)
 		return nil
 	}
-	resp := a.Handle(req)
-	if resp == nil {
-		return nil
-	}
-	out, err := resp.Encode()
-	if err != nil {
-		a.count(func(s *AgentStats) { s.Errors++ })
-		return nil
-	}
-	a.count(func(s *AgentStats) { s.OutPkts++ })
+	a.stats.outPkts.Add(1)
 	return out
 }
 
-func (a *Agent) count(f func(*AgentStats)) {
-	a.mu.Lock()
-	f(&a.stats)
-	a.mu.Unlock()
-}
-
 // Handle processes a decoded request message and returns the response
-// message, or nil for drops.
+// message, or nil for drops. Unlike the packet path, the response is
+// freshly allocated and safe to retain.
 func (a *Agent) Handle(req *Message) *Message {
-	if req.Community != a.community {
-		a.count(func(s *AgentStats) { s.BadCommunity++ })
+	resp := &Message{}
+	if !a.serve(req, resp, nil) {
 		return nil
 	}
-	resp := &Message{
-		Community: req.Community,
-		Type:      PDUGetResponse,
-		RequestID: req.RequestID,
-		VarBinds:  make([]VarBind, len(req.VarBinds)),
-	}
-	copy(resp.VarBinds, req.VarBinds)
+	return resp
+}
 
-	fail := func(status ErrorStatus, index int) *Message {
-		a.count(func(s *AgentStats) { s.Errors++ })
+// serve answers req into resp, reusing resp's varbind storage and, when
+// sc is non-nil, its pooled successor buffers. It reports whether a
+// response should be sent.
+func (a *Agent) serve(req, resp *Message, sc *serveState) bool {
+	if req.Community != a.community {
+		a.stats.badCommunity.Add(1)
+		return false
+	}
+	resp.Community = req.Community
+	resp.Type = PDUGetResponse
+	resp.RequestID = req.RequestID
+	resp.ErrorStatus = NoError
+	resp.ErrorIndex = 0
+	resp.Trap = nil
+	resp.VarBinds = append(resp.VarBinds[:0], req.VarBinds...)
+
+	fail := func(status ErrorStatus, index int) bool {
+		a.stats.errors.Add(1)
 		resp.ErrorStatus = status
 		resp.ErrorIndex = index
 		// RFC 1157: on error, the varbind list is returned as received.
 		copy(resp.VarBinds, req.VarBinds)
-		return resp
+		return true
 	}
 
 	switch req.Type {
 	case PDUGetRequest:
-		a.count(func(s *AgentStats) { s.GetRequests++ })
+		a.stats.getRequests.Add(1)
 		for i, vb := range req.VarBinds {
 			v, err := a.tree.Get(vb.Name)
 			if err != nil {
@@ -114,16 +164,26 @@ func (a *Agent) Handle(req *Message) *Message {
 			resp.VarBinds[i] = VarBind{Name: vb.Name, Value: v}
 		}
 	case PDUGetNextRequest:
-		a.count(func(s *AgentStats) { s.GetNexts++ })
+		a.stats.getNexts.Add(1)
 		for i, vb := range req.VarBinds {
-			next, v, err := a.tree.GetNext(vb.Name)
+			var buf oid.OID
+			if sc != nil {
+				for len(sc.nextBufs) <= i {
+					sc.nextBufs = append(sc.nextBufs, nil)
+				}
+				buf = sc.nextBufs[i]
+			}
+			next, v, err := a.tree.GetNextInto(buf, vb.Name)
 			if err != nil {
 				return fail(NoSuchName, i+1)
+			}
+			if sc != nil {
+				sc.nextBufs[i] = next
 			}
 			resp.VarBinds[i] = VarBind{Name: next, Value: v}
 		}
 	case PDUSetRequest:
-		a.count(func(s *AgentStats) { s.SetRequests++ })
+		a.stats.setRequests.Add(1)
 		for i, vb := range req.VarBinds {
 			if err := a.tree.Set(vb.Name, vb.Value); err != nil {
 				switch {
@@ -137,9 +197,9 @@ func (a *Agent) Handle(req *Message) *Message {
 			}
 		}
 	default:
-		return nil // agents do not answer responses or traps
+		return false // agents do not answer responses or traps
 	}
-	return resp
+	return true
 }
 
 // ServeUDP answers requests on conn until ctx is cancelled. It blocks;
@@ -151,6 +211,7 @@ func (a *Agent) ServeUDP(ctx context.Context, conn net.PacketConn) error {
 		conn.Close() // unblocks ReadFrom
 	}()
 	buf := make([]byte, 65536)
+	var out []byte // reused response buffer
 	for {
 		n, addr, err := conn.ReadFrom(buf)
 		if err != nil {
@@ -159,7 +220,8 @@ func (a *Agent) ServeUDP(ctx context.Context, conn net.PacketConn) error {
 			}
 			return fmt.Errorf("snmp: agent read: %w", err)
 		}
-		if resp := a.HandlePacket(buf[:n]); resp != nil {
+		if resp := a.HandlePacketAppend(out[:0], buf[:n]); resp != nil {
+			out = resp // keep the (possibly grown) buffer for reuse
 			if _, err := conn.WriteTo(resp, addr); err != nil && ctx.Err() == nil {
 				return fmt.Errorf("snmp: agent write: %w", err)
 			}

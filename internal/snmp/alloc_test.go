@@ -1,0 +1,57 @@
+package snmp
+
+import (
+	"testing"
+
+	"mbd/internal/mib"
+)
+
+// TestServeAllocs locks in the allocation-free packet path: after
+// warm-up (pool primed, decoder arena and response buffer grown),
+// serving Get and GetNext requests must not allocate at all.
+func TestServeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	dev, err := mib.NewDevice(mib.DeviceConfig{Name: "alloc", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := NewAgent(dev.Tree(), "public")
+
+	encode := func(typ PDUType) []byte {
+		msg := &Message{
+			Community: "public", Type: typ, RequestID: 7,
+			VarBinds: []VarBind{
+				{Name: mib.OIDSysUpTime.Append(0), Value: mib.Null()},
+				{Name: mib.OIDIfEntry.Append(mib.IfInOctets, 1), Value: mib.Null()},
+			},
+		}
+		pkt, err := msg.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pkt
+	}
+	get := encode(PDUGetRequest)
+	getNext := encode(PDUGetNextRequest)
+
+	var out []byte
+	serve := func(pkt []byte) {
+		resp := agent.HandlePacketAppend(out[:0], pkt)
+		if resp == nil {
+			t.Fatal("request dropped")
+		}
+		out = resp
+	}
+	for i := 0; i < 16; i++ { // warm up pooled state and buffers
+		serve(get)
+		serve(getNext)
+	}
+	if n := testing.AllocsPerRun(100, func() { serve(get) }); n != 0 {
+		t.Errorf("Get serve allocates %v times per packet, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { serve(getNext) }); n != 0 {
+		t.Errorf("GetNext serve allocates %v times per packet, want 0", n)
+	}
+}

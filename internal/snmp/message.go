@@ -190,10 +190,20 @@ func readValue(r *ber.Reader) (mib.Value, error) {
 
 // Encode serializes the message to its BER wire form.
 func (m *Message) Encode() ([]byte, error) {
+	return m.AppendEncode(nil)
+}
+
+// AppendEncode serializes the message to its BER wire form appended to
+// dst, returning the extended slice. dst may be nil; callers on the
+// packet hot path pass a reused buffer (typically buf[:0]) to encode
+// without allocating. The result aliases dst's storage when capacity
+// suffices — ownership of the returned slice is the caller's, and the
+// message itself is not retained.
+func (m *Message) AppendEncode(dst []byte) ([]byte, error) {
 	if m.Type == PDUTrap && m.Trap == nil {
 		return nil, errors.New("snmp: trap message without TrapInfo")
 	}
-	var w ber.Writer
+	w := ber.NewWriter(dst)
 	msg := w.BeginSeq(ber.TagSequence)
 	w.AppendInt(ber.TagInteger, Version0)
 	w.AppendString(ber.TagOctetString, []byte(m.Community))
@@ -222,45 +232,98 @@ func (m *Message) Encode() ([]byte, error) {
 	return w.Bytes(), nil
 }
 
-// Decode parses a BER wire message.
+// Decode parses a BER wire message. Every decoded field is freshly
+// allocated; hot paths that process many packets use a Decoder instead.
 func Decode(b []byte) (*Message, error) {
-	r, err := ber.NewReader(b).EnterSeq(ber.TagSequence)
-	if err != nil {
-		return nil, fmt.Errorf("snmp: bad message envelope: %w", err)
+	var d Decoder
+	m := &Message{}
+	if err := d.Decode(b, m); err != nil {
+		return nil, err
 	}
-	_, version, err := r.ReadInt()
-	if err != nil {
-		return nil, fmt.Errorf("snmp: bad version: %w", err)
-	}
-	if version != Version0 {
-		return nil, fmt.Errorf("snmp: unsupported version %d", version)
-	}
-	_, community, err := r.ReadString()
-	if err != nil {
-		return nil, fmt.Errorf("snmp: bad community: %w", err)
-	}
-	tag, err := r.PeekTag()
+	return m, nil
+}
+
+// Decoder parses BER wire messages while reusing its internal buffers:
+// decoded OIDs live in one arc arena, the varbind list reuses its
+// backing array, and the community string is cached between packets.
+// After the first few packets a steady-state Decode performs no
+// allocations (octet-string values still copy).
+//
+// The message populated by Decode aliases the decoder's buffers and is
+// valid only until the next Decode call. A Decoder must not be used
+// concurrently. The zero value is ready for use.
+type Decoder struct {
+	arena     oid.OID // backing store for all decoded OIDs
+	community string  // cached community, reused while unchanged
+	vbs       []VarBind
+}
+
+// appendOID decodes one OID from r into the decoder's arena.
+func (d *Decoder) appendOID(r *ber.Reader) (oid.OID, error) {
+	start := len(d.arena)
+	ext, err := r.AppendOID(d.arena)
 	if err != nil {
 		return nil, err
 	}
-	m := &Message{Community: string(community), Type: PDUType(tag)}
-	pr, err := r.EnterSeq(tag)
+	d.arena = ext
+	return ext[start:], nil
+}
+
+// Decode parses b into m, overwriting every field. See the Decoder
+// contract for the lifetime of the decoded contents.
+func (d *Decoder) Decode(b []byte, m *Message) error {
+	d.arena = d.arena[:0]
+	*m = Message{VarBinds: d.vbs[:0]}
+	err := d.decode(b, m)
+	d.vbs = m.VarBinds[:0]
 	if err != nil {
-		return nil, fmt.Errorf("snmp: bad PDU: %w", err)
+		*m = Message{}
+	}
+	return err
+}
+
+func (d *Decoder) decode(b []byte, m *Message) error {
+	r, err := ber.NewReader(b).Seq(ber.TagSequence)
+	if err != nil {
+		return fmt.Errorf("snmp: bad message envelope: %w", err)
+	}
+	_, version, err := r.ReadInt()
+	if err != nil {
+		return fmt.Errorf("snmp: bad version: %w", err)
+	}
+	if version != Version0 {
+		return fmt.Errorf("snmp: unsupported version %d", version)
+	}
+	ctag, community, err := r.ReadTLV()
+	if err != nil || ctag != ber.TagOctetString {
+		return fmt.Errorf("snmp: bad community: %w", err)
+	}
+	if string(community) != d.community {
+		d.community = string(community)
+	}
+	m.Community = d.community
+	tag, err := r.PeekTag()
+	if err != nil {
+		return err
+	}
+	m.Type = PDUType(tag)
+	pr, err := r.Seq(tag)
+	if err != nil {
+		return fmt.Errorf("snmp: bad PDU: %w", err)
 	}
 	switch m.Type {
 	case PDUGetRequest, PDUGetNextRequest, PDUGetResponse, PDUSetRequest:
 		_, rid, err := pr.ReadInt()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		_, es, err := pr.ReadInt()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		_, ei, err := pr.ReadInt()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m.RequestID = int32(rid)
 		m.ErrorStatus = ErrorStatus(es)
@@ -268,51 +331,51 @@ func Decode(b []byte) (*Message, error) {
 	case PDUTrap:
 		var ti TrapInfo
 		if ti.Enterprise, err = pr.ReadOID(); err != nil {
-			return nil, err
+			return err
 		}
 		_, addr, err := pr.ReadString()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if len(addr) != 4 {
-			return nil, fmt.Errorf("snmp: trap agent-addr of %d bytes", len(addr))
+			return fmt.Errorf("snmp: trap agent-addr of %d bytes", len(addr))
 		}
 		copy(ti.AgentAddr[:], addr)
 		_, gt, err := pr.ReadInt()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		_, st, err := pr.ReadInt()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		_, ts, err := pr.ReadUint()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ti.GenericTrap, ti.SpecificTrap, ti.Timestamp = int(gt), int(st), ts
 		m.Trap = &ti
 	default:
-		return nil, fmt.Errorf("snmp: unknown PDU type 0x%02x", tag)
+		return fmt.Errorf("snmp: unknown PDU type 0x%02x", tag)
 	}
-	vr, err := pr.EnterSeq(ber.TagSequence)
+	vr, err := pr.Seq(ber.TagSequence)
 	if err != nil {
-		return nil, fmt.Errorf("snmp: bad varbind list: %w", err)
+		return fmt.Errorf("snmp: bad varbind list: %w", err)
 	}
 	for !vr.Empty() {
-		one, err := vr.EnterSeq(ber.TagSequence)
+		one, err := vr.Seq(ber.TagSequence)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		name, err := one.ReadOID()
+		name, err := d.appendOID(&one)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		val, err := readValue(one)
+		val, err := readValue(&one)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m.VarBinds = append(m.VarBinds, VarBind{Name: name, Value: val})
 	}
-	return m, nil
+	return nil
 }
