@@ -14,6 +14,8 @@
 //	delete <dp>                    remove a program
 //	eval <file.dpl> <entry> [a..]  one-shot remote evaluation (REV style)
 //	watch [prefix]                 subscribe and stream events
+//	stats                          dump the server's metrics (Prometheus text)
+//	trace [n]                      dump the server's last n lifecycle spans (JSON)
 //	lint <file.dpl>...             static-analyze programs locally
 //
 // lint runs entirely offline — no server connection — against the full
@@ -28,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"mbd/internal/dpl"
@@ -194,6 +197,26 @@ func run(server, principal, secret string, timeout time.Duration, args []string)
 		out, err := c.Eval(ctx, string(src), rest[1], rest[2:]...)
 		if err != nil {
 			return describeReject(rest[0], err)
+		}
+		fmt.Println(out)
+	case "stats":
+		out, err := c.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	case "trace":
+		max := 0
+		if len(rest) > 0 {
+			n, err := strconv.Atoi(rest[0])
+			if err != nil || n < 0 {
+				return fmt.Errorf("usage: trace [n]")
+			}
+			max = n
+		}
+		out, err := c.Trace(ctx, max)
+		if err != nil {
+			return err
 		}
 		fmt.Println(out)
 	case "watch":

@@ -8,7 +8,14 @@
 //
 //	mbdserver [-rds :5500] [-snmp :1161] [-name lab-router]
 //	          [-community public] [-secret mgr=s3cret ...] [-repo dir]
-//	          [-strict] [-costceiling n]
+//	          [-strict] [-costceiling n] [-obs :9090]
+//
+// With -obs, the server exposes its own telemetry three ways: an HTTP
+// endpoint serving Prometheus /metrics, /debug/pprof/* and /tracez; the
+// same counters self-published as a read-only MIB subtree
+// (1.3.6.1.4.1.424242.2) walkable over SNMP like any managed object —
+// the management system managing itself; and the RDS stats operation
+// (mbdctl stats / mbdctl trace).
 //
 // Every delegation passes through the static analyzer at admission;
 // -strict rejects programs carrying any analyzer warning, and
@@ -30,8 +37,10 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -39,6 +48,8 @@ import (
 	"mbd/internal/elastic"
 	"mbd/internal/mbd"
 	"mbd/internal/mib"
+	"mbd/internal/obs"
+	"mbd/internal/obs/obsmib"
 	"mbd/internal/rds"
 	"mbd/internal/vdl"
 )
@@ -62,16 +73,17 @@ func main() {
 	repoDir := flag.String("repo", "", "directory backing the DP repository (load at start, save at exit)")
 	strict := flag.Bool("strict", false, "strict admission: reject delegations with any analyzer warning")
 	costCeiling := flag.Uint64("costceiling", 0, "reject delegations whose estimated cost exceeds this (0 = off; nonzero also rejects unbounded programs)")
+	obsAddr := flag.String("obs", "", "observability HTTP listen address (/metrics, /debug/pprof, /tracez); empty disables")
 	var secrets secretsFlag
 	flag.Var(&secrets, "secret", "principal=secret for MD5 auth (repeatable)")
 	flag.Parse()
 
-	if err := run(*rdsAddr, *snmpAddr, *name, *community, *repoDir, secrets, *strict, *costCeiling); err != nil {
+	if err := run(*rdsAddr, *snmpAddr, *name, *community, *repoDir, secrets, *strict, *costCeiling, *obsAddr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, strict bool, costCeiling uint64) error {
+func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, strict bool, costCeiling uint64, obsAddr string) error {
 	dev, err := mib.NewDevice(mib.DeviceConfig{Name: name, Interfaces: 4, Seed: time.Now().UnixNano()})
 	if err != nil {
 		return err
@@ -83,6 +95,25 @@ func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, s
 	if err := dev.Tree().Mount(vdl.OIDViews, mcva.Handler()); err != nil {
 		return err
 	}
+
+	// Observability: one registry and trace ring shared by every layer.
+	var (
+		reg    *obs.Registry
+		tracer *obs.Tracer
+	)
+	if obsAddr != "" {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(1024)
+		reg.FuncGauge("go_goroutines", "live goroutines", func() int64 {
+			return int64(runtime.NumGoroutine())
+		})
+		reg.FuncGauge("go_heap_alloc_bytes", "heap bytes in use", func() int64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return int64(ms.HeapAlloc)
+		})
+	}
+
 	srv, err := mbd.New(mbd.Config{
 		Device:          dev,
 		Community:       community,
@@ -90,6 +121,8 @@ func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, s
 		MaxDPIs:         256,
 		StrictAdmission: strict,
 		CostCeiling:     costCeiling,
+		Obs:             reg,
+		Tracer:          tracer,
 	})
 	if err != nil {
 		return err
@@ -159,11 +192,42 @@ func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, s
 	})
 	defer cancel()
 
-	// RDS server.
+	// RDS server (its protocol counters join the shared registry; when
+	// -obs is off it publishes on the process's private one).
+	var srvOpts []rds.ServerOption
+	if reg != nil {
+		srvOpts = append(srvOpts, rds.WithObs(reg), rds.WithTracer(tracer))
+	}
+	rdsSrv := rds.NewServer(srv.Process(), auth, srvOpts...)
+
+	// Observability endpoint + reflexive self-stats MIB subtree: the
+	// same registry is scraped over HTTP and walked over SNMP.
+	if reg != nil {
+		if err := obsmib.Mount(dev.Tree(), reg, obsmib.OIDSelfStats); err != nil {
+			return fmt.Errorf("mounting self-stats subtree: %w", err)
+		}
+		ol, err := net.Listen("tcp", obsAddr)
+		if err != nil {
+			return fmt.Errorf("obs listen: %w", err)
+		}
+		hs := &http.Server{Handler: obs.Handler(reg, tracer)}
+		go func() {
+			<-ctx.Done()
+			hs.Close()
+		}()
+		go func() {
+			if err := hs.Serve(ol); err != nil && err != http.ErrServerClosed {
+				log.Printf("obs endpoint: %v", err)
+			}
+		}()
+		log.Printf("observability endpoint on http://%s/metrics (self-MIB at %s)",
+			ol.Addr(), obsmib.OIDSelfStats)
+	}
+
 	l, err := net.Listen("tcp", rdsAddr)
 	if err != nil {
 		return fmt.Errorf("rds listen: %w", err)
 	}
 	log.Printf("RDS delegation service on %s (auth: %v)", l.Addr(), auth != nil)
-	return rds.NewServer(srv.Process(), auth).Serve(ctx, l)
+	return rdsSrv.Serve(ctx, l)
 }

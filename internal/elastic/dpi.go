@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mbd/internal/dpl"
+	"mbd/internal/obs"
 )
 
 // DPI is a delegated program instance: one running activation of a DP,
@@ -45,7 +46,13 @@ func (d *DPI) run(ctx context.Context, args []dpl.Value) {
 	if err != nil {
 		payload = "error: " + err.Error()
 	}
-	d.proc.emit(Event{DPI: d.ID, Kind: EventExit, Payload: payload, Time: d.proc.clock.Now()})
+	p := d.proc
+	elapsed := p.clock.Now() - d.started
+	p.met.live.Add(-1)
+	p.met.stepsConsumed.Add(d.vm.Steps())
+	p.met.runLat.Observe(elapsed)
+	p.tracer.Record(d.ID, obs.StageExit, payload, elapsed)
+	p.emit(Event{DPI: d.ID, Kind: EventExit, Payload: payload, Time: p.clock.Now()})
 }
 
 // Done returns a channel closed when the instance finishes.
@@ -255,9 +262,7 @@ func (p *Process) registerInstanceServices() {
 		}
 		select {
 		case target.mailbox <- payload:
-			p.mu.Lock()
-			p.stats.MessagesSent++
-			p.mu.Unlock()
+			p.met.messagesSent.Inc()
 			return true, nil
 		default:
 			return false, nil

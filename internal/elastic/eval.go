@@ -29,9 +29,7 @@ func (p *Process) Evaluate(ctx context.Context, principal, lang, source, entry s
 		err = p.admit(principal, rep)
 	}
 	if err != nil {
-		p.mu.Lock()
-		p.stats.Rejections++
-		p.mu.Unlock()
+		p.met.rejections.Inc()
 		return nil, err
 	}
 	// The ephemeral DP never touches the Repository: concurrent

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mbd/internal/dpl"
+	"mbd/internal/obs"
 )
 
 // Errors surfaced by Process operations.
@@ -96,6 +97,15 @@ type Config struct {
 	// instruction cost exceeds it; any nonzero ceiling also rejects
 	// programs with unbounded cost. 0 disables the ceiling.
 	CostCeiling uint64
+	// Obs receives the process's runtime metrics (delegations,
+	// rejections by diagnostic code, live instances, VM steps, event
+	// fan-out). Nil uses a private registry: counting always happens,
+	// export is opt-in.
+	Obs *obs.Registry
+	// Tracer records delegation-lifecycle spans
+	// (delegate/reject/instantiate/emit/exit/control). Nil disables
+	// tracing.
+	Tracer *obs.Tracer
 }
 
 // Process is an elastic process: it accepts delegated programs,
@@ -122,7 +132,44 @@ type Process struct {
 	subSeq int
 
 	eventsEmitted atomic.Uint64
-	stats         ProcessStats
+
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	met    processMetrics
+}
+
+// processMetrics holds the registry-backed runtime counters. They
+// replace the PR 2 mutex-guarded stats struct: every increment is one
+// atomic add, and exporters read the same storage.
+type processMetrics struct {
+	delegations    *obs.Counter
+	rejections     *obs.Counter
+	instantiations *obs.Counter
+	messagesSent   *obs.Counter
+	stepsConsumed  *obs.Counter
+	live           *obs.Gauge
+	subscribers    *obs.Gauge
+	runLat         *obs.Histogram
+	// events indexes per-kind emit counters by EventKind.
+	events [EventExit + 1]*obs.Counter
+}
+
+func newProcessMetrics(reg *obs.Registry, emitted *atomic.Uint64) processMetrics {
+	m := processMetrics{
+		delegations:    reg.Counter("elastic_delegations_total", "DPs admitted and stored"),
+		rejections:     reg.Counter("elastic_rejections_total", "DPs refused at admission"),
+		instantiations: reg.Counter("elastic_instantiations_total", "DPIs started"),
+		messagesSent:   reg.Counter("elastic_messages_sent_total", "mailbox messages delivered"),
+		stepsConsumed:  reg.Counter("elastic_vm_steps_total", "VM instructions consumed by finished DPIs"),
+		live:           reg.Gauge("elastic_dpis_live", "currently running DPIs"),
+		subscribers:    reg.Gauge("elastic_subscribers", "registered event subscribers"),
+		runLat:         reg.Histogram("elastic_run_duration_seconds", "DPI lifetime from instantiate to exit", nil),
+	}
+	reg.FuncCounter("elastic_events_emitted_total", "events fanned out to subscribers", emitted.Load)
+	for k := EventReport; k <= EventExit; k++ {
+		m.events[k] = reg.LabeledCounter("elastic_events_total", "events emitted by kind", "kind", k.String())
+	}
+	return m
 }
 
 // subscriber pairs a registration id with its callback so unsubscribe
@@ -157,12 +204,18 @@ func NewProcess(cfg Config) *Process {
 		cfg.MailboxDepth = 64
 	}
 	p := &Process{
-		cfg:   cfg,
-		clock: cfg.Clock,
-		repo:  NewRepository(),
-		dpis:  make(map[string]*DPI),
-		seq:   make(map[string]int),
+		cfg:    cfg,
+		clock:  cfg.Clock,
+		repo:   NewRepository(),
+		dpis:   make(map[string]*DPI),
+		seq:    make(map[string]int),
+		reg:    cfg.Obs,
+		tracer: cfg.Tracer,
 	}
+	if p.reg == nil {
+		p.reg = obs.NewRegistry()
+	}
+	p.met = newProcessMetrics(p.reg, &p.eventsEmitted)
 	p.bindings = cfg.Bindings.Clone()
 	p.registerInstanceServices()
 	p.translator = NewTranslator(p.bindings)
@@ -183,12 +236,18 @@ func (p *Process) Bindings() *dpl.Bindings { return p.bindings }
 
 // Stats returns a copy of the process counters.
 func (p *Process) Stats() ProcessStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	st := p.stats
-	st.EventsEmitted = p.eventsEmitted.Load()
-	return st
+	return ProcessStats{
+		Delegations:    p.met.delegations.Value(),
+		Rejections:     p.met.rejections.Value(),
+		Instantiations: p.met.instantiations.Value(),
+		EventsEmitted:  p.eventsEmitted.Load(),
+		MessagesSent:   p.met.messagesSent.Value(),
+	}
 }
+
+// Obs returns the process's metrics registry (the one passed in
+// Config.Obs, or the private default).
+func (p *Process) Obs() *obs.Registry { return p.reg }
 
 // Subscribe registers fn for every event emitted by any DPI and returns
 // an unsubscribe function. fn must not block, and is called on the
@@ -206,6 +265,7 @@ func (p *Process) Subscribe(fn func(Event)) (cancel func()) {
 	}
 	next = append(next, subscriber{id: id, fn: fn})
 	p.subs.Store(&next)
+	p.met.subscribers.Add(1)
 	return func() {
 		p.subMu.Lock()
 		defer p.subMu.Unlock()
@@ -219,6 +279,9 @@ func (p *Process) Subscribe(fn func(Event)) (cancel func()) {
 				trimmed = append(trimmed, s)
 			}
 		}
+		if len(trimmed) < len(*cur) {
+			p.met.subscribers.Add(-1)
+		}
 		p.subs.Store(&trimmed)
 	}
 }
@@ -228,6 +291,12 @@ func (p *Process) Subscribe(fn func(Event)) (cancel func()) {
 // Subscribe/unsubscribe swap in new snapshots concurrently.
 func (p *Process) emit(ev Event) {
 	p.eventsEmitted.Add(1)
+	if c := p.met.events[ev.Kind]; c != nil {
+		c.Inc()
+	}
+	// Kind.String() is a static string: recording an emit span costs
+	// nothing when the tracer is nil and no allocation when it is set.
+	p.tracer.Record(ev.DPI, obs.StageEmit, ev.Kind.String(), 0)
 	if subs := p.subs.Load(); subs != nil {
 		for _, s := range *subs {
 			s.fn(ev)
@@ -245,14 +314,22 @@ func (p *Process) Delegate(principal, name, lang, source string) error {
 	if !p.cfg.ACL.Allow(principal, RightDelegate) {
 		return fmt.Errorf("%w: %s may not delegate", ErrDenied, principal)
 	}
+	start := p.clock.Now()
 	obj, rep, err := p.translator.TranslateAnalyzed(lang, source)
 	if err == nil {
 		err = p.admit(principal, rep)
 	}
 	if err != nil {
-		p.mu.Lock()
-		p.stats.Rejections++
-		p.mu.Unlock()
+		p.met.rejections.Inc()
+		var rej *RejectError
+		if errors.As(err, &rej) {
+			for _, d := range rej.Diags {
+				p.reg.LabeledCounter("elastic_rejections_by_code_total",
+					"delegations rejected at admission, by diagnostic code",
+					"code", d.Code).Inc()
+			}
+		}
+		p.tracer.Record(name, obs.StageReject, err.Error(), p.clock.Now()-start)
 		return err
 	}
 	p.repo.Store(&DP{
@@ -266,9 +343,9 @@ func (p *Process) Delegate(principal, name, lang, source string) error {
 		Cost:       rep.Cost,
 		StepBudget: rep.SuggestedBudget(p.cfg.MaxStepsPerDPI),
 	})
-	p.mu.Lock()
-	p.stats.Delegations++
-	p.mu.Unlock()
+	p.met.delegations.Inc()
+	p.tracer.Record(name, obs.StageDelegate,
+		fmt.Sprintf("owner=%s lang=%s", principal, lang), p.clock.Now()-start)
 	return nil
 }
 
@@ -343,9 +420,11 @@ func (p *Process) startInstance(dp *DP, entry string, args []dpl.Value) (*DPI, e
 	}
 	vm.Meta = d
 	p.dpis[id] = d
-	p.stats.Instantiations++
 	p.wg.Add(1)
 	p.mu.Unlock()
+	p.met.instantiations.Inc()
+	p.met.live.Add(1)
+	p.tracer.Record(id, obs.StageInstantiate, "entry="+entry, 0)
 
 	go d.run(ctx, args)
 	return d, nil
@@ -388,6 +467,7 @@ func (p *Process) Control(principal, dpiID string, action ControlAction) error {
 	default:
 		return fmt.Errorf("elastic: unknown control action %q", action)
 	}
+	p.tracer.Record(dpiID, obs.StageControl, string(action), 0)
 	return nil
 }
 
@@ -404,9 +484,7 @@ func (p *Process) Send(principal, dpiID, payload string) error {
 	}
 	select {
 	case d.mailbox <- payload:
-		p.mu.Lock()
-		p.stats.MessagesSent++
-		p.mu.Unlock()
+		p.met.messagesSent.Inc()
 		return nil
 	default:
 		return fmt.Errorf("%w: %s", ErrMailboxFull, dpiID)

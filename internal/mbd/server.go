@@ -16,6 +16,7 @@ import (
 	"mbd/internal/dpl"
 	"mbd/internal/elastic"
 	"mbd/internal/mib"
+	"mbd/internal/obs"
 	"mbd/internal/oid"
 	"mbd/internal/snmp"
 )
@@ -41,6 +42,14 @@ type Config struct {
 	// view services) merged into the allowed-function table before the
 	// process is built.
 	ExtraBindings *dpl.Bindings
+	// Obs, when set, collects the server's metrics: the elastic
+	// process's runtime counters, the SNMP agent's protocol counters,
+	// and the MIB tree's operation counters all register on it. Nil
+	// leaves the process on its private registry and skips agent/tree
+	// instrumentation.
+	Obs *obs.Registry
+	// Tracer records delegation-lifecycle spans; nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // Server is an MbD server instance.
@@ -100,9 +109,34 @@ func New(cfg Config) (*Server, error) {
 		MailboxDepth:    cfg.MailboxDepth,
 		StrictAdmission: cfg.StrictAdmission,
 		CostCeiling:     cfg.CostCeiling,
+		Obs:             cfg.Obs,
+		Tracer:          cfg.Tracer,
 	})
 	s.agent = snmp.NewAgent(cfg.Device.Tree(), cfg.Community)
+	if cfg.Obs != nil {
+		s.agent.Instrument(cfg.Obs)
+		instrumentTree(cfg.Obs, cfg.Device.Tree())
+	}
 	return s, nil
+}
+
+// instrumentTree publishes a mib.Tree's operation counters on reg. The
+// tree counts unconditionally (single atomic adds on its own struct, no
+// obs dependency); this bridges the snapshots out as mib_*-series.
+func instrumentTree(reg *obs.Registry, t *mib.Tree) {
+	for _, c := range []struct {
+		name, help string
+		read       func(mib.TreeStats) uint64
+	}{
+		{"mib_gets_total", "tree Get dispatches", func(s mib.TreeStats) uint64 { return s.Gets }},
+		{"mib_get_nexts_total", "tree GetNext dispatches", func(s mib.TreeStats) uint64 { return s.GetNexts }},
+		{"mib_sets_total", "tree Set dispatches", func(s mib.TreeStats) uint64 { return s.Sets }},
+		{"mib_walks_total", "tree Walk/WalkBulk invocations", func(s mib.TreeStats) uint64 { return s.Walks }},
+		{"mib_walk_visited_total", "instances visited by walks", func(s mib.TreeStats) uint64 { return s.WalkVisited }},
+	} {
+		read := c.read
+		reg.FuncCounter(c.name, c.help, func() uint64 { return read(t.Stats()) })
+	}
 }
 
 // Process exposes the underlying elastic process (Delegate /

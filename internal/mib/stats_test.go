@@ -1,0 +1,40 @@
+package mib
+
+import (
+	"testing"
+
+	"mbd/internal/oid"
+)
+
+// TestTreeStats verifies the data-path operation counters: every
+// dispatch counts, hits and misses alike, and walks account their
+// visited instances.
+func TestTreeStats(t *testing.T) {
+	tree := &Tree{}
+	root := oid.MustParse("1.3.6.1.2.1.1.3")
+	if err := tree.Mount(root, ConstScalar(TimeTicks(1))); err != nil {
+		t.Fatal(err)
+	}
+	if s := tree.Stats(); s != (TreeStats{}) {
+		t.Fatalf("fresh tree has stats %+v", s)
+	}
+
+	inst := root.Append(0)
+	if _, err := tree.Get(inst); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = tree.Get(oid.MustParse("1.2.3")) // miss counts too
+	if _, _, err := tree.GetNext(root); err != nil {
+		t.Fatal(err)
+	}
+	_ = tree.Set(inst, Int(5)) // read-only, still a dispatch
+	if n := tree.Walk(root, func(oid.OID, Value) bool { return true }); n != 1 {
+		t.Fatalf("walked %d", n)
+	}
+
+	s := tree.Stats()
+	want := TreeStats{Gets: 2, GetNexts: 1, Sets: 1, Walks: 1, WalkVisited: 1}
+	if s != want {
+		t.Fatalf("stats = %+v, want %+v", s, want)
+	}
+}

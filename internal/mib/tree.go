@@ -90,6 +90,43 @@ type mount struct {
 type Tree struct {
 	mountMu sync.Mutex // serializes Mount/Unmount
 	mounts  atomic.Pointer[[]mount]
+
+	stats treeCounters
+}
+
+// treeCounters tallies data-path operations with lock-free atomics; a
+// single uncontended add per operation keeps the dispatch hot path
+// allocation-free and within the bench gate's budget.
+type treeCounters struct {
+	gets        atomic.Uint64
+	getNexts    atomic.Uint64
+	sets        atomic.Uint64
+	walks       atomic.Uint64
+	walkVisited atomic.Uint64
+}
+
+// TreeStats counts data-path operations since the tree was created.
+type TreeStats struct {
+	// Gets, GetNexts and Sets count Get/GetNextInto/Set dispatches
+	// (misses included).
+	Gets     uint64
+	GetNexts uint64
+	Sets     uint64
+	// Walks counts Walk/WalkFrom calls; WalkVisited sums the instances
+	// they visited.
+	Walks       uint64
+	WalkVisited uint64
+}
+
+// Stats returns a snapshot of the tree's operation counters.
+func (t *Tree) Stats() TreeStats {
+	return TreeStats{
+		Gets:        t.stats.gets.Load(),
+		GetNexts:    t.stats.getNexts.Load(),
+		Sets:        t.stats.sets.Load(),
+		Walks:       t.stats.walks.Load(),
+		WalkVisited: t.stats.walkVisited.Load(),
+	}
 }
 
 // load returns the current mount table (possibly nil).
@@ -159,6 +196,7 @@ func find(mounts []mount, o oid.OID) int {
 
 // Get returns the value of the instance at o.
 func (t *Tree) Get(o oid.OID) (Value, error) {
+	t.stats.gets.Add(1)
 	mounts := t.load()
 	if i := find(mounts, o); i >= 0 {
 		if v, ok := mounts[i].h.GetRel(o[len(mounts[i].prefix):]); ok {
@@ -180,6 +218,7 @@ func (t *Tree) GetNext(o oid.OID) (oid.OID, Value, error) {
 // sufficient capacity and the resolved handler implements AppendNexter,
 // the operation performs no allocation. dst may be nil.
 func (t *Tree) GetNextInto(dst oid.OID, o oid.OID) (oid.OID, Value, error) {
+	t.stats.getNexts.Add(1)
 	mounts := t.load()
 	// The mount containing o, if any, is tried with the relative
 	// remainder; every mount sorting after o is tried from its start.
@@ -217,6 +256,7 @@ func appendNext(m *mount, dst oid.OID, rel oid.OID) (oid.OID, Value, bool) {
 
 // Set writes the instance at o.
 func (t *Tree) Set(o oid.OID, v Value) error {
+	t.stats.sets.Add(1)
 	mounts := t.load()
 	i := find(mounts, o)
 	if i < 0 {
@@ -250,6 +290,14 @@ func (t *Tree) Walk(prefix oid.OID, fn func(o oid.OID, v Value) bool) int {
 // OIDs are assembled in one reused buffer. The OID passed to fn is
 // only valid for the duration of the call; clone it to retain it.
 func (t *Tree) WalkFrom(prefix, after oid.OID, fn func(o oid.OID, v Value) bool) int {
+	t.stats.walks.Add(1)
+	n := t.walkFrom(prefix, after, fn)
+	t.stats.walkVisited.Add(uint64(n))
+	return n
+}
+
+// walkFrom is WalkFrom without the stats accounting.
+func (t *Tree) walkFrom(prefix, after oid.OID, fn func(o oid.OID, v Value) bool) int {
 	mounts := t.load()
 	var buf oid.OID // reused full-OID scratch across the whole walk
 	n := 0

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterIncAllocs locks in the allocation-free observation path:
+// instrumentation that allocates per event would poison every hot path
+// it touches (docs/PERFORMANCE.md).
+func TestCounterIncAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	r := NewRegistry()
+	c := r.Counter("allocs_probe_total", "")
+	g := r.Gauge("allocs_probe", "")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Add(1)
+		g.Set(7)
+	}); n != 0 {
+		t.Errorf("counter/gauge ops allocate %v times per run, want 0", n)
+	}
+}
+
+// TestHistogramObserveAllocs proves Observe is allocation-free across
+// bucket positions including overflow.
+func TestHistogramObserveAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	r := NewRegistry()
+	h := r.Histogram("allocs_probe_seconds", "", nil)
+	durations := []time.Duration{
+		100 * time.Nanosecond, 3 * time.Microsecond, time.Millisecond, time.Minute,
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		for _, d := range durations {
+			h.Observe(d)
+		}
+	}); n != 0 {
+		t.Errorf("Observe allocates %v times per run, want 0", n)
+	}
+}
+
+// TestRegistryHammer races observers against registrations and
+// exporters; run under -race in CI. It verifies no increments are lost
+// and that export snapshots stay internally consistent.
+func TestRegistryHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "")
+	h := r.Histogram("hammer_seconds", "", nil)
+	tr := NewTracer(64)
+
+	const (
+		writers = 8
+		perG    = 5000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent registrations + exports while observers hammer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.LabeledCounter("hammer_by_code_total", "", "code", string(rune('a'+i%8))).Inc()
+			_ = r.WritePrometheus(io.Discard)
+			for _, s := range r.Flatten() {
+				_ = s.Value()
+			}
+			_ = tr.Recent(16)
+			i++
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				h.Observe(time.Duration(i) * time.Microsecond)
+				tr.Record("hammer", StageEmit, "x", 0)
+			}
+		}()
+	}
+	// Wait for the observers, then stop the exporter.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// The exporter goroutine needs the stop signal before wg.Wait can
+	// return, so close it after the observers finish their counted work.
+	for {
+		if c.Value() >= writers*perG {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+
+	if got := c.Value(); got != writers*perG {
+		t.Errorf("counter lost increments: %d, want %d", got, writers*perG)
+	}
+	if got := h.Count(); got != writers*perG {
+		t.Errorf("histogram lost observations: %d, want %d", got, writers*perG)
+	}
+	if tr.Len() != 64 {
+		t.Errorf("tracer retained %d spans, want full ring of 64", tr.Len())
+	}
+}

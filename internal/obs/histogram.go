@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBuckets are the latency bucket upper bounds, in nanoseconds,
+// used when a histogram is registered without explicit bounds. They
+// span the paths this server cares about: sub-microsecond MIB
+// dispatch, microsecond codecs, millisecond RPCs, second-scale
+// delegated-program runs.
+var DefaultBuckets = []int64{
+	int64(time.Microsecond),
+	int64(5 * time.Microsecond),
+	int64(25 * time.Microsecond),
+	int64(100 * time.Microsecond),
+	int64(500 * time.Microsecond),
+	int64(2500 * time.Microsecond),
+	int64(10 * time.Millisecond),
+	int64(50 * time.Millisecond),
+	int64(250 * time.Millisecond),
+	int64(time.Second),
+	int64(5 * time.Second),
+}
+
+// Histogram is a fixed-bucket latency histogram. Observe is the hot
+// path: a linear scan over at most a dozen int64 bounds and two atomic
+// adds — no lock, no allocation. Bucket counts are non-cumulative
+// internally and summed cumulatively at export, matching Prometheus
+// histogram semantics.
+type Histogram struct {
+	bounds []int64         // ascending upper bounds (ns); +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1, last is the overflow bucket
+	sum    atomic.Int64    // total observed ns
+	n      atomic.Uint64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be ascending")
+		}
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	i := 0
+	for i < len(h.bounds) && ns > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(ns)
+	h.n.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// SumNanos returns the sum of all observed durations in nanoseconds.
+func (h *Histogram) SumNanos() int64 { return h.sum.Load() }
+
+// writePrometheus renders the histogram family: cumulative _bucket
+// series with le labels in seconds, then _sum (seconds) and _count.
+func (h *Histogram) writePrometheus(w io.Writer, family, labels string) {
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		le := strconv.FormatFloat(float64(b)/1e9, 'g', -1, 64)
+		fmt.Fprintf(w, "%s %d\n", labelInsert(family+"_bucket", labels, `le="`+le+`"`), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s %d\n", labelInsert(family+"_bucket", labels, `le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s%s %g\n", family+"_sum", labels, float64(h.sum.Load())/1e9)
+	fmt.Fprintf(w, "%s%s %d\n", family+"_count", labels, h.n.Load())
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Handler serves the observability surface over HTTP:
+//
+//	/metrics            Prometheus text exposition of reg
+//	/tracez             recent lifecycle spans as JSON (?n=max)
+//	/debug/pprof/*      the standard Go profiler endpoints
+//
+// tr may be nil (tracez serves an empty array). The handler is meant
+// for an operator- or scraper-facing listener (mbdserver -obs), not
+// the management data path.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(`<html><body><h1>mbd observability</h1><ul>` +
+			`<li><a href="/metrics">/metrics</a></li>` +
+			`<li><a href="/tracez">/tracez</a></li>` +
+			`<li><a href="/debug/pprof/">/debug/pprof/</a></li>` +
+			`</ul></body></html>`))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		max := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				max = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = tr.WriteJSON(w, max)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

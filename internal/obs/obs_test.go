@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same-name registration returns the same counter.
+	if again := r.Counter("reqs_total", "requests"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("live", "live things")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []int64{int64(time.Millisecond), int64(time.Second)})
+	h.Observe(time.Microsecond)       // bucket 0
+	h.Observe(500 * time.Millisecond) // bucket 1
+	h.Observe(time.Minute)            // overflow
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	wantSum := int64(time.Microsecond + 500*time.Millisecond + time.Minute)
+	if h.SumNanos() != wantSum {
+		t.Fatalf("sum = %d, want %d", h.SumNanos(), wantSum)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`lat_bucket{le="0.001"} 1`,
+		`lat_bucket{le="1"} 2`,
+		`lat_bucket{le="+Inf"} 3`,
+		`lat_count 3`,
+		"# TYPE lat histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusFamiliesAndLabels(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledCounter("rej_total", "rejections", "code", "DPL003").Add(2)
+	r.LabeledCounter("rej_total", "rejections", "code", "DPL007").Inc()
+	r.Counter("aaa_total", "first").Inc()
+	r.FuncGauge("zzz", "func gauge", func() int64 { return -4 })
+	r.FuncCounter("src_total", "func counter", func() uint64 { return 9 })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP aaa_total first\n# TYPE aaa_total counter\naaa_total 1\n",
+		"# TYPE rej_total counter\nrej_total{code=\"DPL003\"} 2\nrej_total{code=\"DPL007\"} 1\n",
+		"src_total 9",
+		"zzz -4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE must appear once per family even with two series.
+	if strings.Count(out, "# TYPE rej_total") != 1 {
+		t.Errorf("TYPE emitted per series, want per family:\n%s", out)
+	}
+	// Families must be sorted.
+	if strings.Index(out, "aaa_total") > strings.Index(out, "zzz") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(3)
+	g := r.Gauge("g", "")
+	g.Set(-5) // clamped in flattened form
+	h := r.Histogram("h", "", nil)
+	h.Observe(2 * time.Millisecond)
+	flat := r.Flatten()
+	vals := map[string]uint64{}
+	for _, s := range flat {
+		vals[s.Name] = s.Value()
+	}
+	if vals["c_total"] != 3 {
+		t.Errorf("c_total = %d, want 3", vals["c_total"])
+	}
+	if vals["g"] != 0 {
+		t.Errorf("negative gauge flattened to %d, want 0", vals["g"])
+	}
+	if vals["h_count"] != 1 {
+		t.Errorf("h_count = %d, want 1", vals["h_count"])
+	}
+	if vals["h_sum_us"] != 2000 {
+		t.Errorf("h_sum_us = %d, want 2000", vals["h_sum_us"])
+	}
+	// Snapshot order must be sorted by name.
+	for i := 1; i < len(flat); i++ {
+		if flat[i-1].Name >= flat[i].Name {
+			t.Errorf("flatten order violation: %q >= %q", flat[i-1].Name, flat[i].Name)
+		}
+	}
+}
+
+func TestTracerRingAndJSON(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.Record("dp#1", StageEmit, "payload", 0)
+	}
+	spans := tr.Recent(0)
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4 (ring capacity)", len(spans))
+	}
+	// Oldest two dropped: seqs 3..6 remain in order.
+	for i, sp := range spans {
+		if sp.Seq != uint64(3+i) {
+			t.Fatalf("span %d has seq %d, want %d", i, sp.Seq, 3+i)
+		}
+	}
+	if got := tr.Recent(2); len(got) != 2 || got[1].Seq != 6 {
+		t.Fatalf("Recent(2) = %+v, want the 2 newest", got)
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Span
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("tracez JSON does not parse: %v", err)
+	}
+	if len(decoded) != 4 || decoded[0].Stage != StageEmit {
+		t.Fatalf("decoded %+v", decoded)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record("x", StageExit, "", 0)
+	if tr.Len() != 0 || tr.Recent(10) != nil {
+		t.Fatal("nil tracer should record nothing")
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "[]" {
+		t.Fatalf("nil tracer JSON = %q, want []", sb.String())
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "hits").Add(7)
+	tr := NewTracer(8)
+	tr.Record("dp", StageDelegate, "ok", time.Millisecond)
+	srv := httptest.NewServer(Handler(r, tr))
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var sb strings.Builder
+		if _, err := io.Copy(&sb, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if out := get("/metrics"); !strings.Contains(out, "hits_total 7") {
+		t.Errorf("/metrics missing counter:\n%s", out)
+	}
+	if out := get("/tracez"); !strings.Contains(out, `"stage": "delegate"`) {
+		t.Errorf("/tracez missing span:\n%s", out)
+	}
+	if out := get("/debug/pprof/"); !strings.Contains(out, "goroutine") {
+		t.Errorf("/debug/pprof/ index unexpected:\n%s", out)
+	}
+}

@@ -1,0 +1,150 @@
+// Package obsmib publishes an obs.Registry as a read-only MIB subtree:
+// the paper's reflexivity applied to the platform — the MbD server's
+// own health counters become managed objects a remote manager (or a
+// delegated program) can Get/GetNext like any other MIB variable.
+//
+// The subtree is a two-column table indexed by the registry's sorted
+// flattened series (see obs.Registry.Flatten):
+//
+//	<prefix>.1.<i>  obsStatName  (OCTET STRING)  series name
+//	<prefix>.2.<i>  obsStatValue (Counter64)     live value
+//
+// Row indexes are 1-based positions in the *current* sorted snapshot.
+// Registration of new metrics renumbers later rows — acceptable for a
+// stats surface whose names column makes every walk self-describing.
+package obsmib
+
+import (
+	"mbd/internal/mib"
+	"mbd/internal/obs"
+	"mbd/internal/oid"
+)
+
+// OIDSelfStats is the default mount point for the server's self-stats
+// subtree, a sibling of the MCVA view arc (1.3.6.1.4.1.424242.1).
+var OIDSelfStats = oid.MustParse("1.3.6.1.4.1.424242.2")
+
+// Table columns.
+const (
+	colName  = 1
+	colValue = 2
+)
+
+// Handler serves a registry as a MIB subtree. Create with New; mount
+// with mib.Tree.Mount (or the Mount convenience).
+type Handler struct {
+	reg *obs.Registry
+}
+
+// New returns a handler over reg.
+func New(reg *obs.Registry) *Handler { return &Handler{reg: reg} }
+
+// Mount attaches reg's series under prefix in tree.
+func Mount(tree *mib.Tree, reg *obs.Registry, prefix oid.OID) error {
+	return tree.Mount(prefix, New(reg))
+}
+
+// cell returns the value at (col, idx) in the current snapshot.
+func (h *Handler) cell(flat []obs.Series, col, idx uint32) (mib.Value, bool) {
+	if idx < 1 || int(idx) > len(flat) {
+		return mib.Value{}, false
+	}
+	s := flat[idx-1]
+	switch col {
+	case colName:
+		return mib.Str(s.Name), true
+	case colValue:
+		return mib.Counter64(s.Value()), true
+	}
+	return mib.Value{}, false
+}
+
+// GetRel implements mib.Handler.
+func (h *Handler) GetRel(rel oid.OID) (mib.Value, bool) {
+	if len(rel) != 2 {
+		return mib.Value{}, false
+	}
+	return h.cell(h.reg.Flatten(), rel[0], rel[1])
+}
+
+// NextRel implements mib.Handler.
+func (h *Handler) NextRel(rel oid.OID) (oid.OID, mib.Value, bool) {
+	return h.AppendNextRel(nil, rel)
+}
+
+// AppendNextRel implements mib.AppendNexter. Successors run in
+// column-major order: .1.1 … .1.N, .2.1 … .2.N.
+func (h *Handler) AppendNextRel(dst oid.OID, rel oid.OID) (oid.OID, mib.Value, bool) {
+	flat := h.reg.Flatten()
+	if len(flat) == 0 {
+		return nil, mib.Value{}, false
+	}
+	col, idx := nextCell(rel, len(flat))
+	if col == 0 {
+		return nil, mib.Value{}, false
+	}
+	v, ok := h.cell(flat, col, idx)
+	if !ok {
+		return nil, mib.Value{}, false
+	}
+	return append(dst, col, idx), v, true
+}
+
+// NextRelN implements mib.BulkHandler.
+func (h *Handler) NextRelN(rel oid.OID, max int, visit func(rel oid.OID, v mib.Value) bool) int {
+	flat := h.reg.Flatten()
+	if len(flat) == 0 {
+		return 0
+	}
+	col, idx := nextCell(rel, len(flat))
+	n := 0
+	var buf [2]uint32
+	for col != 0 && (max <= 0 || n < max) {
+		v, ok := h.cell(flat, col, idx)
+		if !ok {
+			break
+		}
+		buf[0], buf[1] = col, idx
+		n++
+		if !visit(buf[:], v) {
+			return n
+		}
+		if int(idx) < len(flat) {
+			idx++
+		} else if col < colValue {
+			col, idx = col+1, 1
+		} else {
+			col = 0
+		}
+	}
+	return n
+}
+
+// nextCell computes the first (col, idx) cell strictly after rel in a
+// table of rows rows. col 0 reports end-of-subtree.
+func nextCell(rel oid.OID, rows int) (uint32, uint32) {
+	if len(rel) == 0 {
+		return colName, 1
+	}
+	col := rel[0]
+	if col < colName {
+		return colName, 1
+	}
+	if col > colValue {
+		return 0, 0
+	}
+	// Whether rel is the bare column, exactly (col, idx), or anything
+	// deeper, the first cell strictly after it is (col, idx+1) with a
+	// missing index reading as 0.
+	idx := uint32(0)
+	if len(rel) >= 2 {
+		idx = rel[1]
+	}
+	if int(idx) < rows {
+		return col, idx + 1
+	}
+	if col < colValue {
+		return col + 1, 1
+	}
+	return 0, 0
+}

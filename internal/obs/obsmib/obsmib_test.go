@@ -1,0 +1,115 @@
+package obsmib
+
+import (
+	"testing"
+	"time"
+
+	"mbd/internal/mib"
+	"mbd/internal/obs"
+	"mbd/internal/oid"
+)
+
+func (h *Handler) mustMount(t *testing.T) *mib.Tree {
+	t.Helper()
+	tree := &mib.Tree{}
+	if err := tree.Mount(OIDSelfStats, h); err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestGetAndWalk(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("alpha_total", "help").Add(11)
+	r.Gauge("beta", "help").Set(7)
+	h := New(r)
+	tree := h.mustMount(t)
+
+	// Get by explicit cell: row order is sorted series order
+	// (alpha_total=1, beta=2).
+	v, err := tree.Get(OIDSelfStats.Append(1, 1))
+	if err != nil || string(v.Bytes) != "alpha_total" {
+		t.Fatalf("name cell = %v, %v", v, err)
+	}
+	v, err = tree.Get(OIDSelfStats.Append(2, 1))
+	if err != nil || v.Uint != 11 {
+		t.Fatalf("value cell = %v, %v", v, err)
+	}
+
+	// Full walk sees 2 columns x 2 rows, names before values.
+	var names []string
+	var vals []uint64
+	n := tree.Walk(OIDSelfStats, func(o oid.OID, v mib.Value) bool {
+		if v.Kind == mib.KindOctetString {
+			names = append(names, string(v.Bytes))
+		} else {
+			vals = append(vals, v.Uint)
+		}
+		return true
+	})
+	if n != 4 {
+		t.Fatalf("walked %d instances, want 4", n)
+	}
+	if names[0] != "alpha_total" || names[1] != "beta" {
+		t.Fatalf("names = %v", names)
+	}
+	if vals[0] != 11 || vals[1] != 7 {
+		t.Fatalf("values = %v", vals)
+	}
+}
+
+func TestValuesAreLive(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.Counter("live_total", "")
+	tree := New(r).mustMount(t)
+	cell := OIDSelfStats.Append(2, 1)
+	if v, err := tree.Get(cell); err != nil || v.Uint != 0 {
+		t.Fatalf("initial = %v, %v", v, err)
+	}
+	c.Add(42)
+	if v, err := tree.Get(cell); err != nil || v.Uint != 42 {
+		t.Fatalf("after increment = %v, %v", v, err)
+	}
+}
+
+func TestHistogramRowsAndGetNext(t *testing.T) {
+	r := obs.NewRegistry()
+	hst := r.Histogram("lat", "", nil)
+	hst.Observe(3 * time.Millisecond)
+	tree := New(r).mustMount(t)
+
+	// Histogram flattens to lat_count and lat_sum_us rows.
+	next, v, err := tree.GetNext(OIDSelfStats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !next.Equal(OIDSelfStats.Append(1, 1)) || string(v.Bytes) != "lat_count" {
+		t.Fatalf("first = %s %v", next, v)
+	}
+	next, v, err = tree.GetNext(next)
+	if err != nil || string(v.Bytes) != "lat_sum_us" {
+		t.Fatalf("second = %s %v, %v", next, v, err)
+	}
+	// Step into the value column and past the end.
+	next, v, err = tree.GetNext(next)
+	if err != nil || !next.Equal(OIDSelfStats.Append(2, 1)) || v.Uint != 1 {
+		t.Fatalf("count value = %s %v, %v", next, v, err)
+	}
+	next, v, err = tree.GetNext(next)
+	if err != nil || v.Uint != 3000 {
+		t.Fatalf("sum_us value = %s %v, %v", next, v, err)
+	}
+	if _, _, err = tree.GetNext(next); err == nil {
+		t.Fatal("expected end of subtree")
+	}
+}
+
+func TestEmptyRegistry(t *testing.T) {
+	tree := New(obs.NewRegistry()).mustMount(t)
+	if _, _, err := tree.GetNext(OIDSelfStats); err == nil {
+		t.Fatal("empty registry should have no successors")
+	}
+	if n := tree.Walk(OIDSelfStats, func(oid.OID, mib.Value) bool { return true }); n != 0 {
+		t.Fatalf("walked %d instances of an empty registry", n)
+	}
+}

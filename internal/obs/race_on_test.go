@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// raceEnabled gates allocation assertions: the race detector's
+// instrumentation allocates, so alloc tests are skipped under -race.
+const raceEnabled = true

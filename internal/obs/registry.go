@@ -1,0 +1,309 @@
+// Package obs is the server's observability layer: a dependency-free
+// metrics registry (atomic counters, gauges and fixed-bucket latency
+// histograms) plus a bounded-ring trace recorder for the delegation
+// lifecycle (see trace.go).
+//
+// The design rule, inherited from docs/PERFORMANCE.md, is that the
+// *observation* path must cost nothing measurable: Counter.Inc,
+// Gauge.Set and Histogram.Observe are single atomic operations with no
+// allocation and no lock. All bookkeeping (registration, sorting,
+// rendering) happens off the hot path: the registry keeps an immutable
+// sorted snapshot of its series behind an atomic pointer, rebuilt
+// copy-on-register, so exporters (the Prometheus text endpoint, the
+// self-stats MIB subtree, the RDS stats op) read without blocking
+// writers.
+//
+// This is MbD reflexivity applied to the platform itself: the elastic
+// process that computes views over a device's MIB publishes its own
+// health as both a scrape endpoint and a MIB subtree a manager can
+// GetNext — the management platform is itself managed.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// usable but unregistered; obtain registered counters from a Registry.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous signed value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metricKind discriminates the registry's series types.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindFuncCounter
+	kindFuncGauge
+	kindHistogram
+)
+
+// metric is one registered series (or histogram family).
+type metric struct {
+	family string // metric name without labels
+	labels string // rendered label set: `{k="v"}` or ""
+	help   string
+	kind   metricKind
+
+	c  *Counter
+	g  *Gauge
+	fc func() uint64
+	fg func() int64
+	h  *Histogram
+}
+
+// name returns the full series name including labels.
+func (m *metric) name() string { return m.family + m.labels }
+
+// Series is one flattened, integer-valued time series — the form the
+// self-stats MIB subtree and other non-Prometheus exporters consume.
+// Histograms flatten to two Series: <name>_count and <name>_sum_us
+// (microseconds, so the sum stays integral). Value is live: each call
+// re-reads the underlying metric.
+type Series struct {
+	// Name is the full series name, labels included.
+	Name string
+	// Counter reports whether the series is monotonic.
+	Counter bool
+	// Value returns the current value. Gauge values are clamped at
+	// zero for consumers (like SNMP Counter64) that cannot go negative;
+	// use the typed accessors on Registry metrics when sign matters.
+	Value func() uint64
+}
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+
+	// sorted is the immutable export snapshot, ordered by (family,
+	// labels); rebuilt copy-on-register so readers never lock.
+	sorted atomic.Pointer[[]*metric]
+	// flat is the immutable flattened Series snapshot in the same
+	// order, histograms expanded.
+	flat atomic.Pointer[[]Series]
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// register installs m under its full name, returning the existing
+// metric instead when one of the same name and kind is present.
+// Mismatched re-registration panics: it is a programming error for two
+// subsystems to claim one name with different types.
+func (r *Registry) register(m *metric) *metric {
+	full := m.name()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.metrics[full]; ok {
+		if old.kind != m.kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", full))
+		}
+		return old
+	}
+	r.metrics[full] = m
+	next := make([]*metric, 0, len(r.metrics))
+	for _, mm := range r.metrics {
+		next = append(next, mm)
+	}
+	sort.Slice(next, func(i, j int) bool {
+		if next[i].family != next[j].family {
+			return next[i].family < next[j].family
+		}
+		return next[i].labels < next[j].labels
+	})
+	r.sorted.Store(&next)
+	flat := make([]Series, 0, len(next)+2)
+	for _, mm := range next {
+		flat = append(flat, mm.series()...)
+	}
+	r.flat.Store(&flat)
+	return m
+}
+
+// series flattens one metric for the Series snapshot.
+func (m *metric) series() []Series {
+	switch m.kind {
+	case kindCounter:
+		c := m.c
+		return []Series{{Name: m.name(), Counter: true, Value: c.Value}}
+	case kindGauge:
+		g := m.g
+		return []Series{{Name: m.name(), Value: func() uint64 { return clampUint(g.Value()) }}}
+	case kindFuncCounter:
+		return []Series{{Name: m.name(), Counter: true, Value: m.fc}}
+	case kindFuncGauge:
+		fg := m.fg
+		return []Series{{Name: m.name(), Value: func() uint64 { return clampUint(fg()) }}}
+	case kindHistogram:
+		h := m.h
+		return []Series{
+			{Name: m.name() + "_count", Counter: true, Value: h.Count},
+			{Name: m.name() + "_sum_us", Counter: true, Value: func() uint64 { return uint64(h.SumNanos() / 1000) }},
+		}
+	}
+	return nil
+}
+
+func clampUint(v int64) uint64 {
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(&metric{family: name, help: help, kind: kindCounter, c: &Counter{}})
+	return m.c
+}
+
+// LabeledCounter returns the counter for one (label, value) pair of the
+// named family, creating it if needed — a one-label CounterVec. The
+// series renders as name{label="value"}.
+func (r *Registry) LabeledCounter(name, help, label, value string) *Counter {
+	labels := fmt.Sprintf("{%s=%q}", label, value)
+	m := r.register(&metric{family: name, labels: labels, help: help, kind: kindCounter, c: &Counter{}})
+	return m.c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(&metric{family: name, help: help, kind: kindGauge, g: &Gauge{}})
+	return m.g
+}
+
+// FuncCounter registers a monotonic series whose value is read from fn
+// at export time — the bridge for subsystems that already keep their
+// own atomic counters (mib.Tree, snmp.Agent). fn must be safe for
+// concurrent use.
+func (r *Registry) FuncCounter(name, help string, fn func() uint64) {
+	r.register(&metric{family: name, help: help, kind: kindFuncCounter, fc: fn})
+}
+
+// FuncGauge registers a gauge series whose value is read from fn at
+// export time. fn must be safe for concurrent use.
+func (r *Registry) FuncGauge(name, help string, fn func() int64) {
+	r.register(&metric{family: name, help: help, kind: kindFuncGauge, fg: fn})
+}
+
+// Histogram returns the latency histogram registered under name,
+// creating it (with DefaultBuckets when bounds is nil) if needed.
+func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram {
+	m := r.register(&metric{family: name, help: help, kind: kindHistogram, h: newHistogram(bounds)})
+	return m.h
+}
+
+// Flatten returns the current flattened Series snapshot, ordered by
+// name. The slice is immutable and shared; do not modify it. Values
+// read live.
+func (r *Registry) Flatten() []Series {
+	if p := r.flat.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format (families sorted by name, HELP/TYPE once per family).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var snap []*metric
+	if p := r.sorted.Load(); p != nil {
+		snap = *p
+	}
+	bw := &errWriter{w: w}
+	lastFamily := ""
+	for _, m := range snap {
+		if m.family != lastFamily {
+			lastFamily = m.family
+			if m.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", m.family, m.help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.family, m.kind.promType())
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s %d\n", m.name(), m.c.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s %d\n", m.name(), m.g.Value())
+		case kindFuncCounter:
+			fmt.Fprintf(bw, "%s %d\n", m.name(), m.fc())
+		case kindFuncGauge:
+			fmt.Fprintf(bw, "%s %d\n", m.name(), m.fg())
+		case kindHistogram:
+			m.h.writePrometheus(bw, m.family, m.labels)
+		}
+	}
+	return bw.err
+}
+
+// promType maps a metric kind to its Prometheus TYPE keyword.
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindFuncCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// errWriter latches the first write error so rendering code can skip
+// per-line error plumbing.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	ew.err = err
+	return n, err
+}
+
+// labelInsert splices extra labels into a series name that may already
+// carry a label set: labelInsert(`x{a="1"}`, `le="2"`) == `x{a="1",le="2"}`.
+func labelInsert(family, labels, extra string) string {
+	if labels == "" {
+		return family + "{" + extra + "}"
+	}
+	return family + strings.TrimSuffix(labels, "}") + "," + extra + "}"
+}

@@ -5,9 +5,17 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 )
+
+// DefaultDialTimeout bounds Dial's connection establishment when the
+// caller does not override it with WithDialTimeout.
+const DefaultDialTimeout = 10 * time.Second
+
+// tcpDial is a test seam over net.DialTimeout.
+var tcpDial = net.DialTimeout
 
 // ErrClosed reports use of a closed client.
 var ErrClosed = errors.New("rds: client closed")
@@ -72,6 +80,8 @@ type Client struct {
 
 	bytesIn  uint64
 	bytesOut uint64
+
+	dialTimeout time.Duration // used by Dial only
 }
 
 // ClientOption configures a Client.
@@ -81,6 +91,13 @@ type ClientOption func(*Client)
 // (which must know the principal's secret).
 func WithAuth(auth *Authenticator) ClientOption {
 	return func(c *Client) { c.auth = auth }
+}
+
+// WithDialTimeout bounds Dial's TCP connection establishment. Zero or
+// negative restores DefaultDialTimeout. It has no effect on NewClient,
+// which wraps an already-established connection.
+func WithDialTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.dialTimeout = d }
 }
 
 // NewClient wraps an established connection. The caller owns conn until
@@ -99,9 +116,22 @@ func NewClient(conn net.Conn, principal string, opts ...ClientOption) *Client {
 	return c
 }
 
-// Dial connects to an RDS server at addr ("host:port").
+// Dial connects to an RDS server at addr ("host:port"). Connection
+// establishment is bounded by DefaultDialTimeout unless WithDialTimeout
+// overrides it — an unreachable or black-holed address fails instead of
+// blocking for the kernel's SYN retry horizon.
 func Dial(addr, principal string, opts ...ClientOption) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	// Apply the options to a probe so Dial sees WithDialTimeout before
+	// connecting; the real client gets them again in NewClient.
+	probe := &Client{}
+	for _, o := range opts {
+		o(probe)
+	}
+	timeout := probe.dialTimeout
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	conn, err := tcpDial("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("rds: dial %s: %w", addr, err)
 	}
@@ -150,6 +180,21 @@ func (c *Client) readLoop() {
 	for {
 		body, err := ReadFrame(c.conn)
 		if err != nil {
+			// A read-deadline expiry with nothing pending is a stale
+			// deadline from an already-answered request, not a dead
+			// connection: disarm it and keep reading (events may still
+			// flow). With replies outstanding it is terminal — the
+			// server blew the caller's deadline.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				c.mu.Lock()
+				idle := len(c.pending) == 0
+				c.mu.Unlock()
+				if idle {
+					_ = c.conn.SetReadDeadline(time.Time{})
+					continue
+				}
+			}
 			c.mu.Lock()
 			c.readErr = err
 			c.mu.Unlock()
@@ -177,7 +222,14 @@ func (c *Client) readLoop() {
 			if ok {
 				delete(c.pending, m.Seq)
 			}
+			idle := len(c.pending) == 0
 			c.mu.Unlock()
+			if idle {
+				// Last outstanding reply: disarm the read deadline so
+				// an idle (possibly subscribed) connection is not torn
+				// down by a deadline meant for this request.
+				_ = c.conn.SetReadDeadline(time.Time{})
+			}
 			if ok {
 				ch <- m
 			}
@@ -204,6 +256,10 @@ func (c *Client) roundTrip(ctx context.Context, req *Message) (*Message, error) 
 	body := req.Encode()
 	if deadline, ok := ctx.Deadline(); ok {
 		_ = c.conn.SetWriteDeadline(deadline)
+		// Mirror the write deadline on the read side: a server that
+		// never answers must not leave the read loop blocked past the
+		// caller's deadline. readLoop disarms it once replies drain.
+		_ = c.conn.SetReadDeadline(deadline)
 	} else {
 		_ = c.conn.SetWriteDeadline(time.Time{})
 	}
@@ -302,4 +358,28 @@ func (c *Client) Eval(ctx context.Context, source, entry string, args ...string)
 func (c *Client) Subscribe(ctx context.Context, filter string) error {
 	_, err := c.roundTrip(ctx, &Message{Op: OpSubscribe, Name: filter})
 	return err
+}
+
+// Stats fetches the server's metrics registry rendered in Prometheus
+// text exposition format.
+func (c *Client) Stats(ctx context.Context) (string, error) {
+	m, err := c.roundTrip(ctx, &Message{Op: OpStats, Entry: "metrics"})
+	if err != nil {
+		return "", err
+	}
+	return string(m.Payload), nil
+}
+
+// Trace fetches up to max recent delegation-lifecycle spans from the
+// server's trace ring as a JSON array (max <= 0 fetches all retained).
+func (c *Client) Trace(ctx context.Context, max int) (string, error) {
+	req := &Message{Op: OpStats, Entry: "trace"}
+	if max > 0 {
+		req.Name = strconv.Itoa(max)
+	}
+	m, err := c.roundTrip(ctx, req)
+	if err != nil {
+		return "", err
+	}
+	return string(m.Payload), nil
 }

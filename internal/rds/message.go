@@ -48,6 +48,11 @@ const (
 	// compares against): Payload=source, Entry=entry, Args; the reply's
 	// Payload carries the rendered result. Nothing persists server-side.
 	OpEval
+	// OpStats asks the server for its own telemetry: Entry selects the
+	// view — "metrics" (Prometheus text exposition) or "trace" (the
+	// delegation-lifecycle span ring as JSON, Name = max spans). The
+	// reply's Payload carries the rendered document.
+	OpStats
 )
 
 // String names the op.
@@ -73,6 +78,8 @@ func (o Op) String() string {
 		return "event"
 	case OpEval:
 		return "eval"
+	case OpStats:
+		return "stats"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -204,7 +211,7 @@ func Decode(b []byte) (*Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	if op <= 0 || op > int64(OpEval) {
+	if op <= 0 || op > int64(OpStats) {
 		return nil, fmt.Errorf("rds: unknown op %d", op)
 	}
 	m.Op = Op(op)

@@ -14,6 +14,7 @@ import (
 
 	"mbd/internal/dpl"
 	"mbd/internal/elastic"
+	"mbd/internal/obs"
 )
 
 // subscriberQueueDepth bounds each subscribed connection's pending
@@ -34,6 +35,13 @@ type Server struct {
 	auth *Authenticator
 
 	stats serverCounters
+
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	// ops indexes per-op request counters; opLat observes dispatch
+	// latency. Both live on reg.
+	ops   [OpStats + 1]*obs.Counter
+	opLat *obs.Histogram
 }
 
 // serverCounters is the lock-free backing store for ServerStats.
@@ -58,10 +66,62 @@ type ServerStats struct {
 	EventsDropped uint64
 }
 
-// NewServer wraps proc. auth may be nil to disable authentication.
-func NewServer(proc *elastic.Process, auth *Authenticator) *Server {
-	return &Server{proc: proc, auth: auth}
+// ServerOption customizes a Server.
+type ServerOption func(*Server)
+
+// WithObs publishes the server's counters on reg instead of the
+// process's registry.
+func WithObs(reg *obs.Registry) ServerOption {
+	return func(s *Server) { s.reg = reg }
 }
+
+// WithTracer records a request span per dispatched operation and backs
+// the OpStats "trace" view. Nil (the default) disables both.
+func WithTracer(tr *obs.Tracer) ServerOption {
+	return func(s *Server) { s.tracer = tr }
+}
+
+// NewServer wraps proc. auth may be nil to disable authentication. By
+// default the server's counters join the process's registry (Config.Obs
+// or its private default), so one scrape covers protocol and runtime.
+func NewServer(proc *elastic.Process, auth *Authenticator, opts ...ServerOption) *Server {
+	s := &Server{proc: proc, auth: auth}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.reg == nil {
+		s.reg = proc.Obs()
+	}
+	s.instrument()
+	return s
+}
+
+// instrument migrates the server's atomic counters onto the registry
+// (reads are funneled through FuncCounters — the write path stays the
+// same single atomic add) and registers the per-op request counters and
+// dispatch-latency histogram.
+func (s *Server) instrument() {
+	for _, c := range []struct {
+		name, help string
+		v          *atomic.Uint64
+	}{
+		{"rds_auth_failures_total", "requests failing digest authentication", &s.stats.authFails},
+		{"rds_bytes_in_total", "request frame bytes received", &s.stats.bytesIn},
+		{"rds_bytes_out_total", "reply and event frame bytes sent", &s.stats.bytesOut},
+		{"rds_events_sent_total", "event frames delivered to subscribers", &s.stats.eventsSent},
+		{"rds_events_dropped_total", "events discarded on overflowing subscriber queues", &s.stats.eventsDropped},
+	} {
+		s.reg.FuncCounter(c.name, c.help, c.v.Load)
+	}
+	for op := OpDelegate; op <= OpStats; op++ {
+		s.ops[op] = s.reg.LabeledCounter("rds_requests_total",
+			"RDS requests received, by operation", "op", op.String())
+	}
+	s.opLat = s.reg.Histogram("rds_op_duration_seconds", "per-request dispatch latency", nil)
+}
+
+// Obs returns the registry the server publishes on.
+func (s *Server) Obs() *obs.Registry { return s.reg }
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() ServerStats {
@@ -272,6 +332,9 @@ func (s *Server) ServeConn(ctx context.Context, conn net.Conn) {
 			// the connection as the stream is unsynchronized.
 			return
 		}
+		if c := s.ops[req.Op]; c != nil {
+			c.Inc()
+		}
 		if err := s.auth.Verify(req); err != nil {
 			s.stats.authFails.Add(1)
 			_ = cw.write(s, reply(req, nil, err), true)
@@ -295,7 +358,16 @@ func (s *Server) ServeConn(ctx context.Context, conn net.Conn) {
 			}
 			_ = cw.write(s, reply(req, nil, nil), true)
 		default:
-			_ = cw.write(s, s.dispatch(ctx, req), true)
+			start := time.Now()
+			resp := s.dispatch(ctx, req)
+			dur := time.Since(start)
+			s.opLat.Observe(dur)
+			if s.tracer != nil {
+				// Guarded so the detail concat never allocates on the
+				// untraced hot path.
+				s.tracer.Record(req.Op.String(), obs.StageRequest, req.Principal+" "+req.Name, dur)
+			}
+			_ = cw.write(s, resp, true)
 		}
 	}
 }
@@ -392,7 +464,38 @@ func (s *Server) dispatch(ctx context.Context, req *Message) *Message {
 		defer cancel()
 		v, err := s.proc.Evaluate(ectx, req.Principal, "dpl", string(req.Payload), req.Entry, args...)
 		return reply(req, func(m *Message) { m.Payload = []byte(dpl.FormatValue(v)) }, err)
+	case OpStats:
+		return s.serveStats(req)
 	default:
 		return reply(req, nil, fmt.Errorf("rds: cannot serve %s", req.Op))
+	}
+}
+
+// serveStats answers OpStats: the server's own telemetry, rendered as a
+// text document in the reply payload. Entry selects the view.
+func (s *Server) serveStats(req *Message) *Message {
+	switch req.Entry {
+	case "", "metrics":
+		var sb strings.Builder
+		if err := s.reg.WritePrometheus(&sb); err != nil {
+			return reply(req, nil, err)
+		}
+		return reply(req, func(m *Message) { m.Payload = []byte(sb.String()) }, nil)
+	case "trace":
+		max := 0
+		if req.Name != "" {
+			n, err := strconv.Atoi(req.Name)
+			if err != nil || n < 0 {
+				return reply(req, nil, fmt.Errorf("rds: bad trace limit %q", req.Name))
+			}
+			max = n
+		}
+		var sb strings.Builder
+		if err := s.tracer.WriteJSON(&sb, max); err != nil {
+			return reply(req, nil, err)
+		}
+		return reply(req, func(m *Message) { m.Payload = []byte(sb.String()) }, nil)
+	default:
+		return reply(req, nil, fmt.Errorf("rds: unknown stats view %q", req.Entry))
 	}
 }

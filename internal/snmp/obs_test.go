@@ -1,0 +1,60 @@
+package snmp
+
+import (
+	"strings"
+	"testing"
+
+	"mbd/internal/mib"
+	"mbd/internal/obs"
+	"mbd/internal/oid"
+)
+
+// TestAgentInstrument verifies the registry bridge: PDU counters and
+// the serve-latency histogram move when packets are handled.
+func TestAgentInstrument(t *testing.T) {
+	tree := &mib.Tree{}
+	root := oid.MustParse("1.3.6.1.2.1.1.3")
+	if err := tree.Mount(root, mib.ConstScalar(mib.TimeTicks(9))); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAgent(tree, "public")
+	reg := obs.NewRegistry()
+	a.Instrument(reg)
+
+	req := &Message{Community: "public", Type: PDUGetRequest, RequestID: 1,
+		VarBinds: []VarBind{{Name: root.Append(0)}}}
+	pkt, err := req.AppendEncode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := a.HandlePacket(pkt); resp == nil {
+		t.Fatal("no response")
+	}
+	// Wrong community: counted, dropped.
+	bad := &Message{Community: "wrong", Type: PDUGetRequest, RequestID: 2,
+		VarBinds: []VarBind{{Name: root.Append(0)}}}
+	pkt, err = bad.AppendEncode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := a.HandlePacket(pkt); resp != nil {
+		t.Fatal("bad community must be dropped")
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"snmp_in_pkts_total 2",
+		"snmp_out_pkts_total 1",
+		"snmp_get_requests_total 1",
+		"snmp_bad_community_total 1",
+		"snmp_serve_duration_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
