@@ -24,7 +24,16 @@
 //
 // With -repo, delegated programs load from dir/*.dpl at startup (each
 // re-checked by the Translator) and the repository is saved back on
-// shutdown — the paper's file-system-backed Repository.
+// shutdown — the paper's file-system-backed Repository. The directory
+// doubles as a warm-restart checkpoint: shutdown also records the
+// still-running instances (dpis.json), and the next boot re-admits the
+// programs and re-instantiates the ones delegated with restart policy
+// "always".
+//
+// Shutdown is graceful: on SIGTERM/SIGINT the server stops accepting,
+// gives each live RDS connection -drain to finish its in-flight request
+// and flush events, checkpoints the repository, and only then stops the
+// elastic process.
 //
 // With one or more -secret principal=secret flags, RDS requests must
 // carry a valid MD5 digest; otherwise authentication is off (the first
@@ -74,16 +83,17 @@ func main() {
 	strict := flag.Bool("strict", false, "strict admission: reject delegations with any analyzer warning")
 	costCeiling := flag.Uint64("costceiling", 0, "reject delegations whose estimated cost exceeds this (0 = off; nonzero also rejects unbounded programs)")
 	obsAddr := flag.String("obs", "", "observability HTTP listen address (/metrics, /debug/pprof, /tracez); empty disables")
+	drain := flag.Duration("drain", 2*time.Second, "graceful-shutdown drain grace per RDS connection (0 = close immediately)")
 	var secrets secretsFlag
 	flag.Var(&secrets, "secret", "principal=secret for MD5 auth (repeatable)")
 	flag.Parse()
 
-	if err := run(*rdsAddr, *snmpAddr, *name, *community, *repoDir, secrets, *strict, *costCeiling, *obsAddr); err != nil {
+	if err := run(*rdsAddr, *snmpAddr, *name, *community, *repoDir, secrets, *strict, *costCeiling, *obsAddr, *drain); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, strict bool, costCeiling uint64, obsAddr string) error {
+func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, strict bool, costCeiling uint64, obsAddr string, drain time.Duration) error {
 	dev, err := mib.NewDevice(mib.DeviceConfig{Name: name, Interfaces: 4, Seed: time.Now().UnixNano()})
 	if err != nil {
 		return err
@@ -132,14 +142,21 @@ func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, s
 		if err := os.MkdirAll(repoDir, 0o755); err != nil {
 			return fmt.Errorf("creating repository dir: %w", err)
 		}
-		n, err := srv.Process().LoadRepository(repoDir, "repository")
+		// Warm restart: re-admit stored programs and re-instantiate the
+		// checkpoint's always-policy instances through the normal
+		// analysis/admission gate.
+		nDP, nDPI, err := srv.Process().LoadCheckpoint(repoDir, "repository")
 		if err != nil {
-			return fmt.Errorf("loading repository: %w", err)
+			return fmt.Errorf("loading checkpoint: %w", err)
 		}
-		log.Printf("loaded %d delegated programs from %s", n, repoDir)
+		log.Printf("loaded %d delegated programs from %s, re-instantiated %d always-restart instances", nDP, repoDir, nDPI)
+		// Registered after `defer srv.Stop()`, so it runs first — while
+		// the instances whose specs the checkpoint records still live.
 		defer func() {
-			if err := srv.Process().SaveRepository(repoDir); err != nil {
-				log.Printf("saving repository: %v", err)
+			if err := srv.Process().SaveCheckpoint(repoDir); err != nil {
+				log.Printf("saving checkpoint: %v", err)
+			} else {
+				log.Printf("checkpoint saved to %s", repoDir)
 			}
 		}()
 	}
@@ -194,7 +211,7 @@ func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, s
 
 	// RDS server (its protocol counters join the shared registry; when
 	// -obs is off it publishes on the process's private one).
-	var srvOpts []rds.ServerOption
+	srvOpts := []rds.ServerOption{rds.WithDrainGrace(drain)}
 	if reg != nil {
 		srvOpts = append(srvOpts, rds.WithObs(reg), rds.WithTracer(tracer))
 	}
@@ -229,5 +246,9 @@ func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, s
 		return fmt.Errorf("rds listen: %w", err)
 	}
 	log.Printf("RDS delegation service on %s (auth: %v)", l.Addr(), auth != nil)
+	go func() {
+		<-ctx.Done()
+		log.Printf("shutdown signal: draining connections (grace %s)", drain)
+	}()
 	return rdsSrv.Serve(ctx, l)
 }

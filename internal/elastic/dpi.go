@@ -2,8 +2,11 @@ package elastic
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mbd/internal/dpl"
@@ -26,8 +29,20 @@ type DPI struct {
 	cancel  context.CancelFunc
 	done    chan struct{}
 
+	// spec is the instantiation request this instance runs under; sup
+	// (nil when unsupervised) applies its restart policy on exit.
+	spec InstanceSpec
+	sup  *supervisor
+	// userKilled marks an operator terminate (Control/Terminate/Stop),
+	// which is final even under RestartAlways.
+	userKilled atomic.Bool
+	// wdReason, when set, names the watchdog violation that killed the
+	// run; the exit error becomes ErrWatchdogKilled.
+	wdReason atomic.Pointer[string]
+
 	mu       sync.Mutex
 	finished bool
+	crashed  bool
 	result   dpl.Value
 	err      error
 }
@@ -35,9 +50,16 @@ type DPI struct {
 // run executes the instance to completion. It always emits EventExit.
 func (d *DPI) run(ctx context.Context, args []dpl.Value) {
 	defer d.proc.wg.Done()
-	v, err := d.vm.Run(ctx, d.Entry, args...)
+	v, err := d.exec(ctx, args)
+	p := d.proc
+	var pe *PanicError
+	crashed := errors.As(err, &pe)
+	if r := d.wdReason.Load(); r != nil {
+		err = fmt.Errorf("%w: %s", ErrWatchdogKilled, *r)
+	}
 	d.mu.Lock()
 	d.finished = true
+	d.crashed = crashed
 	d.result = v
 	d.err = err
 	d.mu.Unlock()
@@ -46,13 +68,33 @@ func (d *DPI) run(ctx context.Context, args []dpl.Value) {
 	if err != nil {
 		payload = "error: " + err.Error()
 	}
-	p := d.proc
 	elapsed := p.clock.Now() - d.started
 	p.met.live.Add(-1)
 	p.met.stepsConsumed.Add(d.vm.Steps())
 	p.met.runLat.Observe(elapsed)
+	if crashed {
+		p.met.panics.Inc()
+		p.tracer.Record(d.ID, obs.StageCrash, pe.Error(), elapsed)
+	}
 	p.tracer.Record(d.ID, obs.StageExit, payload, elapsed)
 	p.emit(Event{DPI: d.ID, Kind: EventExit, Payload: payload, Time: p.clock.Now()})
+	if d.sup != nil {
+		// Runs before this goroutine's wg slot releases, so restart
+		// timers register with the WaitGroup race-free against Stop.
+		d.sup.onExit(d, err)
+	}
+}
+
+// exec runs the VM under recover: a panic anywhere in the DP body (or a
+// host function it calls) becomes a *PanicError exit instead of tearing
+// the whole elastic process down.
+func (d *DPI) exec(ctx context.Context, args []dpl.Value) (v dpl.Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			v, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return d.vm.Run(ctx, d.Entry, args...)
 }
 
 // Done returns a channel closed when the instance finishes.
@@ -85,8 +127,16 @@ func (d *DPI) Result() (dpl.Value, error) {
 }
 
 // Terminate kills the instance: it cancels the context (unblocking any
-// sleep or recv) and flips the control gate.
+// sleep or recv) and flips the control gate. An operator terminate is
+// final — the supervisor will not restart the instance, whatever its
+// policy. For a supervised instance the whole lineage ends: terminating
+// any incarnation (even one that already exited) stops further
+// restarts, so a fast-cycling `always` DP need not be caught mid-run.
 func (d *DPI) Terminate() {
+	d.userKilled.Store(true)
+	if d.sup != nil {
+		d.sup.killed.Store(true)
+	}
 	d.ctrl.Terminate()
 	d.cancel()
 }
@@ -97,13 +147,17 @@ func (d *DPI) Suspend() { d.ctrl.Suspend() }
 // Resume continues a suspended instance.
 func (d *DPI) Resume() { d.ctrl.Resume() }
 
-// State reports running / suspended / terminated / exited / failed.
+// State reports running / suspended / terminated / exited / failed /
+// crashed (a recovered DP body panic).
 func (d *DPI) State() string {
 	d.mu.Lock()
-	fin, err := d.finished, d.err
+	fin, crashed, err := d.finished, d.crashed, d.err
 	d.mu.Unlock()
 	if fin {
-		if err != nil {
+		switch {
+		case crashed:
+			return "crashed"
+		case err != nil:
 			return "failed"
 		}
 		return "exited"
@@ -125,10 +179,14 @@ func (d *DPI) info() Info {
 		Started: d.started,
 	}
 	if d.finished {
-		if d.err != nil {
+		switch {
+		case d.crashed:
+			inf.State = "crashed"
+			inf.Err = d.err.Error()
+		case d.err != nil:
 			inf.State = "failed"
 			inf.Err = d.err.Error()
-		} else {
+		default:
 			inf.State = "exited"
 			inf.Result = dpl.FormatValue(d.result)
 		}

@@ -1,10 +1,16 @@
 package elastic
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
+	"time"
+
+	"mbd/internal/dpl"
 )
 
 // The paper's Repository "provides a common database service to store
@@ -37,27 +43,195 @@ func (p *Process) SaveRepository(dir string) error {
 
 // LoadRepository translates and stores every *.dpl file found in dir
 // under its base name, attributing ownership to owner. It returns the
-// number of programs loaded. A file the Translator rejects aborts the
-// load with its diagnostics.
+// number of programs loaded. The load is atomic: every file is
+// translated and admitted first, and only when all of them pass are any
+// stored — a rejected file aborts the load with its diagnostics without
+// mutating the already-loaded repository state.
 func (p *Process) LoadRepository(dir, owner string) (int, error) {
+	if !p.cfg.ACL.Allow(owner, RightDelegate) {
+		return 0, fmt.Errorf("%w: %s may not delegate", ErrDenied, owner)
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return 0, fmt.Errorf("elastic: repository dir: %w", err)
 	}
-	n := 0
+	var prepared []*DP
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), dpFileExt) {
 			continue
 		}
 		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
-			return n, fmt.Errorf("elastic: reading %s: %w", e.Name(), err)
+			return 0, fmt.Errorf("elastic: reading %s: %w", e.Name(), err)
 		}
 		name := strings.TrimSuffix(e.Name(), dpFileExt)
-		if err := p.Delegate(owner, name, "dpl", string(src)); err != nil {
-			return n, fmt.Errorf("elastic: loading %s: %w", e.Name(), err)
+		dp, err := p.prepare(owner, name, "dpl", string(src))
+		if err != nil {
+			return 0, fmt.Errorf("elastic: loading %s: %w", e.Name(), err)
 		}
-		n++
+		prepared = append(prepared, dp)
 	}
-	return n, nil
+	for _, dp := range prepared {
+		p.commit(dp)
+	}
+	return len(prepared), nil
+}
+
+// Warm restart: SaveCheckpoint extends SaveRepository with a manifest
+// of the *running* instances (dpis.json: DP name, entry, args, restart
+// policy, watchdog bounds), and LoadCheckpoint re-admits the programs
+// and re-instantiates the manifest's RestartAlways instances through
+// the normal analysis/admission gate — so a drained server comes back
+// running the same always-on management functions it was delegated.
+
+// dpiManifest is the running-DPI spec file inside a checkpoint dir.
+const dpiManifest = "dpis.json"
+
+// specRec is the JSON form of one running instance's spec.
+type specRec struct {
+	DP       string   `json:"dp"`
+	Entry    string   `json:"entry"`
+	Args     []argRec `json:"args,omitempty"`
+	Policy   string   `json:"policy,omitempty"`
+	Deadline int64    `json:"deadline_ms,omitempty"`
+	Stall    int64    `json:"stall_ms,omitempty"`
+}
+
+// argRec is one wire-encoded DPL argument. T is the type tag: int,
+// float, bool, str or nil; values round-trip through their decimal /
+// literal renderings.
+type argRec struct {
+	T string `json:"t"`
+	V string `json:"v,omitempty"`
+}
+
+func encodeArg(v dpl.Value) argRec {
+	switch x := v.(type) {
+	case nil:
+		return argRec{T: "nil"}
+	case bool:
+		return argRec{T: "bool", V: strconv.FormatBool(x)}
+	case int64:
+		return argRec{T: "int", V: strconv.FormatInt(x, 10)}
+	case float64:
+		return argRec{T: "float", V: strconv.FormatFloat(x, 'g', -1, 64)}
+	case string:
+		return argRec{T: "str", V: x}
+	default:
+		// Composite arguments render lossily; good enough for specs,
+		// which in practice carry scalars off the RDS wire.
+		return argRec{T: "str", V: dpl.FormatValue(v)}
+	}
+}
+
+func decodeArg(a argRec) (dpl.Value, error) {
+	switch a.T {
+	case "nil":
+		return nil, nil
+	case "bool":
+		return strconv.ParseBool(a.V)
+	case "int":
+		return strconv.ParseInt(a.V, 10, 64)
+	case "float":
+		return strconv.ParseFloat(a.V, 64)
+	case "str":
+		return a.V, nil
+	}
+	return nil, fmt.Errorf("elastic: unknown checkpoint arg type %q", a.T)
+}
+
+// SaveCheckpoint writes a warm-restart checkpoint into dir: every
+// stored DP's source (as SaveRepository) plus the dpis.json manifest of
+// instances still running at call time. Call it while the process is
+// still serving — after Stop every instance reads as finished and the
+// manifest comes out empty.
+func (p *Process) SaveCheckpoint(dir string) error {
+	if err := p.SaveRepository(dir); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	var recs []specRec
+	for _, d := range p.dpis {
+		if d.Finished() {
+			continue
+		}
+		r := specRec{
+			DP:       d.spec.DP,
+			Entry:    d.spec.Entry,
+			Policy:   string(d.spec.Policy),
+			Deadline: d.spec.Deadline.Milliseconds(),
+			Stall:    d.spec.StallTimeout.Milliseconds(),
+		}
+		for _, a := range d.spec.Args {
+			r.Args = append(r.Args, encodeArg(a))
+		}
+		recs = append(recs, r)
+	}
+	p.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].DP != recs[j].DP {
+			return recs[i].DP < recs[j].DP
+		}
+		return recs[i].Entry < recs[j].Entry
+	})
+	if recs == nil {
+		recs = []specRec{} // renders as [], clearing any stale manifest
+	}
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return fmt.Errorf("elastic: encoding checkpoint: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, dpiManifest), data, 0o644); err != nil {
+		return fmt.Errorf("elastic: writing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint restores a warm-restart checkpoint: it loads the DP
+// repository (atomically, re-running every program through analysis and
+// admission) and re-instantiates the manifest's RestartAlways instances
+// under their saved specs — instances with weaker policies stay down, a
+// restart is not a reason to resurrect a run-once program. It returns
+// the number of programs loaded and instances started. A missing
+// manifest is not an error (cold repositories predate checkpoints).
+func (p *Process) LoadCheckpoint(dir, owner string) (dps, dpis int, err error) {
+	dps, err = p.LoadRepository(dir, owner)
+	if err != nil {
+		return dps, 0, err
+	}
+	data, err := os.ReadFile(filepath.Join(dir, dpiManifest))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return dps, 0, nil
+		}
+		return dps, 0, fmt.Errorf("elastic: reading checkpoint: %w", err)
+	}
+	var recs []specRec
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return dps, 0, fmt.Errorf("elastic: decoding checkpoint: %w", err)
+	}
+	for _, r := range recs {
+		if RestartPolicy(r.Policy) != RestartAlways {
+			continue
+		}
+		spec := InstanceSpec{
+			DP:           r.DP,
+			Entry:        r.Entry,
+			Policy:       RestartAlways,
+			Deadline:     time.Duration(r.Deadline) * time.Millisecond,
+			StallTimeout: time.Duration(r.Stall) * time.Millisecond,
+		}
+		for _, a := range r.Args {
+			v, err := decodeArg(a)
+			if err != nil {
+				return dps, dpis, err
+			}
+			spec.Args = append(spec.Args, v)
+		}
+		if _, err := p.InstantiateSpec(owner, spec); err != nil {
+			return dps, dpis, fmt.Errorf("elastic: restoring %s/%s: %w", r.DP, r.Entry, err)
+		}
+		dpis++
+	}
+	return dps, dpis, nil
 }

@@ -1,0 +1,154 @@
+package elastic
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mbd/internal/dpl"
+)
+
+// TestLoadRepositoryAtomic: one rejected .dpl aborts the whole load
+// without mutating the already-loaded repository state — no partial
+// batch, and programs stored before the load survive untouched.
+func TestLoadRepositoryAtomic(t *testing.T) {
+	p := newProcess(t, Config{})
+	if err := p.Delegate("mgr", "keeper", "dpl", `func main() { return 1; }`); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	// "aaa" sorts before the broken file: a non-atomic load would store
+	// it before hitting the rejection.
+	files := map[string]string{
+		"aaa.dpl":    `func main() { return 2; }`,
+		"broken.dpl": `func main() { this is not dpl`,
+		"zzz.dpl":    `func main() { return 3; }`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := p.LoadRepository(dir, "mgr")
+	if err == nil {
+		t.Fatal("broken program loaded")
+	}
+	if n != 0 {
+		t.Fatalf("failed load reported %d programs stored", n)
+	}
+	names := map[string]bool{}
+	for _, dp := range p.repo.List() {
+		names[dp.Name] = true
+	}
+	if len(names) != 1 || !names["keeper"] {
+		t.Fatalf("failed load mutated repository: %v", names)
+	}
+	// Overwrite semantics are unchanged: fixing the bad file loads all
+	// three, replacing nothing it shouldn't.
+	if err := os.WriteFile(filepath.Join(dir, "broken.dpl"), []byte(`func main() { return 4; }`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := p.LoadRepository(dir, "mgr"); err != nil || n != 3 {
+		t.Fatalf("fixed load = %d, %v", n, err)
+	}
+}
+
+// TestCheckpointWarmRestart: a checkpoint saved while instances run
+// restores the programs and re-instantiates the always-policy ones on a
+// fresh process; weaker policies stay down.
+func TestCheckpointWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	p1 := newProcess(t, Config{})
+	if err := p1.Delegate("mgr", "daemon", "dpl", `func main(tag) { recv(-1); return tag; }`); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Delegate("mgr", "oneshot", "dpl", `func main() { recv(-1); return 0; }`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.InstantiateSpec("mgr", InstanceSpec{
+		DP: "daemon", Entry: "main",
+		Args:         []dpl.Value{"cp-test"},
+		Policy:       RestartAlways,
+		StallTimeout: time.Minute,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.InstantiateSpec("mgr", InstanceSpec{DP: "oneshot", Entry: "main"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.SaveCheckpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := newProcess(t, Config{})
+	dps, dpis, err := p2.LoadCheckpoint(dir, "mgr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dps != 2 || dpis != 1 {
+		t.Fatalf("restored %d programs, %d instances; want 2, 1", dps, dpis)
+	}
+	infos, err := p2.Query("mgr", "")
+	if err != nil || len(infos) != 1 {
+		t.Fatalf("query = %+v, %v", infos, err)
+	}
+	inf := infos[0]
+	if inf.DP != "daemon" || inf.State != "running" {
+		t.Fatalf("restored instance = %+v", inf)
+	}
+	// The restored instance carries its spec — args and policy survive
+	// the round-trip.
+	d, ok := p2.Lookup(inf.ID)
+	if !ok {
+		t.Fatal(err)
+	}
+	if d.spec.Policy != RestartAlways || d.spec.StallTimeout != time.Minute ||
+		len(d.spec.Args) != 1 || d.spec.Args[0] != "cp-test" {
+		t.Fatalf("restored spec = %+v", d.spec)
+	}
+}
+
+// TestCheckpointManifestRoundTrip: arg encoding covers every scalar
+// type, and an empty checkpoint clears a stale manifest.
+func TestCheckpointManifestRoundTrip(t *testing.T) {
+	for _, v := range []dpl.Value{nil, true, false, int64(-42), 2.5, "hello"} {
+		got, err := decodeArg(encodeArg(v))
+		if err != nil || got != v {
+			t.Fatalf("arg %#v round-tripped to %#v, %v", v, got, err)
+		}
+	}
+
+	dir := t.TempDir()
+	p1 := newProcess(t, Config{})
+	if err := p1.Delegate("mgr", "d", "dpl", `func main() { recv(-1); }`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.InstantiateSpec("mgr", InstanceSpec{DP: "d", Entry: "main", Policy: RestartAlways}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.SaveCheckpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Terminate everything; a second checkpoint must overwrite the
+	// manifest with an empty list, not leave the stale instance behind.
+	p1.Stop()
+	if err := p1.SaveCheckpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	p2 := newProcess(t, Config{})
+	dps, dpis, err := p2.LoadCheckpoint(dir, "mgr")
+	if err != nil || dps != 1 || dpis != 0 {
+		t.Fatalf("load after empty checkpoint = %d, %d, %v", dps, dpis, err)
+	}
+
+	// A repository dir without a manifest loads fine (cold start).
+	cold := t.TempDir()
+	if err := os.WriteFile(filepath.Join(cold, "x.dpl"), []byte(`func main() {}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p3 := newProcess(t, Config{})
+	if dps, dpis, err := p3.LoadCheckpoint(cold, "mgr"); err != nil || dps != 1 || dpis != 0 {
+		t.Fatalf("cold load = %d, %d, %v", dps, dpis, err)
+	}
+}

@@ -97,6 +97,19 @@ type Config struct {
 	// instruction cost exceeds it; any nonzero ceiling also rejects
 	// programs with unbounded cost. 0 disables the ceiling.
 	CostCeiling uint64
+	// RestartBackoffBase is the first supervised-restart delay
+	// (default 100ms); successive consecutive failures double it.
+	RestartBackoffBase time.Duration
+	// RestartBackoffMax caps the supervised-restart delay (default 30s).
+	RestartBackoffMax time.Duration
+	// MaxRestarts caps consecutive failed restarts of one supervised
+	// instance before the supervisor gives up (crash-loop protection;
+	// default 8).
+	MaxRestarts int
+	// WatchdogInterval is the watchdog's poll period on the process
+	// clock (default 100ms). Only instances whose InstanceSpec carries a
+	// Deadline or StallTimeout are watched.
+	WatchdogInterval time.Duration
 	// Obs receives the process's runtime metrics (delegations,
 	// rejections by diagnostic code, live instances, VM steps, event
 	// fan-out). Nil uses a private registry: counting always happens,
@@ -124,6 +137,18 @@ type Process struct {
 	stopped bool
 	wg      sync.WaitGroup
 
+	// ctx is cancelled by Stop; supervision timers and watchdogs sleep
+	// under it so shutdown never waits out a backoff.
+	ctx       context.Context
+	ctxCancel context.CancelFunc
+
+	// Resolved supervision tunables (Config fields with defaults
+	// applied).
+	supBackoffBase      time.Duration
+	supBackoffMax       time.Duration
+	supMaxRestarts      int
+	supWatchdogInterval time.Duration
+
 	// Subscribers are an immutable snapshot swapped copy-on-write under
 	// subMu, so emit — the per-event hot path shared by every running
 	// DPI — fans out with a single atomic load and no lock.
@@ -150,6 +175,11 @@ type processMetrics struct {
 	live           *obs.Gauge
 	subscribers    *obs.Gauge
 	runLat         *obs.Histogram
+	// Fault-tolerance counters (see supervise.go).
+	panics        *obs.Counter
+	restarts      *obs.Counter
+	watchdogKills *obs.Counter
+	crashLoops    *obs.Counter
 	// events indexes per-kind emit counters by EventKind.
 	events [EventExit + 1]*obs.Counter
 }
@@ -164,6 +194,10 @@ func newProcessMetrics(reg *obs.Registry, emitted *atomic.Uint64) processMetrics
 		live:           reg.Gauge("elastic_dpis_live", "currently running DPIs"),
 		subscribers:    reg.Gauge("elastic_subscribers", "registered event subscribers"),
 		runLat:         reg.Histogram("elastic_run_duration_seconds", "DPI lifetime from instantiate to exit", nil),
+		panics:         reg.Counter("elastic_dpi_panics_total", "DP body panics recovered (instance crashed, process unharmed)"),
+		restarts:       reg.Counter("elastic_dpi_restarts_total", "supervised DPI restarts performed"),
+		watchdogKills:  reg.Counter("elastic_watchdog_kills_total", "DPIs killed for blowing a deadline or stalling"),
+		crashLoops:     reg.Counter("elastic_crash_loops_total", "supervised lineages abandoned at the restart cap"),
 	}
 	reg.FuncCounter("elastic_events_emitted_total", "events fanned out to subscribers", emitted.Load)
 	for k := EventReport; k <= EventExit; k++ {
@@ -204,14 +238,31 @@ func NewProcess(cfg Config) *Process {
 		cfg.MailboxDepth = 64
 	}
 	p := &Process{
-		cfg:    cfg,
-		clock:  cfg.Clock,
-		repo:   NewRepository(),
-		dpis:   make(map[string]*DPI),
-		seq:    make(map[string]int),
-		reg:    cfg.Obs,
-		tracer: cfg.Tracer,
+		cfg:                 cfg,
+		clock:               cfg.Clock,
+		repo:                NewRepository(),
+		dpis:                make(map[string]*DPI),
+		seq:                 make(map[string]int),
+		reg:                 cfg.Obs,
+		tracer:              cfg.Tracer,
+		supBackoffBase:      cfg.RestartBackoffBase,
+		supBackoffMax:       cfg.RestartBackoffMax,
+		supMaxRestarts:      cfg.MaxRestarts,
+		supWatchdogInterval: cfg.WatchdogInterval,
 	}
+	if p.supBackoffBase <= 0 {
+		p.supBackoffBase = defaultBackoffBase
+	}
+	if p.supBackoffMax <= 0 {
+		p.supBackoffMax = defaultBackoffMax
+	}
+	if p.supMaxRestarts <= 0 {
+		p.supMaxRestarts = defaultMaxRestarts
+	}
+	if p.supWatchdogInterval <= 0 {
+		p.supWatchdogInterval = defaultWatchdogInterval
+	}
+	p.ctx, p.ctxCancel = context.WithCancel(context.Background())
 	if p.reg == nil {
 		p.reg = obs.NewRegistry()
 	}
@@ -314,6 +365,19 @@ func (p *Process) Delegate(principal, name, lang, source string) error {
 	if !p.cfg.ACL.Allow(principal, RightDelegate) {
 		return fmt.Errorf("%w: %s may not delegate", ErrDenied, principal)
 	}
+	dp, err := p.prepare(principal, name, lang, source)
+	if err != nil {
+		return err
+	}
+	p.commit(dp)
+	return nil
+}
+
+// prepare translates and admits one program without storing it. A
+// rejection is fully accounted (metrics, per-code labels, trace span)
+// but leaves the repository untouched — LoadRepository leans on this to
+// stay atomic across multi-file loads.
+func (p *Process) prepare(principal, name, lang, source string) (*DP, error) {
 	start := p.clock.Now()
 	obj, rep, err := p.translator.TranslateAnalyzed(lang, source)
 	if err == nil {
@@ -330,9 +394,9 @@ func (p *Process) Delegate(principal, name, lang, source string) error {
 			}
 		}
 		p.tracer.Record(name, obs.StageReject, err.Error(), p.clock.Now()-start)
-		return err
+		return nil, err
 	}
-	p.repo.Store(&DP{
+	return &DP{
 		Name:       name,
 		Owner:      principal,
 		Lang:       lang,
@@ -342,11 +406,16 @@ func (p *Process) Delegate(principal, name, lang, source string) error {
 		Effects:    rep.Effects,
 		Cost:       rep.Cost,
 		StepBudget: rep.SuggestedBudget(p.cfg.MaxStepsPerDPI),
-	})
+		analysisNS: p.clock.Now() - start,
+	}, nil
+}
+
+// commit stores a prepared program and accounts the delegation.
+func (p *Process) commit(dp *DP) {
+	p.repo.Store(dp)
 	p.met.delegations.Inc()
-	p.tracer.Record(name, obs.StageDelegate,
-		fmt.Sprintf("owner=%s lang=%s", principal, lang), p.clock.Now()-start)
-	return nil
+	p.tracer.Record(dp.Name, obs.StageDelegate,
+		fmt.Sprintf("owner=%s lang=%s", dp.Owner, dp.Lang), dp.analysisNS)
 }
 
 // DeleteDP removes a program from the repository. Running instances are
@@ -363,20 +432,16 @@ func (p *Process) DeleteDP(principal, name string) error {
 
 // Instantiate creates a DPI of the named DP and starts it on its own
 // goroutine, invoking entry(args...). It returns the running instance.
+// The instance is unsupervised (RestartNever, no watchdog); use
+// InstantiateSpec for fault-tolerant instantiation.
 func (p *Process) Instantiate(principal, dpName, entry string, args ...dpl.Value) (*DPI, error) {
-	if !p.cfg.ACL.Allow(principal, RightInstantiate) {
-		return nil, fmt.Errorf("%w: %s may not instantiate", ErrDenied, principal)
-	}
-	dp, ok := p.repo.Lookup(dpName)
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNoSuchDP, dpName)
-	}
-	return p.startInstance(dp, entry, args)
+	return p.InstantiateSpec(principal, InstanceSpec{DP: dpName, Entry: entry, Args: args})
 }
 
-// startInstance admits and launches one instance of dp, enforcing the
-// process's resource limits.
-func (p *Process) startInstance(dp *DP, entry string, args []dpl.Value) (*DPI, error) {
+// startInstance admits and launches one instance of dp under spec,
+// enforcing the process's resource limits. sup, when non-nil, is
+// notified of the instance's exit to apply the restart policy.
+func (p *Process) startInstance(dp *DP, spec InstanceSpec, sup *supervisor) (*DPI, error) {
 	p.mu.Lock()
 	if p.stopped {
 		p.mu.Unlock()
@@ -409,7 +474,9 @@ func (p *Process) startInstance(dp *DP, entry string, args []dpl.Value) (*DPI, e
 	d := &DPI{
 		ID:      id,
 		DP:      dp,
-		Entry:   entry,
+		Entry:   spec.Entry,
+		spec:    spec,
+		sup:     sup,
 		proc:    p,
 		vm:      vm,
 		ctrl:    ctrl,
@@ -421,12 +488,19 @@ func (p *Process) startInstance(dp *DP, entry string, args []dpl.Value) (*DPI, e
 	vm.Meta = d
 	p.dpis[id] = d
 	p.wg.Add(1)
+	watched := spec.Deadline > 0 || spec.StallTimeout > 0
+	if watched {
+		p.wg.Add(1)
+	}
 	p.mu.Unlock()
 	p.met.instantiations.Inc()
 	p.met.live.Add(1)
-	p.tracer.Record(id, obs.StageInstantiate, "entry="+entry, 0)
+	p.tracer.Record(id, obs.StageInstantiate, "entry="+spec.Entry, 0)
 
-	go d.run(ctx, args)
+	if watched {
+		go d.watchdog()
+	}
+	go d.run(ctx, spec.Args)
 	return d, nil
 }
 
@@ -547,6 +621,9 @@ func (p *Process) Stop() {
 		dpis = append(dpis, d)
 	}
 	p.mu.Unlock()
+	// Cancel supervision first so backoff timers and watchdogs wake
+	// instead of being waited out.
+	p.ctxCancel()
 	for _, d := range dpis {
 		d.Terminate()
 	}

@@ -29,6 +29,10 @@ type DP struct {
 	// StepBudget is the VM step quota derived from Cost at admission
 	// (already clamped to the server quota); 0 means unlimited.
 	StepBudget uint64
+
+	// analysisNS is the translation+admission latency, kept for the
+	// delegate trace span.
+	analysisNS time.Duration
 }
 
 // Repository stores delegated programs, the paper's "common database

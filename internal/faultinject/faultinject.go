@@ -1,0 +1,228 @@
+// Package faultinject wraps net.Conn with deterministic, seeded fault
+// injection for chaos-testing the RDS path: connection resets, added
+// latency, partial writes and corrupt frames. It composes with any
+// transport — real TCP, net.Pipe, or the netsim package's simulated
+// links — because it only wraps the net.Conn interface.
+//
+// Faults are probability-gated per Read/Write call and drawn from a
+// seeded PRNG, so a failing chaos run reproduces from its seed. The
+// injector starts disabled; tests enable it once the fixture is up and
+// disable it again to let the system converge.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mbd/internal/obs"
+)
+
+// Config tunes an Injector. All probabilities are per Read/Write call,
+// in [0, 1].
+type Config struct {
+	// Seed drives the PRNG; runs with the same seed and traffic inject
+	// the same fault sequence.
+	Seed int64
+	// ResetProb closes the connection mid-operation, surfacing as a
+	// hard error to both peers.
+	ResetProb float64
+	// LatencyProb delays the operation by a uniform duration up to
+	// MaxLatency (default 10ms when unset).
+	LatencyProb float64
+	MaxLatency  time.Duration
+	// PartialWriteProb writes only a prefix of the buffer and then
+	// closes the connection — the peer sees a truncated frame.
+	PartialWriteProb float64
+	// CorruptProb flips one byte of received data. Because a corrupted
+	// length prefix would leave the reader waiting for bytes that never
+	// come, a corruption also closes the connection right after the
+	// poisoned read is delivered.
+	CorruptProb float64
+	// Sleep overrides how latency is realized (e.g. a virtual clock);
+	// nil uses time.Sleep.
+	Sleep func(time.Duration)
+	// Obs, when set, registers faultinject_faults_total counters
+	// (labelled by fault kind) on the registry.
+	Obs *obs.Registry
+}
+
+// Stats counts injected faults by kind.
+type Stats struct {
+	Resets        uint64
+	Latencies     uint64
+	PartialWrites uint64
+	Corruptions   uint64
+}
+
+// Total sums all injected faults.
+func (s Stats) Total() uint64 {
+	return s.Resets + s.Latencies + s.PartialWrites + s.Corruptions
+}
+
+// ErrInjectedReset is the error surfaced on the faulted side of an
+// injected connection reset.
+var ErrInjectedReset = fmt.Errorf("faultinject: injected connection reset")
+
+// Injector wraps connections with fault injection. One injector may
+// wrap many connections; the fault sequence is drawn from one shared
+// seeded PRNG.
+type Injector struct {
+	cfg     Config
+	enabled atomic.Bool
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	resets        atomic.Uint64
+	latencies     atomic.Uint64
+	partialWrites atomic.Uint64
+	corruptions   atomic.Uint64
+}
+
+// New builds an Injector from cfg. It starts disabled.
+func New(cfg Config) *Injector {
+	if cfg.MaxLatency <= 0 {
+		cfg.MaxLatency = 10 * time.Millisecond
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	inj := &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.Obs != nil {
+		for _, c := range []struct {
+			kind string
+			v    *atomic.Uint64
+		}{
+			{"reset", &inj.resets},
+			{"latency", &inj.latencies},
+			{"partial-write", &inj.partialWrites},
+			{"corrupt", &inj.corruptions},
+		} {
+			v := c.v
+			cfg.Obs.LabeledFuncCounter("faultinject_faults_total",
+				"transport faults injected, by kind", "kind", c.kind, v.Load)
+		}
+	}
+	return inj
+}
+
+// SetEnabled arms or disarms fault injection. Disarmed, wrapped
+// connections behave exactly like their underlying transport.
+func (inj *Injector) SetEnabled(on bool) { inj.enabled.Store(on) }
+
+// Stats snapshots the injected-fault counters.
+func (inj *Injector) Stats() Stats {
+	return Stats{
+		Resets:        inj.resets.Load(),
+		Latencies:     inj.latencies.Load(),
+		PartialWrites: inj.partialWrites.Load(),
+		Corruptions:   inj.corruptions.Load(),
+	}
+}
+
+// Total sums all injected faults so far.
+func (inj *Injector) Total() uint64 { return inj.Stats().Total() }
+
+// roll draws one uniform sample in [0, 1).
+func (inj *Injector) roll() float64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.rng.Float64()
+}
+
+// latency draws a uniform fault delay in (0, MaxLatency].
+func (inj *Injector) latency() time.Duration {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return time.Duration(inj.rng.Int63n(int64(inj.cfg.MaxLatency))) + 1
+}
+
+// intn draws a uniform int in [0, n).
+func (inj *Injector) intn(n int) int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.rng.Intn(n)
+}
+
+// Wrap returns conn with fault injection applied to its Read and Write
+// paths.
+func (inj *Injector) Wrap(conn net.Conn) net.Conn {
+	return &faultConn{Conn: conn, inj: inj}
+}
+
+// Dialer wraps a connection factory so every dialed connection is
+// fault-injected — drop-in for rds.WithDialer.
+func (inj *Injector) Dialer(dial func() (net.Conn, error)) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		conn, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		return inj.Wrap(conn), nil
+	}
+}
+
+// faultConn applies the injector's faults around an underlying conn.
+type faultConn struct {
+	net.Conn
+	inj *Injector
+}
+
+func (fc *faultConn) Read(p []byte) (int, error) {
+	inj := fc.inj
+	if !inj.enabled.Load() {
+		return fc.Conn.Read(p)
+	}
+	if inj.cfg.ResetProb > 0 && inj.roll() < inj.cfg.ResetProb {
+		inj.resets.Add(1)
+		fc.Conn.Close()
+		return 0, ErrInjectedReset
+	}
+	if inj.cfg.LatencyProb > 0 && inj.roll() < inj.cfg.LatencyProb {
+		inj.latencies.Add(1)
+		inj.cfg.Sleep(inj.latency())
+	}
+	n, err := fc.Conn.Read(p)
+	if n > 0 && err == nil && inj.cfg.CorruptProb > 0 && inj.roll() < inj.cfg.CorruptProb {
+		inj.corruptions.Add(1)
+		p[inj.intn(n)] ^= 0xFF
+		// A flipped length prefix would strand the reader mid-frame;
+		// closing right behind the poisoned bytes guarantees the
+		// victim notices and recovers instead of hanging.
+		fc.Conn.Close()
+	}
+	return n, err
+}
+
+func (fc *faultConn) Write(p []byte) (int, error) {
+	inj := fc.inj
+	if !inj.enabled.Load() {
+		return fc.Conn.Write(p)
+	}
+	if inj.cfg.ResetProb > 0 && inj.roll() < inj.cfg.ResetProb {
+		inj.resets.Add(1)
+		fc.Conn.Close()
+		return 0, ErrInjectedReset
+	}
+	if inj.cfg.LatencyProb > 0 && inj.roll() < inj.cfg.LatencyProb {
+		inj.latencies.Add(1)
+		inj.cfg.Sleep(inj.latency())
+	}
+	if len(p) > 1 && inj.cfg.PartialWriteProb > 0 && inj.roll() < inj.cfg.PartialWriteProb {
+		inj.partialWrites.Add(1)
+		n, err := fc.Conn.Write(p[:inj.intn(len(p)-1)+1])
+		// The stream is now unsynchronized (a truncated frame is on
+		// the wire); close so the peer fails fast instead of waiting
+		// for the rest of a frame that will never arrive.
+		fc.Conn.Close()
+		if err == nil {
+			err = ErrInjectedReset
+		}
+		return n, err
+	}
+	return fc.Conn.Write(p)
+}

@@ -1,0 +1,157 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"mbd/internal/obs"
+)
+
+// pipe returns a wrapped client end and the raw server end.
+func pipe(t *testing.T, inj *Injector) (net.Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return inj.Wrap(a), b
+}
+
+func TestDisabledIsTransparent(t *testing.T) {
+	inj := New(Config{Seed: 1, ResetProb: 1, PartialWriteProb: 1, CorruptProb: 1})
+	c, s := pipe(t, inj)
+	go func() {
+		buf := make([]byte, 5)
+		io.ReadFull(s, buf)
+		s.Write(buf)
+	}()
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("echo = %q, %v", buf, err)
+	}
+	if inj.Total() != 0 {
+		t.Fatalf("faults injected while disabled: %+v", inj.Stats())
+	}
+}
+
+func TestInjectedReset(t *testing.T) {
+	inj := New(Config{Seed: 2, ResetProb: 1})
+	inj.SetEnabled(true)
+	c, _ := pipe(t, inj)
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("write err = %v, want injected reset", err)
+	}
+	if inj.Stats().Resets != 1 {
+		t.Fatalf("stats = %+v", inj.Stats())
+	}
+}
+
+func TestPartialWriteTruncatesAndCloses(t *testing.T) {
+	inj := New(Config{Seed: 3, PartialWriteProb: 1})
+	inj.SetEnabled(true)
+	c, s := pipe(t, inj)
+	got := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(s)
+		got <- b
+	}()
+	payload := bytes.Repeat([]byte("A"), 64)
+	n, err := c.Write(payload)
+	if err == nil {
+		t.Fatal("partial write reported success")
+	}
+	if n <= 0 || n >= len(payload) {
+		t.Fatalf("partial write wrote %d of %d bytes", n, len(payload))
+	}
+	select {
+	case b := <-got:
+		if len(b) != n {
+			t.Fatalf("peer saw %d bytes, injector reported %d", len(b), n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer read never finished — conn not closed after partial write")
+	}
+}
+
+func TestCorruptionFlipsAByteAndCloses(t *testing.T) {
+	inj := New(Config{Seed: 4, CorruptProb: 1})
+	inj.SetEnabled(true)
+	c, s := pipe(t, inj)
+	go s.Write([]byte("hello"))
+	buf := make([]byte, 5)
+	n, err := c.Read(buf)
+	if err != nil || n == 0 {
+		t.Fatalf("read = %d, %v", n, err)
+	}
+	if bytes.Equal(buf[:n], []byte("hello")[:n]) {
+		t.Fatal("data not corrupted")
+	}
+	if inj.Stats().Corruptions != 1 {
+		t.Fatalf("stats = %+v", inj.Stats())
+	}
+	// The poisoned conn is closed behind the read.
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read after corruption succeeded — conn left open")
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	var slept time.Duration
+	inj := New(Config{
+		Seed: 5, LatencyProb: 1, MaxLatency: 3 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept += d },
+	})
+	inj.SetEnabled(true)
+	c, s := pipe(t, inj)
+	go io.Copy(io.Discard, s)
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if slept <= 0 || slept > 3*time.Millisecond {
+		t.Fatalf("injected latency = %v", slept)
+	}
+	if inj.Stats().Latencies != 1 {
+		t.Fatalf("stats = %+v", inj.Stats())
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	run := func() Stats {
+		inj := New(Config{Seed: 42, ResetProb: 0.3, CorruptProb: 0.3})
+		inj.SetEnabled(true)
+		for i := 0; i < 50; i++ {
+			a, b := net.Pipe()
+			c := inj.Wrap(a)
+			go func() { b.Write([]byte("ping")); b.Close() }()
+			buf := make([]byte, 4)
+			c.Read(buf)
+			c.Write([]byte("pong"))
+			a.Close()
+		}
+		return inj.Stats()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different fault sequences: %+v vs %+v", a, b)
+	}
+}
+
+func TestObsRegistration(t *testing.T) {
+	reg := obs.NewRegistry()
+	inj := New(Config{Seed: 6, ResetProb: 1, Obs: reg})
+	inj.SetEnabled(true)
+	c, _ := pipe(t, inj)
+	c.Write([]byte("x"))
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `faultinject_faults_total{kind="reset"} 1`) {
+		t.Fatalf("registry missing fault counter:\n%s", sb.String())
+	}
+}

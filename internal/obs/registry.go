@@ -215,6 +215,15 @@ func (r *Registry) FuncCounter(name, help string, fn func() uint64) {
 	r.register(&metric{family: name, help: help, kind: kindFuncCounter, fc: fn})
 }
 
+// LabeledFuncCounter registers a monotonic series for one (label,
+// value) pair of the named family whose value is read from fn at export
+// time — the labelled form of FuncCounter. fn must be safe for
+// concurrent use.
+func (r *Registry) LabeledFuncCounter(name, help, label, value string, fn func() uint64) {
+	labels := fmt.Sprintf("{%s=%q}", label, value)
+	r.register(&metric{family: name, labels: labels, help: help, kind: kindFuncCounter, fc: fn})
+}
+
 // FuncGauge registers a gauge series whose value is read from fn at
 // export time. fn must be safe for concurrent use.
 func (r *Registry) FuncGauge(name, help string, fn func() int64) {

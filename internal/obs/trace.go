@@ -19,6 +19,15 @@ const (
 	StageExit        = "exit"
 	StageControl     = "control"
 	StageRequest     = "request"
+	// Fault-tolerance stages (see docs/ROBUSTNESS.md): a DP body panic,
+	// a supervised restart, a crash-loop give-up, a watchdog kill, a
+	// server drain, and a client reconnect.
+	StageCrash     = "crash"
+	StageRestart   = "restart"
+	StageCrashLoop = "crash-loop"
+	StageWatchdog  = "watchdog-kill"
+	StageDrain     = "drain"
+	StageReconnect = "reconnect"
 )
 
 // Span is one recorded lifecycle event.

@@ -34,6 +34,11 @@ type Server struct {
 	proc *elastic.Process
 	auth *Authenticator
 
+	// drainGrace > 0 turns shutdown into a drain: on ctx cancellation
+	// each connection gets that long to finish its in-flight request
+	// before its read path is cut, instead of being closed mid-reply.
+	drainGrace time.Duration
+
 	stats serverCounters
 
 	reg    *obs.Registry
@@ -52,6 +57,7 @@ type serverCounters struct {
 	bytesOut      atomic.Uint64
 	eventsSent    atomic.Uint64
 	eventsDropped atomic.Uint64
+	connsDrained  atomic.Uint64
 }
 
 // ServerStats counts server-side protocol activity.
@@ -64,6 +70,9 @@ type ServerStats struct {
 	// EventsDropped counts events discarded because a subscriber's
 	// bounded queue overflowed (drop-oldest policy).
 	EventsDropped uint64
+	// ConnsDrained counts connections shut down through the drain-grace
+	// path instead of an immediate close.
+	ConnsDrained uint64
 }
 
 // ServerOption customizes a Server.
@@ -79,6 +88,15 @@ func WithObs(reg *obs.Registry) ServerOption {
 // the OpStats "trace" view. Nil (the default) disables both.
 func WithTracer(tr *obs.Tracer) ServerOption {
 	return func(s *Server) { s.tracer = tr }
+}
+
+// WithDrainGrace makes shutdown graceful: when the serve context is
+// cancelled, each live connection gets d to finish its in-flight
+// request and flush queued events before its read path is cut, instead
+// of being closed mid-reply. Zero (the default) keeps the immediate
+// close.
+func WithDrainGrace(d time.Duration) ServerOption {
+	return func(s *Server) { s.drainGrace = d }
 }
 
 // NewServer wraps proc. auth may be nil to disable authentication. By
@@ -110,6 +128,7 @@ func (s *Server) instrument() {
 		{"rds_bytes_out_total", "reply and event frame bytes sent", &s.stats.bytesOut},
 		{"rds_events_sent_total", "event frames delivered to subscribers", &s.stats.eventsSent},
 		{"rds_events_dropped_total", "events discarded on overflowing subscriber queues", &s.stats.eventsDropped},
+		{"rds_conns_drained_total", "connections shut down via the drain-grace path", &s.stats.connsDrained},
 	} {
 		s.reg.FuncCounter(c.name, c.help, c.v.Load)
 	}
@@ -132,6 +151,7 @@ func (s *Server) Stats() ServerStats {
 		BytesOut:      s.stats.bytesOut.Load(),
 		EventsSent:    s.stats.eventsSent.Load(),
 		EventsDropped: s.stats.eventsDropped.Load(),
+		ConnsDrained:  s.stats.connsDrained.Load(),
 	}
 }
 
@@ -298,8 +318,43 @@ func (s *Server) ServeConn(ctx context.Context, conn net.Conn) {
 	defer conn.Close()
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	// Dispatches run under dctx. With a drain grace it is decoupled
+	// from the serve context: a shutdown must not cancel the request
+	// already in flight — that one gets its reply; dctx dies only when
+	// this connection actually winds down.
+	dctx := ctx
+	if s.drainGrace > 0 {
+		var dcancel context.CancelFunc
+		dctx, dcancel = context.WithCancel(context.WithoutCancel(ctx))
+		defer dcancel()
+	}
+	// connDone closes before the deferred cancel fires, so the watcher
+	// can tell a server-initiated shutdown from this connection's own
+	// exit (which must not count as a drain).
+	connDone := make(chan struct{})
+	defer close(connDone)
 	go func() {
-		<-ctx.Done()
+		select {
+		case <-connDone:
+			return
+		case <-ctx.Done():
+		}
+		select {
+		case <-connDone:
+			return
+		default:
+		}
+		if s.drainGrace > 0 {
+			// Drain: let the in-flight request finish and its reply
+			// flush; the expiring read deadline then ends the loop.
+			s.stats.connsDrained.Add(1)
+			if s.tracer != nil {
+				s.tracer.Record(conn.RemoteAddr().String(), obs.StageDrain,
+					"drain grace "+s.drainGrace.String(), 0)
+			}
+			_ = conn.SetReadDeadline(time.Now().Add(s.drainGrace))
+			return
+		}
 		conn.Close() // unblock the read loop
 	}()
 
@@ -359,7 +414,7 @@ func (s *Server) ServeConn(ctx context.Context, conn net.Conn) {
 			_ = cw.write(s, reply(req, nil, nil), true)
 		default:
 			start := time.Now()
-			resp := s.dispatch(ctx, req)
+			resp := s.dispatch(dctx, req)
 			dur := time.Since(start)
 			s.opLat.Observe(dur)
 			if s.tracer != nil {

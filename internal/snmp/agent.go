@@ -46,6 +46,7 @@ type agentCounters struct {
 	getNexts     atomic.Uint64
 	setRequests  atomic.Uint64
 	errors       atomic.Uint64
+	panics       atomic.Uint64
 }
 
 // AgentStats counts protocol activity, mirroring the snmp MIB group's
@@ -59,6 +60,9 @@ type AgentStats struct {
 	GetNexts     uint64
 	SetRequests  uint64
 	Errors       uint64
+	// Panics counts packets dropped because serving them panicked (a
+	// buggy mounted handler); each is recovered, never fatal.
+	Panics uint64
 }
 
 // serveState is the pooled per-packet scratch: request/response
@@ -90,6 +94,7 @@ func (a *Agent) Stats() AgentStats {
 		GetNexts:     a.stats.getNexts.Load(),
 		SetRequests:  a.stats.setRequests.Load(),
 		Errors:       a.stats.errors.Load(),
+		Panics:       a.stats.panics.Load(),
 	}
 }
 
@@ -114,10 +119,19 @@ func (a *Agent) HandlePacketAppend(dst, pkt []byte) []byte {
 	return a.handlePacketAppend(dst, pkt)
 }
 
-func (a *Agent) handlePacketAppend(dst, pkt []byte) []byte {
+func (a *Agent) handlePacketAppend(dst, pkt []byte) (out []byte) {
 	a.stats.inPkts.Add(1)
 	sc := a.pool.Get().(*serveState)
 	defer a.pool.Put(sc)
+	// A panic while serving (a buggy mounted handler, a malformed
+	// walk) drops this packet — RFC 1157 drop semantics — instead of
+	// killing the UDP serve loop and with it the whole agent.
+	defer func() {
+		if r := recover(); r != nil {
+			a.stats.panics.Add(1)
+			out = nil
+		}
+	}()
 	if err := sc.dec.Decode(pkt, &sc.req); err != nil {
 		a.stats.badVersion.Add(1)
 		return nil
@@ -235,6 +249,7 @@ func (a *Agent) Instrument(reg *obs.Registry) {
 		{"snmp_get_nexts_total", "GetNextRequest PDUs served", &a.stats.getNexts},
 		{"snmp_set_requests_total", "SetRequest PDUs served", &a.stats.setRequests},
 		{"snmp_errors_total", "PDUs answered with an error status", &a.stats.errors},
+		{"snmp_handler_panics_total", "packets dropped by per-packet panic recovery", &a.stats.panics},
 	} {
 		reg.FuncCounter(c.name, c.help, c.v.Load)
 	}

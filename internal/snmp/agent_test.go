@@ -249,3 +249,32 @@ func TestWalkRejectsNonIncreasingAgent(t *testing.T) {
 		t.Fatal("walk hung on non-increasing agent")
 	}
 }
+
+// panicHandler explodes on any access — a stand-in for a buggy mounted
+// MIB handler.
+type panicHandler struct{}
+
+func (panicHandler) GetRel(rel oid.OID) (mib.Value, bool) { panic("mib handler bug") }
+func (panicHandler) NextRel(rel oid.OID) (oid.OID, mib.Value, bool) {
+	panic("mib handler bug")
+}
+
+func TestAgentRecoversHandlerPanic(t *testing.T) {
+	dev, agent := testTreeAndAgent(t)
+	if err := dev.Tree().Mount(oid.MustParse("1.3.6.1.4.1.99999"), panicHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	// A request touching the buggy subtree is dropped, not fatal.
+	c := NewClient(AgentTripper(agent), "public", WithRetries(0), WithTimeout(100*time.Millisecond))
+	if _, err := c.Get(context.Background(), oid.MustParse("1.3.6.1.4.1.99999.1.0")); err == nil {
+		t.Fatal("panicking handler answered")
+	}
+	if got := agent.Stats().Panics; got == 0 {
+		t.Fatal("panic not counted")
+	}
+	// The serve loop survives: ordinary requests still work.
+	vbs, err := c.Get(context.Background(), mib.OIDSysName.Append(0))
+	if err != nil || string(vbs[0].Value.Bytes) != "agent-under-test" {
+		t.Fatalf("agent dead after handler panic: %v", err)
+	}
+}
