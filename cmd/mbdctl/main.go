@@ -17,6 +17,13 @@
 //	stats                          dump the server's metrics (Prometheus text)
 //	trace [n]                      dump the server's last n lifecycle spans (JSON)
 //	lint <file.dpl>...             static-analyze programs locally
+//	domain status                  the server's federation status (JSON)
+//	domain members                 the server's domain membership table
+//	domain delegate <name> <file.dpl> [entry [args...]]
+//	                               cascade a delegation through the domain
+//	                               tree, printing every member's outcome
+//
+// Unknown commands print the usage summary and exit 2.
 //
 // lint runs entirely offline — no server connection — against the full
 // MbD host-function surface, printing compiler-style diagnostics plus
@@ -26,6 +33,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -50,6 +58,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Reject unknown commands before dialing, so a typo fails with
+	// usage instead of a connection attempt.
+	if !validCommand(flag.Arg(0)) {
+		fmt.Fprintf(os.Stderr, "mbdctl: unknown command %q\n\ncommands:\n%s", flag.Arg(0), commandUsage())
+		os.Exit(2)
+	}
 	// lint is local-only: no dial, no principal.
 	if flag.Arg(0) == "lint" {
 		os.Exit(lint(flag.Args()[1:], *strict))
@@ -58,6 +72,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mbdctl:", err)
 		os.Exit(1)
 	}
+}
+
+// commands maps every subcommand to its one-line usage.
+var commands = [][2]string{
+	{"delegate", "delegate <name> <file.dpl>"},
+	{"instantiate", "instantiate <dp> <entry> [args...]"},
+	{"control", "control <dpi> <suspend|resume|terminate>"},
+	{"send", "send <dpi> <message>"},
+	{"query", "query [dpi]"},
+	{"delete", "delete <dp>"},
+	{"eval", "eval <file.dpl> <entry> [args...]"},
+	{"watch", "watch [prefix]"},
+	{"stats", "stats"},
+	{"trace", "trace [n]"},
+	{"lint", "lint <file.dpl>..."},
+	{"domain", "domain status | members | delegate <name> <file.dpl> [entry [args...]]"},
+}
+
+// validCommand reports whether cmd is a known subcommand.
+func validCommand(cmd string) bool {
+	for _, c := range commands {
+		if c[0] == cmd {
+			return true
+		}
+	}
+	return false
+}
+
+// commandUsage renders the per-command usage lines.
+func commandUsage() string {
+	out := ""
+	for _, c := range commands {
+		out += "  " + c[1] + "\n"
+	}
+	return out
 }
 
 // lint statically analyzes each file against the full MbD host surface
@@ -231,8 +280,84 @@ func run(server, principal, secret string, timeout time.Duration, args []string)
 		for ev := range c.Events() {
 			fmt.Printf("%8dms  %-16s %-7s %s\n", ev.TimeMS, ev.DPI, ev.Kind, ev.Payload)
 		}
+	case "domain":
+		return domainCmd(ctx, c, rest)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+// domainCmd handles the federation subcommands.
+func domainCmd(ctx context.Context, c *rds.Client, rest []string) error {
+	if len(rest) < 1 {
+		return fmt.Errorf("usage: domain status | members | delegate <name> <file.dpl> [entry [args...]]")
+	}
+	switch rest[0] {
+	case "status":
+		out, err := c.DomainStatus(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	case "members":
+		out, err := c.DomainStatus(ctx)
+		if err != nil {
+			return err
+		}
+		var st struct {
+			Domain  string `json:"domain"`
+			Members []struct {
+				Name        string `json:"name"`
+				Domain      string `json:"domain"`
+				Addr        string `json:"addr"`
+				State       string `json:"state"`
+				SinceSeenMS int64  `json:"since_seen_ms"`
+				Reports     uint64 `json:"reports"`
+			} `json:"members"`
+		}
+		if err := json.Unmarshal([]byte(out), &st); err != nil {
+			return fmt.Errorf("parsing domain status: %w", err)
+		}
+		fmt.Printf("domain %q: %d member(s)\n", st.Domain, len(st.Members))
+		fmt.Printf("%-16s %-16s %-22s %-8s %-10s %s\n", "MEMBER", "DOMAIN", "ADDR", "STATE", "SEEN-AGO", "REPORTS")
+		for _, m := range st.Members {
+			fmt.Printf("%-16s %-16s %-22s %-8s %-10s %d\n",
+				m.Name, m.Domain, m.Addr, m.State,
+				(time.Duration(m.SinceSeenMS) * time.Millisecond).Round(time.Millisecond), m.Reports)
+		}
+	case "delegate":
+		if len(rest) < 3 {
+			return fmt.Errorf("usage: domain delegate <name> <file.dpl> [entry [args...]]")
+		}
+		src, err := os.ReadFile(rest[2])
+		if err != nil {
+			return err
+		}
+		entry := ""
+		var args []string
+		if len(rest) > 3 {
+			entry = rest[3]
+			args = rest[4:]
+		}
+		res, err := c.PeerDelegate(ctx, rest[1], string(src), entry, args...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %-16s %-22s %-8s %s\n", "MEMBER", "DOMAIN", "ADDR", "RESULT", "DPI/ERROR")
+		for _, o := range res.Outcomes {
+			result, detail := "accepted", o.DPI
+			if !o.OK {
+				result, detail = "rejected", o.Err
+			}
+			fmt.Printf("%-16s %-16s %-22s %-8s %s\n", o.Member, o.Domain, o.Addr, result, detail)
+		}
+		if rej := res.Rejected(); rej > 0 {
+			return fmt.Errorf("%d of %d hops rejected %q", rej, len(res.Outcomes), res.DP)
+		}
+		fmt.Printf("cascaded %q to %d member(s)\n", res.DP, res.Accepted())
+	default:
+		return fmt.Errorf("unknown domain subcommand %q (want status, members or delegate)", rest[0])
 	}
 	return nil
 }

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestValidCommand pins the subcommand table: every documented command
+// is accepted, typos are not, and the usage text mentions each one.
+func TestValidCommand(t *testing.T) {
+	for _, c := range commands {
+		if !validCommand(c[0]) {
+			t.Errorf("validCommand(%q) = false for a listed command", c[0])
+		}
+	}
+	for _, bad := range []string{"", "delegat", "DOMAIN", "status", "help", "--query"} {
+		if validCommand(bad) {
+			t.Errorf("validCommand(%q) = true, want false", bad)
+		}
+	}
+	usage := commandUsage()
+	for _, c := range commands {
+		if !strings.Contains(usage, c[1]) {
+			t.Errorf("usage text missing %q:\n%s", c[1], usage)
+		}
+	}
+}
+
+// TestUnknownCommandExits builds the binary and runs it with an unknown
+// subcommand: it must print the usage summary to stderr and exit 2
+// WITHOUT attempting a server connection (there is no server; a dial
+// would fail with exit 1 instead).
+func TestUnknownCommandExits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := filepath.Join(t.TempDir(), "mbdctl")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-server", "127.0.0.1:1", "frobnicate")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("expected exit error, got %v\n%s", err, out)
+	}
+	if ee.ExitCode() != 2 {
+		t.Fatalf("exit code = %d, want 2\n%s", ee.ExitCode(), out)
+	}
+	for _, want := range []string{`unknown command "frobnicate"`, "commands:", "domain status"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// No arguments at all: flag usage, exit 2.
+	cmd = exec.Command(bin)
+	out, err = cmd.CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("no-arg run: err=%v, want exit 2\n%s", err, out)
+	}
+}

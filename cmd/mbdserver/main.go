@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"mbd/internal/elastic"
+	"mbd/internal/federation"
 	"mbd/internal/mbd"
 	"mbd/internal/mib"
 	"mbd/internal/obs"
@@ -84,16 +85,57 @@ func main() {
 	costCeiling := flag.Uint64("costceiling", 0, "reject delegations whose estimated cost exceeds this (0 = off; nonzero also rejects unbounded programs)")
 	obsAddr := flag.String("obs", "", "observability HTTP listen address (/metrics, /debug/pprof, /tracez); empty disables")
 	drain := flag.Duration("drain", 2*time.Second, "graceful-shutdown drain grace per RDS connection (0 = close immediately)")
+	domain := flag.String("domain", "", "management domain this server roots; empty disables federation")
+	parent := flag.String("parent", "", "parent domain root's RDS address (empty = top root)")
+	advertise := flag.String("advertise", "", "RDS address peers use to reach this server (default derives from -rds)")
+	rollup := flag.String("rollup", "latest", "default rollup combiner: sum, max or latest")
+	heartbeat := flag.Duration("heartbeat", time.Second, "federation heartbeat interval")
 	var secrets secretsFlag
 	flag.Var(&secrets, "secret", "principal=secret for MD5 auth (repeatable)")
 	flag.Parse()
 
-	if err := run(*rdsAddr, *snmpAddr, *name, *community, *repoDir, secrets, *strict, *costCeiling, *obsAddr, *drain); err != nil {
+	fed := fedConfig{Domain: *domain, Parent: *parent, Advertise: *advertise,
+		Rollup: *rollup, Heartbeat: *heartbeat}
+	if err := run(*rdsAddr, *snmpAddr, *name, *community, *repoDir, secrets, *strict, *costCeiling, *obsAddr, *drain, fed); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, strict bool, costCeiling uint64, obsAddr string, drain time.Duration) error {
+// fedConfig carries the federation flags into run.
+type fedConfig struct {
+	Domain    string
+	Parent    string
+	Advertise string
+	Rollup    string
+	Heartbeat time.Duration
+}
+
+// combiner maps the -rollup flag to a federation combiner.
+func (f fedConfig) combiner() (federation.Combiner, error) {
+	switch f.Rollup {
+	case "", "latest":
+		return federation.Latest(), nil
+	case "sum":
+		return federation.Sum(), nil
+	case "max":
+		return federation.Max(), nil
+	}
+	return nil, fmt.Errorf("unknown -rollup combiner %q (want sum, max or latest)", f.Rollup)
+}
+
+// advertiseAddr derives a dialable advertised address from the RDS
+// listen address when -advertise is not given.
+func (f fedConfig) advertiseAddr(rdsAddr string) string {
+	if f.Advertise != "" {
+		return f.Advertise
+	}
+	if strings.HasPrefix(rdsAddr, ":") {
+		return "127.0.0.1" + rdsAddr
+	}
+	return rdsAddr
+}
+
+func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, strict bool, costCeiling uint64, obsAddr string, drain time.Duration, fed fedConfig) error {
 	dev, err := mib.NewDevice(mib.DeviceConfig{Name: name, Interfaces: 4, Seed: time.Now().UnixNano()})
 	if err != nil {
 		return err
@@ -124,6 +166,32 @@ func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, s
 		})
 	}
 
+	var auth *rds.Authenticator
+	if len(secrets) > 0 {
+		auth = rds.NewAuthenticator()
+		for _, kv := range secrets {
+			parts := strings.SplitN(kv, "=", 2)
+			auth.SetSecret(parts[0], parts[1])
+		}
+	}
+
+	var fedCfg *federation.Config
+	if fed.Domain != "" {
+		comb, err := fed.combiner()
+		if err != nil {
+			return err
+		}
+		fedCfg = &federation.Config{
+			Name:              name,
+			Domain:            fed.Domain,
+			Parent:            fed.Parent,
+			Advertise:         fed.advertiseAddr(rdsAddr),
+			Auth:              auth,
+			Combiner:          comb,
+			HeartbeatInterval: fed.Heartbeat,
+		}
+	}
+
 	srv, err := mbd.New(mbd.Config{
 		Device:          dev,
 		Community:       community,
@@ -133,6 +201,7 @@ func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, s
 		CostCeiling:     costCeiling,
 		Obs:             reg,
 		Tracer:          tracer,
+		Federation:      fedCfg,
 	})
 	if err != nil {
 		return err
@@ -159,15 +228,6 @@ func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, s
 				log.Printf("checkpoint saved to %s", repoDir)
 			}
 		}()
-	}
-
-	var auth *rds.Authenticator
-	if len(secrets) > 0 {
-		auth = rds.NewAuthenticator()
-		for _, kv := range secrets {
-			parts := strings.SplitN(kv, "=", 2)
-			auth.SetSecret(parts[0], parts[1])
-		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -214,6 +274,11 @@ func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, s
 	srvOpts := []rds.ServerOption{rds.WithDrainGrace(drain)}
 	if reg != nil {
 		srvOpts = append(srvOpts, rds.WithObs(reg), rds.WithTracer(tracer))
+	}
+	if node := srv.Federation(); node != nil {
+		srvOpts = append(srvOpts, rds.WithPeerHandler(node))
+		log.Printf("federation: domain %q as %q (parent %q, advertise %s)",
+			fed.Domain, name, fed.Parent, fed.advertiseAddr(rdsAddr))
 	}
 	rdsSrv := rds.NewServer(srv.Process(), auth, srvOpts...)
 

@@ -1,11 +1,16 @@
-// Mlm demonstrates the mid-level-manager configuration: an MbD server
-// fronts a LAN of dumb SNMP-only devices (the RMON-probe role the
-// dissertation discusses). The top-level manager delegates ONE
-// aggregation agent to the MbD server; the agent polls the subordinate
-// devices over the (cheap, local) LAN through the snmpGet proxy host
-// function and reports a single LAN-wide summary upstream. The
-// alternative — the central manager polling every device across the
-// WAN — is shown for contrast.
+// Mlm demonstrates the federated mid-level-manager configuration: a
+// two-tier management domain tree built from real MbD servers on real
+// TCP sockets. Two leaf servers ("lan-a", "lan-b") each front a LAN
+// segment; both join the campus root ("noc") as members. The operator
+// cascades ONE delegation to the root, which fans it out through the
+// tree — every hop re-running the static-analysis admission gate — and
+// each member's reports roll up the tree into a single combined value
+// at the root, walkable in the federation MIB subtree
+// (1.3.6.1.4.1.424242.3) like any managed object.
+//
+// The paper's point, now one level higher: instead of the NOC polling
+// every device (or even every server), it delegates once and reads one
+// number.
 //
 //	go run ./examples/mlm
 package main
@@ -14,15 +19,78 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"net"
 	"time"
 
-	"mbd/internal/elastic"
+	"mbd/internal/federation"
 	"mbd/internal/mbd"
 	"mbd/internal/mib"
-	"mbd/internal/snmp"
+	"mbd/internal/oid"
+	"mbd/internal/rds"
 )
 
-const subordinates = 6
+// tier is one running federated MbD server.
+type tier struct {
+	name string
+	srv  *mbd.Server
+	lis  net.Listener
+	stop context.CancelFunc
+}
+
+// startTier boots an MbD server federated into domain, listening on a
+// fresh loopback port, and serving RDS with its federation node
+// installed.
+func startTier(name, domain, parent string, comb federation.Combiner, load float64, seed int64) (*tier, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	dev, err := mib.NewDevice(mib.DeviceConfig{Name: name, Seed: seed})
+	if err != nil {
+		lis.Close()
+		return nil, err
+	}
+	dev.SetLoad(mib.LoadProfile{Utilization: load, BroadcastFraction: 0.03, CollisionRate: 0.02})
+	dev.Advance(60 * time.Second)
+
+	srv, err := mbd.New(mbd.Config{
+		Device: dev,
+		Federation: &federation.Config{
+			Name:              name,
+			Domain:            domain,
+			Parent:            parent,
+			Advertise:         lis.Addr().String(),
+			Combiner:          comb,
+			HeartbeatInterval: 100 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		lis.Close()
+		return nil, err
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	rdsSrv := rds.NewServer(srv.Process(), nil, rds.WithPeerHandler(srv.Federation()))
+	go rdsSrv.Serve(ctx, lis)
+	return &tier{name: name, srv: srv, lis: lis, stop: stop}, nil
+}
+
+func (t *tier) close() {
+	t.stop()
+	t.srv.Stop()
+}
+
+// agentSrc is the delegated monitoring agent: sample the device's
+// private octet counter twice across a one-second window and report the
+// observed byte rate. Every member of the domain tree runs its own
+// copy against its own local MIB.
+const agentSrc = `
+func main() {
+	var before = mibGet("1.3.6.1.4.1.45.1.3.2.1.0");
+	sleep(1000);
+	var after = mibGet("1.3.6.1.4.1.45.1.3.2.1.0");
+	report(sprintf("%d", after - before));
+	return after - before;
+}`
 
 func main() {
 	if err := run(); err != nil {
@@ -31,111 +99,113 @@ func main() {
 }
 
 func run() error {
-	// The LAN: six SNMP-only devices with varying load.
-	devs := make([]*mib.Device, subordinates)
-	for i := range devs {
-		dev, err := mib.NewDevice(mib.DeviceConfig{Name: fmt.Sprintf("hub-%d", i), Seed: int64(i + 1)})
+	// The campus root sums its members' reports; the leaves just pass
+	// their latest local value upward.
+	root, err := startTier("noc", "campus", "", federation.Sum(), 0.1, 1)
+	if err != nil {
+		return err
+	}
+	defer root.close()
+	rootAddr := root.lis.Addr().String()
+
+	leaves := make([]*tier, 0, 2)
+	for i, cfg := range []struct {
+		name string
+		load float64
+	}{{"lan-a", 0.3}, {"lan-b", 0.7}} {
+		leaf, err := startTier(cfg.name, "lan-"+string('a'+rune(i)), rootAddr, nil, cfg.load, int64(i+2))
 		if err != nil {
 			return err
 		}
-		dev.SetLoad(mib.LoadProfile{
-			Utilization:       0.1 + 0.12*float64(i),
-			BroadcastFraction: 0.03,
-			ErrorRate:         0.001 * float64(i),
-			CollisionRate:     0.02,
-		})
-		dev.Advance(60 * time.Second)
-		devs[i] = dev
+		defer leaf.close()
+		leaves = append(leaves, leaf)
 	}
 
-	// The MbD server on the same LAN, fronting them.
-	mlmDev, err := mib.NewDevice(mib.DeviceConfig{Name: "mlm-gateway", Seed: 99})
+	// Drive every device in real time so the delegated samplers see
+	// moving counters.
+	driveCtx, stopDriving := context.WithCancel(context.Background())
+	defer stopDriving()
+	go func() {
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				root.srv.Device().Advance(100 * time.Millisecond)
+				for _, l := range leaves {
+					l.srv.Device().Advance(100 * time.Millisecond)
+				}
+			case <-driveCtx.Done():
+				return
+			}
+		}
+	}()
+
+	// Wait for both leaves to register with the root.
+	if err := waitFor(5*time.Second, func() bool {
+		return len(root.srv.Federation().MembersSnapshot()) == 2
+	}); err != nil {
+		return fmt.Errorf("leaves never joined the campus domain: %w", err)
+	}
+	fmt.Println("domain tree up: noc (campus) <- lan-a, lan-b")
+
+	// ONE cascaded delegation at the root reaches every member.
+	client, err := rds.Dial(rootAddr, "noc-operator")
 	if err != nil {
 		return err
 	}
-	srv, err := mbd.New(mbd.Config{Device: mlmDev})
-	if err != nil {
-		return err
-	}
-	defer srv.Stop()
-	for i, dev := range devs {
-		agent := snmp.NewAgent(dev.Tree(), "public")
-		srv.AddPeer(fmt.Sprintf("hub-%d", i), snmp.NewClient(snmp.AgentTripper(agent), "public"))
-	}
-
-	// The aggregation agent: poll every subordinate's private counters
-	// locally, compute per-device utilization over a 10 s window, and
-	// report one summary line upstream.
-	src := fmt.Sprintf(`
-func main() {
-	var names = [%s];
-	var before = [];
-	for (var i = 0; i < len(names); i += 1) {
-		append(before, snmpGet(names[i], "1.3.6.1.4.1.45.1.3.2.1.0"));
-	}
-	// The window elapses (driven by the host below).
-	recv(-1);
-	var worst = ""; var worstU = 0.0; var total = 0.0;
-	for (var i = 0; i < len(names); i += 1) {
-		var after = snmpGet(names[i], "1.3.6.1.4.1.45.1.3.2.1.0");
-		var u = float(after - before[i]) / (10.0 * 10000000.0);
-		total += u;
-		if (u > worstU) { worstU = u; worst = names[i]; }
-	}
-	report(sprintf("LAN mean utilization %%f, worst %%s at %%f", total / float(len(names)), worst, worstU));
-	return worstU;
-}`, quotedNames())
-
-	done := make(chan struct{})
-	cancel := srv.Process().Subscribe(func(ev elastic.Event) {
-		if ev.Kind == elastic.EventReport {
-			fmt.Println("upstream report:", ev.Payload)
-		}
-		if ev.Kind == elastic.EventExit {
-			close(done)
-		}
-	})
+	defer client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
-
-	if err := srv.Process().Delegate("noc", "lan-summary", "dpl", src); err != nil {
-		return err
-	}
-	d, err := srv.Process().Instantiate("noc", "lan-summary", "main")
+	res, err := client.PeerDelegate(ctx, "octet-rate", agentSrc, "main")
 	if err != nil {
 		return err
 	}
-	fmt.Printf("delegated LAN aggregation agent %s to the mid-level manager\n", d.ID)
+	fmt.Printf("cascaded %q: %d accepted, %d rejected\n", res.DP, res.Accepted(), res.Rejected())
+	for _, o := range res.Outcomes {
+		state := "accepted"
+		if !o.OK {
+			state = "rejected: " + o.Err
+		}
+		fmt.Printf("  %-8s (%-8s via %-21s) %s %s\n", o.Member, o.Domain, o.Addr, state, o.DPI)
+	}
 
-	// Advance the measurement window on every device, then release the
-	// agent.
-	time.Sleep(20 * time.Millisecond)
-	for _, dev := range devs {
-		dev.Advance(10 * time.Second)
+	// The members' reports roll up: each leaf contributes its byte
+	// rate, the root adds its own, and the sum appears as one value.
+	if err := waitFor(15*time.Second, func() bool {
+		for _, row := range root.srv.Federation().Rollup().Rows() {
+			if row.Key == "octet-rate" && row.Contributors == 3 {
+				return true
+			}
+		}
+		return false
+	}); err != nil {
+		return fmt.Errorf("rollup never converged: %w", err)
 	}
-	if err := srv.Process().Send("noc", d.ID, "window elapsed"); err != nil {
-		return err
-	}
-	worst, err := d.Wait(context.Background())
-	if err != nil {
-		return err
-	}
-	<-done
+	sum, _ := root.srv.Federation().Rollup().Value("octet-rate")
+	fmt.Printf("\ncampus-wide octet rate (sum of 3 members): %s bytes/s\n", sum)
 
-	fmt.Printf("\nWAN cost of this summary: ONE delegated report.\n")
-	fmt.Printf("Central alternative: %d devices x 2 samples x 1 counter = %d WAN round trips per window.\n",
-		subordinates, subordinates*2)
-	fmt.Printf("(worst segment utilization observed: %.2f — hub-%d has the highest offered load)\n",
-		worst.(float64), subordinates-1)
+	// The same value is a managed object: walk the federation subtree.
+	fmt.Println("\nfederation MIB subtree at the root:")
+	n := 0
+	root.srv.Device().Tree().Walk(federation.OIDFederation, func(o oid.OID, v mib.Value) bool {
+		fmt.Printf("  %s = %s\n", o, v)
+		n++
+		return n < 24
+	})
+
+	fmt.Println("\nWAN cost of the campus summary: ONE cascaded delegation, rollup deltas only.")
 	return nil
 }
 
-func quotedNames() string {
-	out := ""
-	for i := 0; i < subordinates; i++ {
-		if i > 0 {
-			out += ", "
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(d time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return nil
 		}
-		out += fmt.Sprintf("%q", fmt.Sprintf("hub-%d", i))
+		time.Sleep(20 * time.Millisecond)
 	}
-	return out
+	return fmt.Errorf("condition not met within %s", d)
 }

@@ -355,6 +355,15 @@ func (p *Process) emit(ev Event) {
 	}
 }
 
+// Publish fans a synthetic event out to the process's subscribers on
+// behalf of source, which takes the place of a DPI id. The federation
+// layer's aggregation point uses it to surface rollup updates as
+// ordinary process events — subscribed managers receive them exactly
+// like DPI reports, with no polling.
+func (p *Process) Publish(source string, kind EventKind, payload string) {
+	p.emit(Event{DPI: source, Kind: kind, Payload: payload, Time: p.clock.Now()})
+}
+
 // Delegate translates, statically verifies, and stores a DP. This is
 // the paper's "delegate" primitive: transfer once, instantiate many
 // times. Beyond translation, the program's inferred effects are checked

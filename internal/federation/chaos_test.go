@@ -1,0 +1,101 @@
+package federation
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"mbd/internal/elastic"
+)
+
+// TestChaosMemberRestartMidRollup is the federation variant of the RDS
+// chaos test: while both leaves stream monotonically increasing reports
+// into the campus rollup, one leaf is killed mid-stream and a new
+// incarnation re-joins under the same name and keeps streaming. The
+// robustness contract: once the storm ends the root's combined value is
+// EXACTLY the sum of each live member's latest report — nothing lost
+// (both finals present), nothing double-counted (the dead incarnation's
+// slot was overwritten, not added), and no goroutines leak.
+func TestChaosMemberRestartMidRollup(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	hb := 20 * time.Millisecond
+
+	root := startNode(t, "root", "campus", "", Sum(), hb)
+	leafA := startNode(t, "leaf-a", "lan-a", root.addr, nil, hb)
+	leafB := startNode(t, "leaf-b", "lan-b", root.addr, nil, hb)
+	waitFor(t, 5*time.Second, "leaves to join", func() bool {
+		return len(root.node.MembersSnapshot()) == 2
+	})
+
+	// Storm: each leaf publishes an increasing series for the same key.
+	// Halfway through, leaf-b dies and a new incarnation takes over the
+	// name — its series keeps rising, so a stale or duplicated slot is
+	// detectable in the final sum.
+	const rounds = 40
+	finalA, finalB := 0, 0
+	for i := 1; i <= rounds; i++ {
+		finalA = 100 + i
+		leafA.proc.Publish("octets#1", elastic.EventReport, strconv.Itoa(finalA))
+		if i == rounds/2 {
+			// Kill mid-rollup: reports from the first incarnation are
+			// still in flight when it dies. Let the detector declare it
+			// dead (dropping its contribution) before the new
+			// incarnation takes over the name and reseeds.
+			leafB.stop()
+			waitFor(t, 5*time.Second, "leaf-b to be declared dead", func() bool {
+				st, _ := memberState(root.node, "leaf-b")
+				return st == "dead"
+			})
+			leafB = startNode(t, "leaf-b", "lan-b", root.addr, nil, hb)
+			waitFor(t, 5*time.Second, "leaf-b to rejoin", func() bool {
+				st, _ := memberState(root.node, "leaf-b")
+				return st == "alive"
+			})
+		}
+		finalB = 200 + i
+		leafB.proc.Publish("octets#1", elastic.EventReport, strconv.Itoa(finalB))
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Convergence: exactly the two live finals, no more, no less.
+	want := fmt.Sprint(finalA + finalB)
+	waitFor(t, 10*time.Second, "rollup to converge to "+want, func() bool {
+		v, _ := root.node.Rollup().Value("octets")
+		return v == want
+	})
+
+	// The converged state must be stable — a late duplicate from the
+	// dead incarnation would perturb it.
+	time.Sleep(10 * hb)
+	if v, _ := root.node.Rollup().Value("octets"); v != want {
+		t.Fatalf("rollup drifted after convergence: %q, want %q", v, want)
+	}
+	st := root.node.Status()
+	if len(st.Rollup) != 1 || st.Rollup[0].Contributors != 2 {
+		t.Fatalf("rollup status = %+v, want one key with 2 contributors", st.Rollup)
+	}
+	if rj, _ := memberState(root.node, "leaf-b"); rj != "alive" {
+		t.Fatalf("leaf-b state = %q, want alive", rj)
+	}
+	for _, m := range root.node.MembersSnapshot() {
+		if m.Name == "leaf-b" && m.Rejoins < 1 {
+			t.Fatalf("leaf-b rejoins = %d, want >= 1", m.Rejoins)
+		}
+	}
+
+	// Teardown everything and verify nothing leaked.
+	leafA.stop()
+	leafB.stop()
+	root.stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: baseline=%d now=%d\n%s", baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,143 @@
+package federation
+
+import (
+	"mbd/internal/mib"
+	"mbd/internal/obs/obsmib"
+	"mbd/internal/oid"
+)
+
+// OIDFederation is the default mount point for the federation subtree,
+// a sibling of the MCVA view arc (…1) and the self-stats arc (…2).
+var OIDFederation = oid.MustParse("1.3.6.1.4.1.424242.3")
+
+// The subtree holds two tables, walked in order:
+//
+//	<prefix>.1.<col>.<i>  members  (rows: members sorted by name)
+//	  col 1 fedMemberName    OCTET STRING
+//	  col 2 fedMemberState   OCTET STRING  (alive|suspect|dead)
+//	  col 3 fedMemberAge     TimeTicks     (hundredths since join)
+//	  col 4 fedMemberReports Counter64
+//	<prefix>.2.<col>.<i>  rollup   (rows: keys sorted)
+//	  col 1 fedRollupKey     OCTET STRING
+//	  col 2 fedRollupValue   OCTET STRING  (combined value)
+//	  col 3 fedRollupMembers Gauge32       (contributors)
+//	  col 4 fedRollupUpdates Counter64
+//
+// Like the self-stats subtree, row indexes are 1-based positions in the
+// current sorted snapshot; the name/key column makes walks
+// self-describing even as membership changes renumber rows.
+const (
+	tableMembers = 1
+	tableRollup  = 2
+
+	memberCols = 4
+	rollupCols = 4
+)
+
+// Handler serves a Node as a MIB subtree. Create with NewHandler; mount
+// with mib.Tree.Mount (or the Mount convenience).
+type Handler struct {
+	node *Node
+}
+
+// NewHandler returns a handler over node.
+func NewHandler(node *Node) *Handler { return &Handler{node: node} }
+
+// Mount attaches node's federation tables under prefix in tree.
+func Mount(tree *mib.Tree, node *Node, prefix oid.OID) error {
+	return tree.Mount(prefix, NewHandler(node))
+}
+
+// memberCell returns the members-table value at (col, idx).
+func memberCell(rows []MemberStatus, col, idx uint32) (mib.Value, bool) {
+	if idx < 1 || int(idx) > len(rows) {
+		return mib.Value{}, false
+	}
+	m := rows[idx-1]
+	switch col {
+	case 1:
+		return mib.Str(m.Name), true
+	case 2:
+		return mib.Str(m.State), true
+	case 3:
+		return mib.TimeTicks(uint64(m.AgeMS / 10)), true
+	case 4:
+		return mib.Counter64(m.Reports), true
+	}
+	return mib.Value{}, false
+}
+
+// rollupCell returns the rollup-table value at (col, idx).
+func rollupCell(rows []RollupRow, col, idx uint32) (mib.Value, bool) {
+	if idx < 1 || int(idx) > len(rows) {
+		return mib.Value{}, false
+	}
+	r := rows[idx-1]
+	switch col {
+	case 1:
+		return mib.Str(r.Key), true
+	case 2:
+		return mib.Str(r.Value), true
+	case 3:
+		return mib.Gauge32(uint64(r.Contributors)), true
+	case 4:
+		return mib.Counter64(r.Updates), true
+	}
+	return mib.Value{}, false
+}
+
+// GetRel implements mib.Handler. rel is <table>.<col>.<idx>.
+func (h *Handler) GetRel(rel oid.OID) (mib.Value, bool) {
+	if len(rel) != 3 {
+		return mib.Value{}, false
+	}
+	switch rel[0] {
+	case tableMembers:
+		return memberCell(h.node.MembersSnapshot(), rel[1], rel[2])
+	case tableRollup:
+		return rollupCell(h.node.rollup.Rows(), rel[1], rel[2])
+	}
+	return mib.Value{}, false
+}
+
+// NextRel implements mib.Handler.
+func (h *Handler) NextRel(rel oid.OID) (oid.OID, mib.Value, bool) {
+	return h.AppendNextRel(nil, rel)
+}
+
+// AppendNextRel implements mib.AppendNexter. Tables walk in order,
+// each column-major via obsmib.NextCell.
+func (h *Handler) AppendNextRel(dst oid.OID, rel oid.OID) (oid.OID, mib.Value, bool) {
+	members := h.node.MembersSnapshot()
+	rollup := h.node.rollup.Rows()
+
+	table := uint32(tableMembers)
+	var sub oid.OID
+	if len(rel) > 0 {
+		if rel[0] > tableRollup {
+			return nil, mib.Value{}, false
+		}
+		if rel[0] >= tableMembers {
+			table = rel[0]
+			sub = rel[1:]
+		}
+	}
+	if table == tableMembers {
+		if col, idx := obsmib.NextCell(sub, memberCols, len(members)); col != 0 {
+			v, ok := memberCell(members, col, idx)
+			if ok {
+				return append(dst, tableMembers, col, idx), v, true
+			}
+		}
+		// Members table exhausted (or empty): fall into the rollup
+		// table from its start.
+		table, sub = tableRollup, nil
+	}
+	if col, idx := obsmib.NextCell(sub, rollupCols, len(rollup)); col != 0 {
+		v, ok := rollupCell(rollup, col, idx)
+		if ok {
+			return append(dst, tableRollup, col, idx), v, true
+		}
+	}
+	return nil, mib.Value{}, false
+}

@@ -1,0 +1,293 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"mbd/internal/dpl"
+	"mbd/internal/elastic"
+	"mbd/internal/rds"
+)
+
+// MemberValue is one member's latest contribution to a rollup key.
+type MemberValue struct {
+	Member string
+	Value  string
+	TimeMS int64
+}
+
+// Combiner merges the per-member latest values of one rollup key into
+// a single upstream value. Values arrive sorted by member name, so a
+// deterministic combiner yields a deterministic rollup.
+type Combiner interface {
+	// Name identifies the combiner in status documents.
+	Name() string
+	// Combine merges vals (never empty) into the published value.
+	Combine(vals []MemberValue) string
+}
+
+// CombinerFunc adapts a function to the Combiner interface.
+type CombinerFunc struct {
+	Label string
+	Fn    func(vals []MemberValue) string
+}
+
+// Name implements Combiner.
+func (c CombinerFunc) Name() string { return c.Label }
+
+// Combine implements Combiner.
+func (c CombinerFunc) Combine(vals []MemberValue) string { return c.Fn(vals) }
+
+// numeric parses s as a float, treating unparseable values as 0 — a
+// rollup must stay total even when one member misreports.
+func numeric(s string) float64 {
+	f, _ := strconv.ParseFloat(s, 64)
+	return f
+}
+
+// renderNumber formats a combined numeric value: integral results print
+// without a decimal point so counter rollups read like counters.
+func renderNumber(f float64) string {
+	if f == float64(int64(f)) {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Sum adds the members' values numerically.
+func Sum() Combiner {
+	return CombinerFunc{Label: "sum", Fn: func(vals []MemberValue) string {
+		total := 0.0
+		for _, v := range vals {
+			total += numeric(v.Value)
+		}
+		return renderNumber(total)
+	}}
+}
+
+// Max keeps the numerically largest member value.
+func Max() Combiner {
+	return CombinerFunc{Label: "max", Fn: func(vals []MemberValue) string {
+		best := numeric(vals[0].Value)
+		for _, v := range vals[1:] {
+			if f := numeric(v.Value); f > best {
+				best = f
+			}
+		}
+		return renderNumber(best)
+	}}
+}
+
+// Latest keeps the most recently reported value (ties break on member
+// name, keeping the result deterministic).
+func Latest() Combiner {
+	return CombinerFunc{Label: "latest", Fn: func(vals []MemberValue) string {
+		best := vals[0]
+		for _, v := range vals[1:] {
+			if v.TimeMS > best.TimeMS {
+				best = v
+			}
+		}
+		return best.Value
+	}}
+}
+
+// dpCombineTimeout bounds one custom-DP combination run.
+const dpCombineTimeout = 5 * time.Second
+
+// DPCombiner merges values by delegating the combination itself: the
+// DPL program source is evaluated on proc with entry(values) where
+// values is an array of the members' values (each interpreted like a
+// wire argument — see rds.ParseArg). The program passes the same
+// static-analysis admission gate as any evaluation. Errors fall back to
+// Latest semantics so a broken combiner never blanks the rollup.
+func DPCombiner(proc *elastic.Process, principal, source, entry string) Combiner {
+	return CombinerFunc{Label: "dp:" + entry, Fn: func(vals []MemberValue) string {
+		args := &dpl.Array{}
+		for _, v := range vals {
+			args.Elems = append(args.Elems, rds.ParseArg(v.Value))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), dpCombineTimeout)
+		defer cancel()
+		v, err := proc.Evaluate(ctx, principal, "dpl", source, entry, args)
+		if err != nil {
+			return Latest().Combine(vals)
+		}
+		return dpl.FormatValue(v)
+	}}
+}
+
+// RollupRow is one key's state in a rollup snapshot.
+type RollupRow struct {
+	Key          string
+	Value        string
+	Combiner     string
+	Contributors int
+	Updates      uint64
+	UpdatedAt    time.Time
+}
+
+// rollupKey holds one key's per-member latest values and its combined
+// result.
+type rollupKey struct {
+	vals      map[string]MemberValue
+	combined  string
+	updates   uint64
+	updatedAt time.Time
+}
+
+// Rollup is a domain root's aggregation point: the latest value each
+// member reported per key, merged by that key's combiner. Because each
+// member holds exactly one slot per key, a member that re-joins after a
+// crash replaces its old contribution instead of double-counting, and a
+// member declared dead is dropped so the rollup converges back to the
+// live membership.
+type Rollup struct {
+	mu        sync.Mutex
+	def       Combiner
+	combiners map[string]Combiner
+	keys      map[string]*rollupKey
+}
+
+// NewRollup returns a rollup whose keys default to def (nil = Latest).
+func NewRollup(def Combiner) *Rollup {
+	if def == nil {
+		def = Latest()
+	}
+	return &Rollup{
+		def:       def,
+		combiners: make(map[string]Combiner),
+		keys:      make(map[string]*rollupKey),
+	}
+}
+
+// SetCombiner installs c for key (nil restores the default).
+func (r *Rollup) SetCombiner(key string, c Combiner) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c == nil {
+		delete(r.combiners, key)
+	} else {
+		r.combiners[key] = c
+	}
+	if k, ok := r.keys[key]; ok {
+		k.combined = r.combineLocked(key, k)
+	}
+}
+
+func (r *Rollup) combinerFor(key string) Combiner {
+	if c, ok := r.combiners[key]; ok {
+		return c
+	}
+	return r.def
+}
+
+// combineLocked recomputes a key's merged value from its current
+// contributions (caller holds r.mu).
+func (r *Rollup) combineLocked(key string, k *rollupKey) string {
+	vals := make([]MemberValue, 0, len(k.vals))
+	for _, v := range k.vals {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].Member < vals[j].Member })
+	return r.combinerFor(key).Combine(vals)
+}
+
+// Report merges one member report and returns the key's combined value
+// with whether it changed.
+func (r *Rollup) Report(member, key, value string, timeMS int64) (combined string, changed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k, ok := r.keys[key]
+	if !ok {
+		k = &rollupKey{vals: make(map[string]MemberValue)}
+		r.keys[key] = k
+	}
+	k.vals[member] = MemberValue{Member: member, Value: value, TimeMS: timeMS}
+	next := r.combineLocked(key, k)
+	changed = !ok || next != k.combined
+	k.combined = next
+	if changed {
+		k.updates++
+		k.updatedAt = time.Now()
+	}
+	return next, changed
+}
+
+// KeyUpdate describes one key whose combined value changed outside a
+// Report — currently only when a dead member's contributions drop out.
+type KeyUpdate struct {
+	Key   string
+	Value string
+	// Removed marks a key left with no contributors at all.
+	Removed bool
+}
+
+// DropMember removes every contribution by member — called when the
+// failure detector declares it dead — and returns the keys whose
+// combined values changed so the node can re-publish them.
+func (r *Rollup) DropMember(member string) []KeyUpdate {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []KeyUpdate
+	for key, k := range r.keys {
+		if _, ok := k.vals[member]; !ok {
+			continue
+		}
+		delete(k.vals, member)
+		if len(k.vals) == 0 {
+			delete(r.keys, key)
+			out = append(out, KeyUpdate{Key: key, Removed: true})
+			continue
+		}
+		next := r.combineLocked(key, k)
+		if next != k.combined {
+			k.combined = next
+			k.updates++
+			k.updatedAt = time.Now()
+			out = append(out, KeyUpdate{Key: key, Value: next})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Rows snapshots the rollup sorted by key.
+func (r *Rollup) Rows() []RollupRow {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RollupRow, 0, len(r.keys))
+	for key, k := range r.keys {
+		out = append(out, RollupRow{
+			Key:          key,
+			Value:        k.combined,
+			Combiner:     r.combinerFor(key).Name(),
+			Contributors: len(k.vals),
+			Updates:      k.updates,
+			UpdatedAt:    k.updatedAt,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Value returns the combined value for key, if present.
+func (r *Rollup) Value(key string) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k, ok := r.keys[key]
+	if !ok {
+		return "", false
+	}
+	return k.combined, true
+}
+
+// String renders a short rollup summary for logs.
+func (r *Rollup) String() string {
+	rows := r.Rows()
+	return fmt.Sprintf("rollup(%d keys)", len(rows))
+}

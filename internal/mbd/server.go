@@ -15,6 +15,7 @@ import (
 
 	"mbd/internal/dpl"
 	"mbd/internal/elastic"
+	"mbd/internal/federation"
 	"mbd/internal/mib"
 	"mbd/internal/obs"
 	"mbd/internal/oid"
@@ -50,6 +51,14 @@ type Config struct {
 	Obs *obs.Registry
 	// Tracer records delegation-lifecycle spans; nil disables tracing.
 	Tracer *obs.Tracer
+	// Federation, when set, seats this server in a management domain:
+	// the node roots Federation.Domain (accepting member joins,
+	// cascading delegations, rolling up reports) and, with a Parent
+	// address, joins the domain above as a child. Proc, Obs and Tracer
+	// are filled in from the server; the federation tables mount on the
+	// device tree at federation.OIDFederation. Install the node on the
+	// RDS server with rds.WithPeerHandler(srv.Federation()).
+	Federation *federation.Config
 }
 
 // Server is an MbD server instance.
@@ -57,6 +66,7 @@ type Server struct {
 	dev   *mib.Device
 	proc  *elastic.Process
 	agent *snmp.Agent
+	fed   *federation.Node
 
 	mu    sync.Mutex
 	peers map[string]*snmp.Client
@@ -117,6 +127,27 @@ func New(cfg Config) (*Server, error) {
 		s.agent.Instrument(cfg.Obs)
 		instrumentTree(cfg.Obs, cfg.Device.Tree())
 	}
+	if cfg.Federation != nil {
+		fc := *cfg.Federation
+		fc.Proc = s.proc
+		if fc.Obs == nil {
+			fc.Obs = cfg.Obs
+		}
+		if fc.Tracer == nil {
+			fc.Tracer = cfg.Tracer
+		}
+		node, err := federation.New(fc)
+		if err != nil {
+			s.proc.Stop()
+			return nil, err
+		}
+		if err := federation.Mount(cfg.Device.Tree(), node, federation.OIDFederation); err != nil {
+			s.proc.Stop()
+			return nil, fmt.Errorf("mbd: mounting federation subtree: %w", err)
+		}
+		node.Start()
+		s.fed = node
+	}
 	return s, nil
 }
 
@@ -149,8 +180,18 @@ func (s *Server) Agent() *snmp.Agent { return s.agent }
 // Device returns the managed device.
 func (s *Server) Device() *mib.Device { return s.dev }
 
-// Stop terminates all delegated instances.
-func (s *Server) Stop() { s.proc.Stop() }
+// Federation returns the server's federation node (nil when the server
+// is not federated).
+func (s *Server) Federation() *federation.Node { return s.fed }
+
+// Stop terminates the federation node (when present) and all delegated
+// instances.
+func (s *Server) Stop() {
+	if s.fed != nil {
+		s.fed.Stop()
+	}
+	s.proc.Stop()
+}
 
 // AddPeer registers a subordinate SNMP agent reachable from delegated
 // programs via snmpGet/snmpNext under the given name — the paper's

@@ -123,14 +123,26 @@ func (h *Handler) NextRelN(rel oid.OID, max int, visit func(rel oid.OID, v mib.V
 // nextCell computes the first (col, idx) cell strictly after rel in a
 // table of rows rows. col 0 reports end-of-subtree.
 func nextCell(rel oid.OID, rows int) (uint32, uint32) {
+	return NextCell(rel, colValue, rows)
+}
+
+// NextCell computes the first (col, idx) cell in column-major order
+// strictly after rel in a table of cols columns and rows rows, with
+// 1-based columns and indexes. col 0 reports end-of-table. Other
+// registry-style table handlers (the federation subtree) reuse it for
+// their walk order.
+func NextCell(rel oid.OID, cols, rows int) (uint32, uint32) {
+	if rows <= 0 || cols <= 0 {
+		return 0, 0
+	}
 	if len(rel) == 0 {
-		return colName, 1
+		return 1, 1
 	}
 	col := rel[0]
-	if col < colName {
-		return colName, 1
+	if col < 1 {
+		return 1, 1
 	}
-	if col > colValue {
+	if int(col) > cols {
 		return 0, 0
 	}
 	// Whether rel is the bare column, exactly (col, idx), or anything
@@ -143,7 +155,7 @@ func nextCell(rel oid.OID, rows int) (uint32, uint32) {
 	if int(idx) < rows {
 		return col, idx + 1
 	}
-	if col < colValue {
+	if int(col) < cols {
 		return col + 1, 1
 	}
 	return 0, 0

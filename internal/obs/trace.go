@@ -28,6 +28,13 @@ const (
 	StageWatchdog  = "watchdog-kill"
 	StageDrain     = "drain"
 	StageReconnect = "reconnect"
+	// Federation stages (see docs/FEDERATION.md): a member joining its
+	// domain root, a cascaded delegation fanning out, a rollup value
+	// recombining, and a member being declared dead.
+	StageJoin       = "peer-join"
+	StageFanout     = "fanout"
+	StageRollup     = "rollup"
+	StageMemberDead = "member-dead"
 )
 
 // Span is one recorded lifecycle event.

@@ -25,6 +25,14 @@ func FuzzDecodeFrame(f *testing.F) {
 		}
 		f.Add(frame)
 	}
+	// The federation peer operations (committed corpus: seed_peer_*).
+	for _, m := range peerSeedMessages() {
+		frame, err := m.AppendFrame(nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{0, 0, 0, 2, 0x30})             // truncated body

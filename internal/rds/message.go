@@ -49,11 +49,34 @@ const (
 	// Payload carries the rendered result. Nothing persists server-side.
 	OpEval
 	// OpStats asks the server for its own telemetry: Entry selects the
-	// view — "metrics" (Prometheus text exposition) or "trace" (the
-	// delegation-lifecycle span ring as JSON, Name = max spans). The
+	// view — "metrics" (Prometheus text exposition), "trace" (the
+	// delegation-lifecycle span ring as JSON, Name = max spans) or
+	// "federation" (the management-domain status document as JSON). The
 	// reply's Payload carries the rendered document.
 	OpStats
+	// OpPeerJoin registers a federation member with its domain root
+	// (Name=member, Entry=member's own domain, Payload=the member's
+	// advertised RDS address for cascaded delegation).
+	OpPeerJoin
+	// OpPeerHeartbeat refreshes a member's liveness at its domain root
+	// (Name=member). A root that does not recognize the member answers
+	// with an unknown-member error, telling the child to re-join.
+	OpPeerHeartbeat
+	// OpPeerDelegate cascades a delegation through the domain tree
+	// (Name=dp, Lang, Payload=source, Entry=optional entry point to
+	// instantiate after admission, Args=its arguments). The reply's
+	// Payload carries a BER-encoded FanoutResult collecting every
+	// member's accept/reject outcome.
+	OpPeerDelegate
+	// OpPeerReport pushes one member-emitted report upstream for rollup
+	// (Name=member, Entry=rollup key, Payload=value, TimeMS=member
+	// clock).
+	OpPeerReport
 )
+
+// opMax is the highest assigned operation code; Decode rejects anything
+// beyond it.
+const opMax = OpPeerReport
 
 // String names the op.
 func (o Op) String() string {
@@ -80,6 +103,14 @@ func (o Op) String() string {
 		return "eval"
 	case OpStats:
 		return "stats"
+	case OpPeerJoin:
+		return "peer-join"
+	case OpPeerHeartbeat:
+		return "peer-heartbeat"
+	case OpPeerDelegate:
+		return "peer-delegate"
+	case OpPeerReport:
+		return "peer-report"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -211,7 +242,7 @@ func Decode(b []byte) (*Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	if op <= 0 || op > int64(OpStats) {
+	if op <= 0 || op > int64(opMax) {
 		return nil, fmt.Errorf("rds: unknown op %d", op)
 	}
 	m.Op = Op(op)

@@ -130,15 +130,23 @@ func errGaveUp(attempts int) error {
 	return fmt.Errorf("%w: gave up after %d reconnect attempts", ErrDisconnected, attempts)
 }
 
-// reconnectBackoff is base·2^(attempt-1) capped at max, with ±50%
-// jitter.
+// reconnectBackoff is the client's retry pacing: Backoff over the
+// configured base and cap.
 func reconnectBackoff(cfg *ReconnectConfig, attempt int) time.Duration {
-	d := cfg.BackoffBase
-	for i := 1; i < attempt && d < cfg.BackoffMax; i++ {
+	return Backoff(cfg.BackoffBase, cfg.BackoffMax, attempt)
+}
+
+// Backoff returns the jittered exponential delay for the 1-based
+// attempt: base·2^(attempt-1) capped at max, with ±50% jitter so a
+// fleet of retrying peers does not act in lockstep. The federation
+// layer reuses it for join retries and heartbeat failure timeouts.
+func Backoff(base, max time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
 		d *= 2
 	}
-	if d > cfg.BackoffMax {
-		d = cfg.BackoffMax
+	if d > max {
+		d = max
 	}
 	half := int64(d) / 2
 	if half <= 0 {

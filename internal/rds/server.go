@@ -34,6 +34,10 @@ type Server struct {
 	proc *elastic.Process
 	auth *Authenticator
 
+	// peers answers the federation operations (peer-join, heartbeat,
+	// cascaded delegation, upstream report). Nil refuses them.
+	peers PeerHandler
+
 	// drainGrace > 0 turns shutdown into a drain: on ctx cancellation
 	// each connection gets that long to finish its in-flight request
 	// before its read path is cut, instead of being closed mid-reply.
@@ -45,7 +49,7 @@ type Server struct {
 	tracer *obs.Tracer
 	// ops indexes per-op request counters; opLat observes dispatch
 	// latency. Both live on reg.
-	ops   [OpStats + 1]*obs.Counter
+	ops   [opMax + 1]*obs.Counter
 	opLat *obs.Histogram
 }
 
@@ -90,6 +94,15 @@ func WithTracer(tr *obs.Tracer) ServerOption {
 	return func(s *Server) { s.tracer = tr }
 }
 
+// WithPeerHandler routes the federation operations (OpPeerJoin,
+// OpPeerHeartbeat, OpPeerDelegate, OpPeerReport) and the OpStats
+// "federation" view to h — normally an internal/federation.Node.
+// Without one (the default) peer traffic is refused with
+// ErrNoFederation.
+func WithPeerHandler(h PeerHandler) ServerOption {
+	return func(s *Server) { s.peers = h }
+}
+
 // WithDrainGrace makes shutdown graceful: when the serve context is
 // cancelled, each live connection gets d to finish its in-flight
 // request and flush queued events before its read path is cut, instead
@@ -132,7 +145,7 @@ func (s *Server) instrument() {
 	} {
 		s.reg.FuncCounter(c.name, c.help, c.v.Load)
 	}
-	for op := OpDelegate; op <= OpStats; op++ {
+	for op := OpDelegate; op <= opMax; op++ {
 		s.ops[op] = s.reg.LabeledCounter("rds_requests_total",
 			"RDS requests received, by operation", "op", op.String())
 	}
@@ -479,6 +492,10 @@ func ParseArg(s string) dpl.Value {
 // not hold a connection's request loop forever.
 const evalTimeout = 60 * time.Second
 
+// fanoutTimeout bounds one cascaded delegation end to end — every hop
+// of the domain tree must answer within it.
+const fanoutTimeout = 60 * time.Second
+
 func (s *Server) dispatch(ctx context.Context, req *Message) *Message {
 	switch req.Op {
 	case OpDelegate:
@@ -521,6 +538,36 @@ func (s *Server) dispatch(ctx context.Context, req *Message) *Message {
 		return reply(req, func(m *Message) { m.Payload = []byte(dpl.FormatValue(v)) }, err)
 	case OpStats:
 		return s.serveStats(req)
+	case OpPeerJoin:
+		if s.peers == nil {
+			return reply(req, nil, ErrNoFederation)
+		}
+		err := s.peers.PeerJoin(req.Principal, req.Name, req.Entry, string(req.Payload))
+		return reply(req, nil, err)
+	case OpPeerHeartbeat:
+		if s.peers == nil {
+			return reply(req, nil, ErrNoFederation)
+		}
+		err := s.peers.PeerHeartbeat(req.Principal, req.Name)
+		return reply(req, nil, err)
+	case OpPeerReport:
+		if s.peers == nil {
+			return reply(req, nil, ErrNoFederation)
+		}
+		err := s.peers.PeerReport(req.Principal, req.Name, req.Entry, string(req.Payload), req.TimeMS)
+		return reply(req, nil, err)
+	case OpPeerDelegate:
+		if s.peers == nil {
+			return reply(req, nil, ErrNoFederation)
+		}
+		fctx, cancel := context.WithTimeout(ctx, fanoutTimeout)
+		defer cancel()
+		res, err := s.peers.PeerDelegate(fctx, req.Principal, req.Name, req.Lang,
+			string(req.Payload), req.Entry, req.Args)
+		if err == nil && res == nil {
+			err = fmt.Errorf("rds: peer handler returned no fanout result")
+		}
+		return reply(req, func(m *Message) { m.Payload = res.Encode() }, err)
 	default:
 		return reply(req, nil, fmt.Errorf("rds: cannot serve %s", req.Op))
 	}
@@ -550,6 +597,15 @@ func (s *Server) serveStats(req *Message) *Message {
 			return reply(req, nil, err)
 		}
 		return reply(req, func(m *Message) { m.Payload = []byte(sb.String()) }, nil)
+	case "federation":
+		if s.peers == nil {
+			return reply(req, nil, ErrNoFederation)
+		}
+		doc, err := s.peers.StatusJSON()
+		if err != nil {
+			return reply(req, nil, err)
+		}
+		return reply(req, func(m *Message) { m.Payload = doc }, nil)
 	default:
 		return reply(req, nil, fmt.Errorf("rds: unknown stats view %q", req.Entry))
 	}
