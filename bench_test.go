@@ -16,6 +16,7 @@ import (
 	"mbd/internal/ber"
 	"mbd/internal/dpl"
 	"mbd/internal/dpl/analysis"
+	"mbd/internal/dpl/verify"
 	"mbd/internal/elastic"
 	"mbd/internal/experiments"
 	"mbd/internal/mib"
@@ -273,6 +274,101 @@ func main() {
 		rep := analysis.Analyze(prog, bindings)
 		if len(rep.Diags) != 0 {
 			b.Fatal(rep.Diags)
+		}
+	}
+}
+
+// benchAdmitSource is the program used by the admission benchmarks:
+// several functions and a loop, so a cold translation (parse, check,
+// analyze, compile, optimize) does representative work.
+const benchAdmitSource = `
+func pct(n, d) {
+	if (d == 0) { return 0.0; }
+	return float(n) * 100.0 / float(d);
+}
+func score(k) {
+	var total = 0;
+	for (var i = 0; i < k; i += 1) { total += i * i; }
+	return total;
+}
+func main() { return pct(score(10), 385); }`
+
+// BenchmarkVerify measures standalone bytecode verification — the
+// admission cost a federation child pays per cascaded artifact instead
+// of a full source translation (compare BenchmarkDPLCompile +
+// BenchmarkAnalyze).
+func BenchmarkVerify(b *testing.B) {
+	bindings := analysis.LintBindings()
+	src := `
+func main() {
+	var total = 0;
+	for (var i = 0; i < 100; i += 1) {
+		total += mibGet("1.3.6.1.2.1.2.2.1.10." + i);
+	}
+	mibSet("1.3.6.1.2.1.1.4.0", total);
+	return total;
+}`
+	prog, err := dpl.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if errs := dpl.Check(prog, bindings); len(errs) > 0 {
+		b.Fatal(errs)
+	}
+	rep := analysis.Analyze(prog, bindings)
+	if rep.HasErrors() {
+		b.Fatal(rep.Diags)
+	}
+	obj, err := dpl.Compile(prog, bindings)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dpl.Optimize(obj)
+	cp := &dpl.CompiledProgram{
+		Version:    dpl.CompilerVersion,
+		SourceHash: dpl.HashSource(src),
+		Verdict: dpl.Verdict{
+			Hosts: rep.Effects.HostNames(), Reads: rep.Effects.ReadPrefixes(),
+			Writes: rep.Effects.WritePrefixes(), CostSteps: rep.Cost.Steps,
+			CostUnbounded: rep.Cost.Unbounded, StepBudget: rep.SuggestedBudget(0),
+		},
+		Object: obj,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := verify.Verify(cp, bindings); !res.OK() {
+			b.Fatal(res.Diags)
+		}
+	}
+}
+
+// BenchmarkAdmitCached vs BenchmarkAdmitCold: one source delegation
+// through the elastic process with the content-addressed program cache
+// warm versus disabled. The gap is the translation work the cache
+// elides per re-delegation.
+func BenchmarkAdmitCached(b *testing.B) {
+	proc := elastic.NewProcess(elastic.Config{})
+	defer proc.Stop()
+	if err := proc.Delegate("mgr", "bench", "dpl", benchAdmitSource); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := proc.Delegate("mgr", "bench", "dpl", benchAdmitSource); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdmitCold(b *testing.B) {
+	proc := elastic.NewProcess(elastic.Config{ProgramCacheSize: -1})
+	defer proc.Stop()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := proc.Delegate("mgr", "bench", "dpl", benchAdmitSource); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -29,6 +29,9 @@
 // MbD host-function surface, printing compiler-style diagnostics plus
 // each program's inferred effects and cost estimate. It exits 1 if any
 // file has error-severity findings (and with -strict, any finding).
+// With -json it emits one JSON array instead, one record per file with
+// stable diagnostic codes, positions and severities for editor and CI
+// integration.
 package main
 
 import (
@@ -39,6 +42,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"mbd/internal/dpl"
@@ -52,6 +56,7 @@ func main() {
 	secret := flag.String("secret", "", "MD5 shared secret (empty = no auth)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
 	strict := flag.Bool("strict", false, "lint: treat warnings as errors")
+	jsonOut := flag.Bool("json", false, "lint: emit machine-readable JSON instead of text")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -66,7 +71,7 @@ func main() {
 	}
 	// lint is local-only: no dial, no principal.
 	if flag.Arg(0) == "lint" {
-		os.Exit(lint(flag.Args()[1:], *strict))
+		os.Exit(lint(flag.Args()[1:], *strict, *jsonOut))
 	}
 	if err := run(*server, *principal, *secret, *timeout, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "mbdctl:", err)
@@ -109,44 +114,115 @@ func commandUsage() string {
 	return out
 }
 
+// lintDiag is one finding in `lint -json` output. The field set and
+// names are a stable machine contract (editor/CI integrations key off
+// code, severity and position); extend it, never rename.
+type lintDiag struct {
+	Code     string `json:"code"`
+	Severity string `json:"severity"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Msg      string `json:"msg"`
+}
+
+// lintFile is one file's record in `lint -json` output. Error is set
+// (and the analysis fields zeroed) when the file failed to read, parse
+// or type-check — failures that precede analysis.
+type lintFile struct {
+	File        string     `json:"file"`
+	Error       string     `json:"error,omitempty"`
+	Diagnostics []lintDiag `json:"diagnostics"`
+	Hosts       []string   `json:"hosts"`
+	Reads       []string   `json:"reads"`
+	Writes      []string   `json:"writes"`
+	CostSteps   uint64     `json:"cost_steps"`
+	Unbounded   bool       `json:"cost_unbounded"`
+	StepBudget  uint64     `json:"suggested_step_budget"`
+}
+
+// orEmpty keeps JSON slices as [] instead of null.
+func orEmpty(s []string) []string {
+	if s == nil {
+		return []string{}
+	}
+	return s
+}
+
 // lint statically analyzes each file against the full MbD host surface
-// and prints its diagnostics, effects and cost. Returns the exit code:
+// and prints its diagnostics, effects and cost — compiler-style text by
+// default, one stable JSON array with asJSON. Returns the exit code:
 // 0 clean, 1 findings, 2 usage/IO/parse failure.
-func lint(files []string, strict bool) int {
+func lint(files []string, strict, asJSON bool) int {
 	if len(files) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: mbdctl [-strict] lint <file.dpl>...")
+		fmt.Fprintln(os.Stderr, "usage: mbdctl [-strict] [-json] lint <file.dpl>...")
 		return 2
 	}
 	bindings := analysis.LintBindings()
 	code := 0
+	raise := func(c int) {
+		if c > code {
+			code = c
+		}
+	}
+	report := make([]lintFile, 0, len(files))
+	fail := func(file, msg string) {
+		if asJSON {
+			report = append(report, lintFile{
+				File: file, Error: msg,
+				Diagnostics: []lintDiag{},
+				Hosts:       []string{}, Reads: []string{}, Writes: []string{},
+			})
+		} else {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", file, msg)
+		}
+		raise(2)
+	}
 	for _, file := range files {
 		src, err := os.ReadFile(file)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mbdctl:", err)
-			return 2
+			fail(file, err.Error())
+			continue
 		}
 		prog, err := dpl.Parse(string(src))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", file, err)
-			code = 2
+			fail(file, err.Error())
 			continue
 		}
 		if errs := dpl.Check(prog, bindings); len(errs) > 0 {
-			for _, e := range errs {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", file, e)
+			msgs := make([]string, len(errs))
+			for i, e := range errs {
+				msgs[i] = e.Error()
 			}
-			code = 2
+			fail(file, strings.Join(msgs, "; "))
 			continue
 		}
 		rep := analysis.Analyze(prog, bindings)
-		for _, d := range rep.Diags {
-			fmt.Printf("%s:%s\n", file, d)
-		}
 		errs, warns := analysis.Counts(rep.Diags)
 		if errs > 0 || (strict && warns > 0) {
-			if code == 0 {
-				code = 1
+			raise(1)
+		}
+		if asJSON {
+			diags := make([]lintDiag, 0, len(rep.Diags))
+			for _, d := range rep.Diags {
+				diags = append(diags, lintDiag{
+					Code: d.Code, Severity: d.Sev.String(),
+					Line: d.Pos.Line, Col: d.Pos.Col, Msg: d.Msg,
+				})
 			}
+			report = append(report, lintFile{
+				File:        file,
+				Diagnostics: diags,
+				Hosts:       orEmpty(rep.Effects.HostNames()),
+				Reads:       orEmpty(rep.Effects.ReadPrefixes()),
+				Writes:      orEmpty(rep.Effects.WritePrefixes()),
+				CostSteps:   rep.Cost.Steps,
+				Unbounded:   rep.Cost.Unbounded,
+				StepBudget:  rep.SuggestedBudget(0),
+			})
+			continue
+		}
+		for _, d := range rep.Diags {
+			fmt.Printf("%s:%s\n", file, d)
 		}
 		fmt.Printf("%s: effects: %s\n", file, rep.Effects.String())
 		if rep.Cost.Unbounded {
@@ -154,6 +230,14 @@ func lint(files []string, strict bool) int {
 		} else {
 			fmt.Printf("%s: cost: %s (suggested step budget: %d)\n", file, rep.Cost.String(), rep.SuggestedBudget(0))
 		}
+	}
+	if asJSON {
+		out, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbdctl:", err)
+			return 2
+		}
+		fmt.Println(string(out))
 	}
 	return code
 }

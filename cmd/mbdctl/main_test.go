@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -64,5 +65,101 @@ func TestUnknownCommandExits(t *testing.T) {
 	out, err = cmd.CombinedOutput()
 	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
 		t.Fatalf("no-arg run: err=%v, want exit 2\n%s", err, out)
+	}
+}
+
+// TestLintJSON pins the machine-readable lint contract: stable codes,
+// severities and positions; [] not null for empty lists; pre-analysis
+// failures carried in the per-file error field; exit codes matching the
+// text mode (0 clean, 1 findings under -strict, 2 parse failure).
+func TestLintJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := filepath.Join(t.TempDir(), "mbdctl")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	dir := t.TempDir()
+	write := func(name, src string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	clean := write("clean.dpl", `func main() { return mibGet("1.3.6.1.2.1.1.3.0"); }`)
+	warn := write("warn.dpl", `func main(oid) { return mibGet(oid); }`)
+	broken := write("broken.dpl", `func main( {`)
+
+	run := func(wantExit int, args ...string) []lintFile {
+		t.Helper()
+		out, err := exec.Command(bin, args...).Output()
+		exit := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			exit = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("run %v: %v", args, err)
+		}
+		if exit != wantExit {
+			t.Fatalf("run %v: exit %d, want %d\n%s", args, exit, wantExit, out)
+		}
+		var rep []lintFile
+		if err := json.Unmarshal(out, &rep); err != nil {
+			t.Fatalf("run %v: invalid JSON: %v\n%s", args, err, out)
+		}
+		return rep
+	}
+
+	rep := run(0, "-json", "lint", clean, warn)
+	if len(rep) != 2 {
+		t.Fatalf("got %d records, want 2: %+v", len(rep), rep)
+	}
+	c := rep[0]
+	if c.Error != "" || len(c.Diagnostics) != 0 {
+		t.Fatalf("clean file not clean: %+v", c)
+	}
+	if len(c.Hosts) != 1 || c.Hosts[0] != "mibGet" ||
+		len(c.Reads) != 1 || c.Reads[0] != "1.3.6.1.2.1.1.3.0" {
+		t.Fatalf("clean effects = hosts %v reads %v", c.Hosts, c.Reads)
+	}
+	if c.Writes == nil {
+		t.Fatal("empty writes marshalled as null, want []")
+	}
+	if c.CostSteps == 0 || c.Unbounded || c.StepBudget == 0 {
+		t.Fatalf("clean cost = %+v", c)
+	}
+	w := rep[1]
+	if len(w.Diagnostics) != 1 {
+		t.Fatalf("warn diagnostics = %+v", w.Diagnostics)
+	}
+	d := w.Diagnostics[0]
+	if d.Code != "DPL006" || d.Severity != "warning" || d.Line != 1 || d.Col == 0 || d.Msg == "" {
+		t.Fatalf("warn diagnostic = %+v", d)
+	}
+
+	// -strict promotes the warning to a failing exit, findings intact.
+	rep = run(1, "-strict", "-json", "lint", warn)
+	if len(rep) != 1 || len(rep[0].Diagnostics) != 1 {
+		t.Fatalf("strict rerun = %+v", rep)
+	}
+
+	// A parse failure still yields a JSON record (error field set,
+	// analysis fields zero) and exit 2, without dropping later files.
+	rep = run(2, "-json", "lint", broken, clean)
+	if len(rep) != 2 {
+		t.Fatalf("got %d records, want 2: %+v", len(rep), rep)
+	}
+	if rep[0].Error == "" || !strings.Contains(rep[0].Error, "expected identifier") {
+		t.Fatalf("broken record error = %q", rep[0].Error)
+	}
+	if rep[0].Diagnostics == nil || rep[0].Hosts == nil {
+		t.Fatalf("broken record has null lists: %+v", rep[0])
+	}
+	if rep[1].Error != "" {
+		t.Fatalf("clean file after broken one reported %q", rep[1].Error)
 	}
 }

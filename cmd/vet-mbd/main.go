@@ -1,0 +1,215 @@
+// Command vet-mbd is this repository's project-specific static checker,
+// run by the CI lint job alongside go vet. It enforces two house rules
+// that ordinary vet cannot:
+//
+//  1. Observability metric names passed to obs registration methods
+//     (Counter, Gauge, Histogram, FuncCounter, FuncGauge,
+//     LabeledCounter) must be lowercase snake_case
+//     (^[a-z][a-z0-9_]*$) and each name must be registered at exactly
+//     one call site — except that one name MAY appear at several sites
+//     when every one of them is a LabeledCounter registration (the
+//     per-label-value handles of one logical series, e.g.
+//     federation_fanout_outcomes_total's accepted/rejected pair).
+//
+//  2. The interpreter hot paths — internal/dpl/vm.go and
+//     internal/dpl/interp.go — must not call fmt.Sprintf. Per-step
+//     formatting allocates on every executed instruction; errors there
+//     use fmt.Errorf on exit paths or preformatted strings.
+//
+// Usage: vet-mbd [dir ...] (default "."). It walks each directory,
+// skipping testdata, vendor and hidden directories and _test.go files,
+// and prints findings as path:line:col: message. Exit status: 0 clean,
+// 1 findings, 2 usage or parse failure.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metricMethods are the obs.Registry registration methods whose first
+// argument is a metric name.
+var metricMethods = map[string]bool{
+	"Counter":        true,
+	"Gauge":          true,
+	"Histogram":      true,
+	"FuncCounter":    true,
+	"FuncGauge":      true,
+	"LabeledCounter": true,
+}
+
+// metricName is the allowed shape of a metric name: Prometheus-style
+// lowercase snake_case.
+var metricName = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// hotFiles are the interpreter files where fmt.Sprintf is banned
+// (matched as a path suffix after slash normalization).
+var hotFiles = []string{"internal/dpl/vm.go", "internal/dpl/interp.go"}
+
+// finding is one rule violation at a source position.
+type finding struct {
+	pos token.Position
+	msg string
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s", f.pos.Filename, f.pos.Line, f.pos.Column, f.msg)
+}
+
+// regSite is one metric registration call site.
+type regSite struct {
+	pos     token.Position
+	method  string
+	labeled bool
+}
+
+// vet walks the given directories and returns every finding, sorted by
+// position. It fails (error, not finding) only on I/O or parse trouble.
+func vet(dirs []string) ([]finding, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, dir := range dirs {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			name := d.Name()
+			if d.IsDir() {
+				if name == "testdata" || name == "vendor" || (strings.HasPrefix(name, ".") && path != dir) {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+			if err != nil {
+				return err
+			}
+			files = append(files, f)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var out []finding
+	regs := map[string][]regSite{} // metric name -> registration sites
+	for _, f := range files {
+		hot := isHotFile(fset.Position(f.Pos()).Filename)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if hot && sel.Sel.Name == "Sprintf" {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == "fmt" {
+					out = append(out, finding{
+						pos: fset.Position(call.Pos()),
+						msg: "fmt.Sprintf in interpreter hot path (allocates per step; use fmt.Errorf on exit paths or preformat)",
+					})
+				}
+			}
+			if !metricMethods[sel.Sel.Name] || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true // dynamic name (table-driven registration): out of scope
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			pos := fset.Position(lit.Pos())
+			if !metricName.MatchString(name) {
+				out = append(out, finding{
+					pos: pos,
+					msg: fmt.Sprintf("metric name %q is not lowercase snake_case (want %s)", name, metricName),
+				})
+			}
+			regs[name] = append(regs[name], regSite{
+				pos: pos, method: sel.Sel.Name,
+				labeled: sel.Sel.Name == "LabeledCounter",
+			})
+			return true
+		})
+	}
+
+	for name, sites := range regs {
+		if len(sites) < 2 {
+			continue
+		}
+		allLabeled := true
+		for _, s := range sites {
+			allLabeled = allLabeled && s.labeled
+		}
+		if allLabeled {
+			continue // one logical labeled series, many handles: fine
+		}
+		for _, s := range sites[1:] {
+			out = append(out, finding{
+				pos: s.pos,
+				msg: fmt.Sprintf("metric %q already registered at %s:%d (%s); duplicate names are only allowed when every site is a LabeledCounter",
+					name, sites[0].pos.Filename, sites[0].pos.Line, sites[0].method),
+			})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].pos, out[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+// isHotFile reports whether path is one of the Sprintf-banned
+// interpreter files.
+func isHotFile(path string) bool {
+	p := filepath.ToSlash(path)
+	for _, h := range hotFiles {
+		if p == h || strings.HasSuffix(p, "/"+h) {
+			return true
+		}
+	}
+	return false
+}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	findings, err := vet(dirs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vet-mbd:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes files (path -> source) under a temp dir and
+// returns its root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// messagesOf flattens findings to their messages for containment checks.
+func messagesOf(fs []finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString(f.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func TestVetFindsViolations(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a/metrics.go": `package a
+func setup(reg *Registry) {
+	reg.Counter("good_total", "fine")
+	reg.Counter("Bad-Name", "mixed case and dash")
+	reg.Counter("dup_total", "first")
+	reg.Gauge("dup_total", "second site, not labeled")
+	reg.LabeledCounter("outcomes_total", "h", "outcome", "ok")
+	reg.LabeledCounter("outcomes_total", "h", "outcome", "fail")
+	reg.FuncCounter(dynamicName, "non-literal names are out of scope")
+}`,
+		"internal/dpl/vm.go": `package dpl
+import "fmt"
+func step() string { return fmt.Sprintf("op=%d", 1) }
+func exitPath() error { return fmt.Errorf("fine: %d", 2) }`,
+		"internal/dpl/other.go": `package dpl
+import "fmt"
+func anywhere() string { return fmt.Sprintf("allowed outside hot files %d", 3) }`,
+	})
+	findings, err := vet([]string{root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := messagesOf(findings)
+	for _, want := range []string{
+		`"Bad-Name" is not lowercase snake_case`,
+		`metric "dup_total" already registered`,
+		"fmt.Sprintf in interpreter hot path",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("findings missing %q:\n%s", want, got)
+		}
+	}
+	if len(findings) != 3 {
+		t.Errorf("got %d findings, want exactly 3:\n%s", len(findings), got)
+	}
+	for _, benign := range []string{"good_total", "outcomes_total", "other.go"} {
+		if strings.Contains(got, benign) {
+			t.Errorf("false positive mentioning %q:\n%s", benign, got)
+		}
+	}
+}
+
+func TestVetSkipsTestdataAndTests(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a/testdata/bad.go": `package bad
+func f(reg *Registry) { reg.Counter("In-Testdata", "") }`,
+		"a/metrics_test.go": `package a
+func f(reg *Registry) {
+	reg.Counter("In-Test-File", "")
+	reg.Counter("x_total", "")
+	reg.Counter("x_total", "tests may re-register freely")
+}`,
+		"a/ok.go": `package a
+func f(reg *Registry) { reg.Counter("ok_total", "") }`,
+	})
+	findings, err := vet([]string{root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("want no findings from testdata/_test.go, got:\n%s", messagesOf(findings))
+	}
+}
+
+// TestVetDuplicateAcrossFiles pins that the one-site rule is global,
+// not per-file, and that a Labeled/unlabeled mix is still a violation.
+func TestVetDuplicateAcrossFiles(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a/one.go": `package a
+func f(reg *Registry) { reg.LabeledCounter("mix_total", "", "k", "v") }`,
+		"b/two.go": `package b
+func g(reg *Registry) { reg.Counter("mix_total", "") }`,
+	})
+	findings, err := vet([]string{root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0].msg, `"mix_total"`) {
+		t.Fatalf("want one mixed-duplicate finding, got:\n%s", messagesOf(findings))
+	}
+}
+
+// TestVetRepoIsClean runs the checker over the real repository: the
+// rules it enforces must hold on the code that ships them.
+func TestVetRepoIsClean(t *testing.T) {
+	findings, err := vet([]string{"../.."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("repository violates its own vet rules:\n%s", messagesOf(findings))
+	}
+}

@@ -80,6 +80,34 @@ const (
 	CodeCostCeiling = "DPL008"
 	// CodeRecursion: a recursive call cycle, making cost unbounded.
 	CodeRecursion = "DPL009"
+
+	// DPL01x codes are produced by the bytecode verifier
+	// (internal/dpl/verify) when admitting a CompiledProgram without
+	// source.
+
+	// CodeBadOpcode: an opcode outside the instruction set.
+	CodeBadOpcode = "DPL010"
+	// CodeBadJump: a jump target outside the code block.
+	CodeBadJump = "DPL011"
+	// CodeStackUnsafe: a stack underflow or inconsistent stack depth at
+	// a control-flow join.
+	CodeStackUnsafe = "DPL012"
+	// CodeBadOperand: an out-of-bounds constant, global, local,
+	// function or host index, or a malformed immediate.
+	CodeBadOperand = "DPL013"
+	// CodeEffectUndeclared: the bytecode can reach a host function or
+	// MIB OID prefix its attached verdict does not declare.
+	CodeEffectUndeclared = "DPL014"
+	// CodeBudgetMismatch: the declared step budget or cost estimate is
+	// inconsistent with the code (e.g. a bounded claim on recursive
+	// code, or a budget below the provable worst case).
+	CodeBudgetMismatch = "DPL015"
+	// CodeVersionSkew: the artifact was produced by a different
+	// compiler generation than this receiver runs.
+	CodeVersionSkew = "DPL016"
+	// CodeHostTableSkew: the artifact's host-call table does not match
+	// the receiver's bindings layout.
+	CodeHostTableSkew = "DPL017"
 )
 
 // Diagnostic is one analyzer finding.

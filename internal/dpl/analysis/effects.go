@@ -52,6 +52,15 @@ var mibPrimitives = map[string]struct {
 	"snmpNext": {1, false},
 }
 
+// MIBPrimitive reports whether name is one of the MIB host primitives,
+// and if so which argument carries the OID and whether the call writes.
+// The bytecode verifier uses this to recover effects from compiled
+// code with the same rules source-level inference applies.
+func MIBPrimitive(name string) (oidArg int, write, ok bool) {
+	p, ok := mibPrimitives[name]
+	return p.argIdx, p.write, ok
+}
+
 // HostNames returns the sorted host-function names of e.
 func (e *Effects) HostNames() []string { return effectNames(e.Hosts) }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Opcode enumerates the VM's instructions.
@@ -67,6 +68,12 @@ type Compiled struct {
 	// function names; it pins the Bindings layout the program was
 	// compiled against.
 	HostNames []string
+
+	// Cached EnsureStructure outcome (see verifycode.go). Guarded by
+	// vmu so concurrent DPIs sharing one Compiled verify it once.
+	vmu   sync.Mutex
+	vdone bool
+	verr  error
 }
 
 // Compile translates a checked program to bytecode. It runs Check first

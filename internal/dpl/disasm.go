@@ -45,43 +45,66 @@ func Disassemble(c *Compiled) string {
 
 func disasmCode(b *strings.Builder, c *Compiled, code []Instr) {
 	for ip, in := range code {
-		fmt.Fprintf(b, "  %4d  %-7s", ip, in.Op)
-		switch in.Op {
-		case OpConst:
-			if in.A >= 0 && in.A < len(c.Consts) {
-				if str, ok := c.Consts[in.A].(string); ok {
-					fmt.Fprintf(b, " %q", str)
-				} else {
-					fmt.Fprintf(b, " %s", FormatValue(c.Consts[in.A]))
-				}
-			} else {
-				fmt.Fprintf(b, " #%d", in.A)
-			}
-		case OpBin:
-			fmt.Fprintf(b, " %s", TokenKind(in.A))
-		case OpJump, OpJumpFalse, OpJFKeep, OpJTKeep:
-			fmt.Fprintf(b, " ->%d", in.A)
-		case OpCall:
-			name := fmt.Sprintf("#%d", in.A)
-			if in.A >= 0 && in.A < len(c.Funcs) {
-				name = c.Funcs[in.A].Name
-			}
-			fmt.Fprintf(b, " %s/%d", name, in.B)
-		case OpCallHost:
-			name := fmt.Sprintf("#%d", in.A)
-			if in.A >= 0 && in.A < len(c.HostNames) {
-				name = c.HostNames[in.A]
-			}
-			fmt.Fprintf(b, " %s/%d", name, in.B)
-		case OpLoadG, OpStoreG:
-			if in.A >= 0 && in.A < len(c.GlobalNames) {
-				fmt.Fprintf(b, " %s", c.GlobalNames[in.A])
-			} else {
-				fmt.Fprintf(b, " g%d", in.A)
-			}
-		case OpLoadL, OpStoreL, OpArray, OpMap:
-			fmt.Fprintf(b, " %d", in.A)
+		fmt.Fprintf(b, "  %4d  %s\n", ip, FormatInstr(c, in))
+	}
+}
+
+// FormatInstr renders one instruction as the disassembler prints it
+// (mnemonic plus symbolic operand). The bytecode verifier cites this
+// text in its diagnostics so a rejected instruction is readable.
+func FormatInstr(c *Compiled, in Instr) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-7s", in.Op)
+	switch in.Op {
+	case OpConst:
+		if in.A >= 0 && in.A < len(c.Consts) {
+			fmt.Fprintf(&b, " %s", formatConst(c.Consts[in.A]))
+		} else {
+			fmt.Fprintf(&b, " #%d", in.A)
 		}
-		b.WriteByte('\n')
+	case OpBin:
+		fmt.Fprintf(&b, " %s", TokenKind(in.A))
+	case OpJump, OpJumpFalse, OpJFKeep, OpJTKeep:
+		fmt.Fprintf(&b, " ->%d", in.A)
+	case OpCall:
+		name := fmt.Sprintf("#%d", in.A)
+		if in.A >= 0 && in.A < len(c.Funcs) {
+			name = c.Funcs[in.A].Name
+		}
+		fmt.Fprintf(&b, " %s/%d", name, in.B)
+	case OpCallHost:
+		name := fmt.Sprintf("#%d", in.A)
+		if in.A >= 0 && in.A < len(c.HostNames) {
+			name = c.HostNames[in.A]
+		}
+		fmt.Fprintf(&b, " %s/%d", name, in.B)
+	case OpLoadG, OpStoreG:
+		if in.A >= 0 && in.A < len(c.GlobalNames) {
+			fmt.Fprintf(&b, " %s", c.GlobalNames[in.A])
+		} else {
+			fmt.Fprintf(&b, " g%d", in.A)
+		}
+	case OpLoadL, OpStoreL, OpArray, OpMap:
+		fmt.Fprintf(&b, " %d", in.A)
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+// formatConst renders a constant-pool value so the listing is
+// unambiguous to reassemble: strings are quoted and floats always carry
+// a decimal marker (FormatValue renders 2.0 as "2", which would read
+// back as an int).
+func formatConst(v Value) string {
+	switch x := v.(type) {
+	case string:
+		return fmt.Sprintf("%q", x)
+	case float64:
+		s := FormatValue(x)
+		if !strings.ContainsAny(s, ".eE") && !strings.Contains(s, "Inf") && !strings.Contains(s, "NaN") {
+			s += ".0"
+		}
+		return s
+	default:
+		return FormatValue(v)
 	}
 }

@@ -1,0 +1,484 @@
+package dpl
+
+// Bytecode optimizer. The source-level analyzer (internal/dpl/analysis)
+// reports constant conditions, unreachable statements and dead stores as
+// diagnostics; this pass applies the same facts to the object code so
+// that what ships down a delegation tree is the smallest program with
+// identical semantics. Every rewrite is semantics-preserving by
+// construction: folding uses the VM's own arith/compare/Truthy rules and
+// refuses to fold anything that would raise a runtime error (division by
+// zero, type mismatches), so errors still happen at run time exactly
+// where the unoptimized program raised them.
+//
+// CompilerVersion stamps compiled artifacts (see program.go). Receivers
+// refuse bytecode from a different compiler generation, so the constant
+// must be bumped whenever the instruction encoding or the optimizer's
+// observable output changes shape.
+const CompilerVersion = 2
+
+// OptStats counts the rewrites one Optimize call performed.
+type OptStats struct {
+	// Folded counts constant expressions and constant branches
+	// collapsed.
+	Folded int
+	// Propagated counts local-variable loads replaced by the constant
+	// the local provably holds.
+	Propagated int
+	// DeadCode counts unreachable instructions removed.
+	DeadCode int
+	// DeadStores counts stores to never-read locals turned into pops.
+	DeadStores int
+}
+
+// Total returns the number of individual rewrites.
+func (s OptStats) Total() int { return s.Folded + s.Propagated + s.DeadCode + s.DeadStores }
+
+// maxOptRounds bounds the fold/propagate/eliminate fixpoint loop. Each
+// productive round strictly shrinks or simplifies the code, so the bound
+// exists only as a backstop.
+const maxOptRounds = 32
+
+// Optimize rewrites c's bytecode in place — constant folding and
+// propagation, constant-branch elimination, unreachable-code removal and
+// dead-store elimination — and returns counts of what it did. The
+// rewritten program computes exactly what the original computed,
+// including runtime errors.
+func Optimize(c *Compiled) OptStats {
+	var st OptStats
+	pool := newConstPool(c)
+	c.InitCode = optimizeCode(c, pool, c.InitCode, 0, nil, &st)
+	for _, fn := range c.Funcs {
+		fn.Code = optimizeCode(c, pool, fn.Code, fn.NumLocals, fn, &st)
+	}
+	c.invalidateVerify()
+	return st
+}
+
+// optimizeCode runs the pass pipeline over one code block to fixpoint.
+// fn is nil for the init block (which has no locals and whose global
+// stores must survive: globals are observable after the run).
+func optimizeCode(c *Compiled, pool *constPool, code []Instr, nLocals int, fn *CompiledFunc, st *OptStats) []Instr {
+	for round := 0; round < maxOptRounds; round++ {
+		changed := false
+		if propagateConsts(c, pool, code, nLocals, st) {
+			changed = true
+		}
+		var did bool
+		if code, did = foldCode(c, pool, code, st); did {
+			changed = true
+		}
+		if code, did = dropUnreachable(code, st); did {
+			changed = true
+		}
+		if fn != nil && dropDeadStores(code, nLocals, st) {
+			changed = true
+		}
+		if !changed {
+			return code
+		}
+	}
+	return code
+}
+
+// constPool interns optimizer-produced constants into c.Consts, reusing
+// existing entries.
+type constPool struct {
+	c   *Compiled
+	idx map[Value]int
+}
+
+func newConstPool(c *Compiled) *constPool {
+	p := &constPool{c: c, idx: make(map[Value]int, len(c.Consts))}
+	for i, v := range c.Consts {
+		if _, ok := p.idx[v]; !ok {
+			p.idx[v] = i
+		}
+	}
+	return p
+}
+
+func (p *constPool) intern(v Value) int {
+	if i, ok := p.idx[v]; ok {
+		return i
+	}
+	i := len(p.c.Consts)
+	p.c.Consts = append(p.c.Consts, v)
+	p.idx[v] = i
+	return i
+}
+
+// pushInstr returns the instruction that pushes v.
+func (p *constPool) pushInstr(v Value) Instr {
+	switch x := v.(type) {
+	case nil:
+		return Instr{Op: OpNil}
+	case bool:
+		if x {
+			return Instr{Op: OpTrue}
+		}
+		return Instr{Op: OpFalse}
+	default:
+		return Instr{Op: OpConst, A: p.intern(v)}
+	}
+}
+
+// constOf reports the value in pushes, when it pushes a known constant.
+func constOf(c *Compiled, in Instr) (Value, bool) {
+	switch in.Op {
+	case OpConst:
+		if in.A >= 0 && in.A < len(c.Consts) {
+			return c.Consts[in.A], true
+		}
+	case OpTrue:
+		return true, true
+	case OpFalse:
+		return false, true
+	case OpNil:
+		return nil, true
+	}
+	return nil, false
+}
+
+// isJump reports whether op transfers control via its A operand.
+func isJump(op Opcode) bool {
+	return op == OpJump || op == OpJumpFalse || op == OpJFKeep || op == OpJTKeep
+}
+
+// jumpTargets returns a bitmap (indexed 0..len(code)) of instruction
+// positions some jump lands on. Position len(code) is the implicit
+// return-nil epilogue and is always a valid target.
+func jumpTargets(code []Instr) []bool {
+	tgt := make([]bool, len(code)+1)
+	for _, in := range code {
+		if isJump(in.Op) && in.A >= 0 && in.A <= len(code) {
+			tgt[in.A] = true
+		}
+	}
+	return tgt
+}
+
+// compact removes instructions marked dead and remaps jump targets. A
+// target pointing at a removed instruction moves to the next surviving
+// one (removals guarantee this preserves semantics).
+func compact(code []Instr, dead []bool) []Instr {
+	remap := make([]int, len(code)+1)
+	n := 0
+	for i := range code {
+		remap[i] = n
+		if !dead[i] {
+			n++
+		}
+	}
+	remap[len(code)] = n
+	out := make([]Instr, 0, n)
+	for i, in := range code {
+		if dead[i] {
+			continue
+		}
+		if isJump(in.Op) && in.A >= 0 && in.A <= len(code) {
+			in.A = remap[in.A]
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// foldCode collapses constant expressions and constant branches. A
+// pattern's interior instructions must not be jump targets — control
+// entering mid-pattern would observe the intermediate stack.
+func foldCode(c *Compiled, pool *constPool, code []Instr, st *OptStats) ([]Instr, bool) {
+	tgt := jumpTargets(code)
+	dead := make([]bool, len(code))
+	changed := false
+	for i := 0; i < len(code); i++ {
+		if dead[i] {
+			continue
+		}
+		// A branch to the next instruction is a no-op (modulo the pop
+		// OpJumpFalse performs either way).
+		if in := code[i]; isJump(in.Op) && in.A == i+1 {
+			if in.Op == OpJumpFalse {
+				code[i] = Instr{Op: OpPop}
+			} else {
+				dead[i] = true
+			}
+			st.Folded++
+			changed = true
+			continue
+		}
+		k1, ok1 := constOf(c, code[i])
+		if !ok1 || i+1 >= len(code) || dead[i+1] || tgt[i+1] {
+			continue
+		}
+		next := code[i+1]
+		// push K ; pop  →  (nothing)
+		if next.Op == OpPop {
+			dead[i], dead[i+1] = true, true
+			st.Folded++
+			changed = true
+			continue
+		}
+		// push K1 ; push K2 ; binop  →  push fold(K1 op K2)
+		if k2, ok2 := constOf(c, next); ok2 && i+2 < len(code) && !dead[i+2] && !tgt[i+2] {
+			var (
+				v      Value
+				err    error
+				folded bool
+			)
+			switch in3 := code[i+2]; in3.Op {
+			case OpBin:
+				op := TokenKind(in3.A)
+				switch op {
+				case TokPlus, TokMinus, TokStar, TokSlash, TokPercent:
+					v, err = arith(op, k1, k2)
+				case TokLt, TokLe, TokGt, TokGe:
+					v, err = compare(op, k1, k2)
+				default:
+					err = rtErrf("unfoldable operator")
+				}
+				folded = err == nil
+			case OpEq:
+				v, folded = valueEqual(k1, k2), true
+			case OpNe:
+				v, folded = !valueEqual(k1, k2), true
+			}
+			if folded {
+				code[i] = pool.pushInstr(v)
+				dead[i+1], dead[i+2] = true, true
+				st.Folded++
+				changed = true
+				continue
+			}
+		}
+		// push K ; unary / constant branch
+		switch next.Op {
+		case OpNeg:
+			switch x := k1.(type) {
+			case int64:
+				code[i] = pool.pushInstr(-x)
+			case float64:
+				code[i] = pool.pushInstr(-x)
+			default:
+				continue
+			}
+			dead[i+1] = true
+			st.Folded++
+			changed = true
+		case OpNot:
+			code[i] = pool.pushInstr(!Truthy(k1))
+			dead[i+1] = true
+			st.Folded++
+			changed = true
+		case OpJumpFalse:
+			if Truthy(k1) {
+				dead[i], dead[i+1] = true, true // never taken: push+branch vanish
+			} else {
+				code[i] = Instr{Op: OpJump, A: next.A} // always taken
+				dead[i+1] = true
+			}
+			st.Folded++
+			changed = true
+		case OpJFKeep:
+			if Truthy(k1) {
+				dead[i+1] = true // branch never taken; the push stays
+			} else {
+				code[i+1] = Instr{Op: OpJump, A: next.A}
+			}
+			st.Folded++
+			changed = true
+		case OpJTKeep:
+			if Truthy(k1) {
+				code[i+1] = Instr{Op: OpJump, A: next.A}
+			} else {
+				dead[i+1] = true
+			}
+			st.Folded++
+			changed = true
+		}
+	}
+	if !changed {
+		return code, false
+	}
+	return compact(code, dead), true
+}
+
+// dropUnreachable removes instructions no control path reaches.
+func dropUnreachable(code []Instr, st *OptStats) ([]Instr, bool) {
+	if len(code) == 0 {
+		return code, false
+	}
+	seen := make([]bool, len(code))
+	work := []int{0}
+	for len(work) > 0 {
+		ip := work[len(work)-1]
+		work = work[:len(work)-1]
+		for ip >= 0 && ip < len(code) && !seen[ip] {
+			seen[ip] = true
+			in := code[ip]
+			switch in.Op {
+			case OpJump:
+				ip = in.A
+				continue
+			case OpJumpFalse, OpJFKeep, OpJTKeep:
+				if in.A >= 0 && in.A < len(code) && !seen[in.A] {
+					work = append(work, in.A)
+				}
+			case OpReturn, OpReturnNil:
+				ip = -1
+				continue
+			}
+			ip++
+		}
+	}
+	dead := make([]bool, len(code))
+	removed := 0
+	for i := range code {
+		if !seen[i] {
+			dead[i] = true
+			removed++
+		}
+	}
+	if removed == 0 {
+		return code, false
+	}
+	st.DeadCode += removed
+	return compact(code, dead), true
+}
+
+// dropDeadStores turns stores to locals the function never loads into
+// pops. Globals are exempt: they are observable after the run.
+func dropDeadStores(code []Instr, nLocals int, st *OptStats) bool {
+	if nLocals == 0 {
+		return false
+	}
+	loaded := make([]bool, nLocals)
+	for _, in := range code {
+		if in.Op == OpLoadL && in.A >= 0 && in.A < nLocals {
+			loaded[in.A] = true
+		}
+	}
+	changed := false
+	for i, in := range code {
+		if in.Op == OpStoreL && in.A >= 0 && in.A < nLocals && !loaded[in.A] {
+			code[i] = Instr{Op: OpPop}
+			st.DeadStores++
+			changed = true
+		}
+	}
+	return changed
+}
+
+// absVal is a may-be-known stack or local slot value during
+// propagation.
+type absVal struct {
+	known bool
+	v     Value
+}
+
+// propagateConsts replaces loads of locals that provably hold a
+// constant with a direct push. The walk tracks exact stack effects
+// within each basic block and forgets everything at block leaders (jump
+// targets), which makes the replacement sound: an instruction mid-block
+// is only reachable through its leader, executing every intervening
+// store.
+func propagateConsts(c *Compiled, pool *constPool, code []Instr, nLocals int, st *OptStats) bool {
+	locals := make([]absVal, nLocals)
+	var stack []absVal
+	tgt := jumpTargets(code)
+	changed := false
+	reset := func() {
+		for i := range locals {
+			locals[i] = absVal{}
+		}
+		stack = stack[:0]
+	}
+	pop := func(n int) bool {
+		if n < 0 || len(stack) < n {
+			return false
+		}
+		stack = stack[:len(stack)-n]
+		return true
+	}
+	push := func(v absVal) { stack = append(stack, v) }
+	for ip := 0; ip < len(code); ip++ {
+		if tgt[ip] {
+			reset()
+		}
+		in := code[ip]
+		switch in.Op {
+		case OpConst, OpTrue, OpFalse, OpNil:
+			v, ok := constOf(c, in)
+			push(absVal{known: ok, v: v})
+		case OpLoadL:
+			if in.A < 0 || in.A >= nLocals {
+				return changed // malformed; leave for the verifier
+			}
+			if lv := locals[in.A]; lv.known {
+				code[ip] = pool.pushInstr(lv.v)
+				st.Propagated++
+				changed = true
+				push(lv)
+			} else {
+				push(absVal{})
+			}
+		case OpStoreL:
+			if in.A < 0 || in.A >= nLocals || len(stack) == 0 {
+				return changed
+			}
+			locals[in.A] = stack[len(stack)-1]
+			pop(1)
+		case OpLoadG:
+			push(absVal{})
+		case OpStoreG, OpPop:
+			if !pop(1) {
+				return changed
+			}
+		case OpBin, OpEq, OpNe, OpIndex:
+			if !pop(2) {
+				return changed
+			}
+			push(absVal{})
+		case OpNeg, OpNot:
+			if !pop(1) {
+				return changed
+			}
+			push(absVal{})
+		case OpJump, OpReturn, OpReturnNil:
+			reset()
+		case OpJumpFalse:
+			if !pop(1) {
+				return changed
+			}
+		case OpJFKeep, OpJTKeep:
+			if len(stack) == 0 {
+				return changed
+			}
+			// The kept top survives, but its value is branch-dependent
+			// at the join; treat it as unknown from here on.
+			stack[len(stack)-1] = absVal{}
+		case OpCall, OpCallHost:
+			// Callees cannot touch this frame's locals.
+			if !pop(in.B) {
+				return changed
+			}
+			push(absVal{})
+		case OpSetIndex:
+			if !pop(3) {
+				return changed
+			}
+		case OpArray:
+			if !pop(in.A) {
+				return changed
+			}
+			push(absVal{})
+		case OpMap:
+			if in.A < 0 || !pop(2*in.A) {
+				return changed
+			}
+			push(absVal{})
+		default:
+			return changed
+		}
+	}
+	return changed
+}

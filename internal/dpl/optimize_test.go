@@ -1,0 +1,209 @@
+package dpl
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func compileSrc(t *testing.T, src string, b *Bindings) *Compiled {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	c, err := Compile(prog, b)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	return c
+}
+
+func codeSize(c *Compiled) int {
+	n := len(c.InitCode)
+	for _, fn := range c.Funcs {
+		n += len(fn.Code)
+	}
+	return n
+}
+
+// TestOptimizerPreservesSemantics is the optimizer's core property
+// test: across hundreds of random programs, the optimized bytecode must
+// produce exactly the result (value or error) of the unoptimized
+// compile, and must still pass structural verification.
+func TestOptimizerPreservesSemantics(t *testing.T) {
+	b := Std()
+	g := &progGen{r: rand.New(rand.NewSource(99))}
+	for i := 0; i < 400; i++ {
+		src := g.generate()
+		raw := compileSrc(t, src, b)
+		opt := compileSrc(t, src, b)
+		st := Optimize(opt)
+		if faults := opt.VerifyStructure(); len(faults) > 0 {
+			t.Fatalf("optimized program %d fails verification: %v\n%s\n%s", i, faults[0], src, Disassemble(opt))
+		}
+		if codeSize(opt) > codeSize(raw) {
+			t.Fatalf("optimizer grew program %d (%d -> %d instrs)", i, codeSize(raw), codeSize(opt))
+		}
+		rawVal, rawErr := NewVM(raw, b, WithMaxSteps(2_000_000)).Run(context.Background(), "main")
+		optVal, optErr := NewVM(opt, b, WithMaxSteps(2_000_000)).Run(context.Background(), "main")
+		if (rawErr == nil) != (optErr == nil) {
+			t.Fatalf("optimizer changed error outcome for program %d (stats %+v):\nraw: %v\nopt: %v\n%s", i, st, rawErr, optErr, src)
+		}
+		if rawErr != nil && rawErr.Error() != optErr.Error() {
+			t.Fatalf("optimizer changed error for program %d:\nraw: %v\nopt: %v\n%s", i, rawErr, optErr, src)
+		}
+		if rawErr == nil && !valueEqual(rawVal, optVal) {
+			t.Fatalf("optimizer changed result for program %d: raw=%v opt=%v\n%s", i, rawVal, optVal, src)
+		}
+	}
+}
+
+func TestOptimizerRewrites(t *testing.T) {
+	b := Std()
+	cases := []struct {
+		name    string
+		src     string
+		want    Value
+		maxMain int // upper bound on main's instruction count after optimizing
+	}{
+		{"const fold", `func main() { return 1 + 2 * 3; }`, int64(7), 2},
+		{"const branch", `func main() { if (true) { return 1; } return 2; }`, int64(1), 2},
+		{"dead store", `func main() { var x = 5; return 1; }`, int64(1), 2},
+		{"dead loop", `func main() { var n = 0; while (false) { n += 1; } return n; }`, int64(0), 2},
+		{"propagation", `func main() { var x = 4; return x * x; }`, int64(16), 2},
+		{"logic fold", `func main() { return true && 3 < 5; }`, true, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := compileSrc(t, tc.src, b)
+			st := Optimize(c)
+			if st.Total() == 0 {
+				t.Fatalf("optimizer did nothing:\n%s", Disassemble(c))
+			}
+			main := c.Funcs[c.FuncIdx["main"]]
+			if len(main.Code) > tc.maxMain {
+				t.Errorf("main still has %d instrs (want <= %d):\n%s", len(main.Code), tc.maxMain, Disassemble(c))
+			}
+			got, err := NewVM(c, b).Run(context.Background(), "main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !valueEqual(got, tc.want) {
+				t.Errorf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestOptimizerKeepsRuntimeErrors: folding must not evaluate
+// expressions whose evaluation faults — the error belongs to run time.
+func TestOptimizerKeepsRuntimeErrors(t *testing.T) {
+	b := Std()
+	for _, src := range []string{
+		`func main() { return 1 / 0; }`,
+		`func main() { return 5 % 0; }`,
+		`func main() { return -"s"; }`,
+		`func main() { return 1 + "s"; }`,
+		`func main() { return "a" < 1; }`,
+	} {
+		c := compileSrc(t, src, b)
+		Optimize(c)
+		if _, err := NewVM(c, b).Run(context.Background(), "main"); err == nil {
+			t.Errorf("optimized %q lost its runtime error", src)
+		}
+	}
+}
+
+// TestOptimizerKeepsGlobals: global stores are observable after the run
+// and must survive even when never read inside the program.
+func TestOptimizerKeepsGlobals(t *testing.T) {
+	b := Std()
+	c := compileSrc(t, `var g = 2 + 3; func main() { return 0; }`, b)
+	Optimize(c)
+	vm := NewVM(c, b)
+	if _, err := vm.Run(context.Background(), "main"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := vm.Global("g"); !ok || !valueEqual(v, int64(5)) {
+		t.Fatalf("global g = %v after optimized run, want 5", v)
+	}
+}
+
+func TestVerifyStructureFaults(t *testing.T) {
+	fn := func(code ...Instr) *Compiled {
+		return &Compiled{
+			FuncIdx: map[string]int{"main": 0},
+			Funcs:   []*CompiledFunc{{Name: "main", Code: code}},
+		}
+	}
+	cases := []struct {
+		name string
+		c    *Compiled
+		kind FaultKind
+	}{
+		{"const oob", fn(Instr{Op: OpConst, A: 3}, Instr{Op: OpReturn}), FaultOperand},
+		{"global oob", fn(Instr{Op: OpLoadG, A: 0}, Instr{Op: OpReturn}), FaultOperand},
+		{"local oob", fn(Instr{Op: OpLoadL, A: 2}, Instr{Op: OpReturn}), FaultOperand},
+		{"jump oob", fn(Instr{Op: OpJump, A: 9}), FaultJump},
+		{"negative jump", fn(Instr{Op: OpNil}, Instr{Op: OpJumpFalse, A: -1}, Instr{Op: OpReturnNil}), FaultJump},
+		{"underflow", fn(Instr{Op: OpPop}, Instr{Op: OpReturnNil}), FaultStack},
+		{"return empty", fn(Instr{Op: OpReturn}), FaultStack},
+		{"bad opcode", fn(Instr{Op: Opcode(99)}), FaultOpcode},
+		{"bad bin op", fn(Instr{Op: OpNil}, Instr{Op: OpNil}, Instr{Op: OpBin, A: int(TokAssign)}, Instr{Op: OpReturn}), FaultOperand},
+		{"bad call", fn(Instr{Op: OpCall, A: 5, B: 0}, Instr{Op: OpReturn}), FaultOperand},
+		{"bad host", fn(Instr{Op: OpCallHost, A: 0, B: 0}, Instr{Op: OpReturn}), FaultOperand},
+		{"bad frame", &Compiled{
+			FuncIdx: map[string]int{"main": 0},
+			Funcs:   []*CompiledFunc{{Name: "main", NumParams: 2, NumLocals: 1, Code: []Instr{{Op: OpReturnNil}}}},
+		}, FaultOperand},
+		{"depth mismatch at join", fn(
+			// Path A pushes one value before the join, path B pushes none.
+			Instr{Op: OpNil},
+			Instr{Op: OpJumpFalse, A: 3},
+			Instr{Op: OpNil},
+			Instr{Op: OpReturnNil},
+		), FaultStack},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			faults := tc.c.VerifyStructure()
+			if len(faults) == 0 {
+				t.Fatal("no faults reported")
+			}
+			found := false
+			for _, f := range faults {
+				if f.Kind == tc.kind {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no %v fault among %v", tc.kind, faults)
+			}
+			// The VM must refuse to run what the verifier rejects.
+			if _, err := NewVM(tc.c, NewBindings()).Run(context.Background(), "main"); err == nil {
+				t.Error("VM ran a structurally invalid program")
+			} else if !strings.Contains(err.Error(), "structurally invalid") {
+				t.Errorf("unexpected refusal error: %v", err)
+			}
+		})
+	}
+}
+
+// TestVerifyStructureAcceptsCompilerOutput: everything the compiler
+// emits must pass, optimized or not.
+func TestVerifyStructureAcceptsCompilerOutput(t *testing.T) {
+	b := Std()
+	g := &progGen{r: rand.New(rand.NewSource(7))}
+	for i := 0; i < 50; i++ {
+		c := compileSrc(t, g.generate(), b)
+		if faults := c.VerifyStructure(); len(faults) > 0 {
+			t.Fatalf("compiler output rejected: %v", faults[0])
+		}
+		Optimize(c)
+		if faults := c.VerifyStructure(); len(faults) > 0 {
+			t.Fatalf("optimizer output rejected: %v", faults[0])
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package verify_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"mbd/internal/dpl"
+	"mbd/internal/dpl/analysis"
+	"mbd/internal/dpl/verify"
+)
+
+// quietBindings registers the artifact's own host table in slot order
+// with variadic nil stubs, so verification and execution exercise the
+// code rather than the receiving node's configuration.
+func quietBindings(cp *dpl.CompiledProgram) *dpl.Bindings {
+	b := dpl.NewBindings()
+	for _, name := range cp.Object.HostNames {
+		b.Register(name, -1, func(*dpl.Env, []dpl.Value) (dpl.Value, error) { return nil, nil })
+	}
+	return b
+}
+
+// corpusBlobs builds the deterministic seed set: honest artifacts from
+// the source pipeline plus structurally tampered mutants of each.
+func corpusBlobs() ([][]byte, error) {
+	b := analysis.LintBindings()
+	var blobs [][]byte
+	for _, src := range honestSources {
+		prog, err := dpl.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		if errs := dpl.Check(prog, b); len(errs) > 0 {
+			return nil, errs[0]
+		}
+		rep := analysis.Analyze(prog, b)
+		obj, err := dpl.Compile(prog, b)
+		if err != nil {
+			return nil, err
+		}
+		dpl.Optimize(obj)
+		cp := &dpl.CompiledProgram{
+			Version:    dpl.CompilerVersion,
+			SourceHash: dpl.HashSource(src),
+			Verdict: dpl.Verdict{
+				Hosts:         rep.Effects.HostNames(),
+				Reads:         rep.Effects.ReadPrefixes(),
+				Writes:        rep.Effects.WritePrefixes(),
+				CostSteps:     rep.Cost.Steps,
+				CostUnbounded: rep.Cost.Unbounded,
+				StepBudget:    rep.SuggestedBudget(0),
+			},
+			Object: obj,
+		}
+		blob, err := cp.Encode()
+		if err != nil {
+			return nil, err
+		}
+		blobs = append(blobs, blob)
+
+		for _, tamper := range []func(*dpl.CompiledProgram){
+			func(m *dpl.CompiledProgram) { m.Object.Funcs[0].Code[0].Op = 200 },
+			func(m *dpl.CompiledProgram) { m.Object.Funcs[0].Code[0] = dpl.Instr{Op: dpl.OpJump, A: 1 << 20} },
+			func(m *dpl.CompiledProgram) { m.Object.Funcs[0].Code[0] = dpl.Instr{Op: dpl.OpBin, A: 99} },
+			func(m *dpl.CompiledProgram) { m.Verdict.Hosts = nil; m.Verdict.Reads = nil; m.Verdict.Writes = nil },
+		} {
+			mut, err := dpl.DecodeProgram(blob)
+			if err != nil {
+				return nil, err
+			}
+			tamper(mut)
+			mblob, err := mut.Encode()
+			if err != nil {
+				return nil, err
+			}
+			blobs = append(blobs, mblob)
+		}
+	}
+	return blobs, nil
+}
+
+// FuzzVerify hammers the wire-to-admission path: whatever bytes arrive,
+// decoding and verification must not panic, and any program the
+// verifier rejects structurally must also be refused by the VM.
+func FuzzVerify(f *testing.F) {
+	blobs, err := corpusBlobs()
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, blob := range blobs {
+		f.Add(blob)
+		if len(blob) > 8 {
+			trunc := blob[:len(blob)/2]
+			f.Add(append([]byte{}, trunc...))
+			flip := append([]byte{}, blob...)
+			flip[len(flip)/3] ^= 0x41
+			f.Add(flip)
+		}
+	}
+	structural := map[string]bool{
+		analysis.CodeBadOpcode: true, analysis.CodeBadJump: true,
+		analysis.CodeStackUnsafe: true, analysis.CodeBadOperand: true,
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := dpl.DecodeProgram(data)
+		if err != nil {
+			return
+		}
+		quiet := quietBindings(cp)
+		res := verify.Verify(cp, quiet)
+		rejected := false
+		for _, d := range res.Diags {
+			if structural[d.Code] {
+				rejected = true
+			}
+		}
+		vm := dpl.NewVM(cp.Object, quiet, dpl.WithMaxSteps(50000))
+		_, runErr := vm.Run(context.Background(), "main")
+		if rejected && runErr == nil {
+			t.Fatalf("VM executed a structurally rejected program:\n%s", dpl.Disassemble(cp.Object))
+		}
+	})
+}
+
+// TestGenerateFuzzCorpus rewrites the committed seed corpus when run
+// with MBD_GEN_CORPUS=1. CI replays the committed files on every build.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("MBD_GEN_CORPUS") == "" {
+		t.Skip("set MBD_GEN_CORPUS=1 to regenerate testdata/fuzz/FuzzVerify")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzVerify")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	blobs, err := corpusBlobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, blob := range blobs {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(blob)) + ")\n"
+		name := filepath.Join(dir, fmt.Sprintf("seed-%03d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("wrote %d seeds to %s", len(blobs), dir)
+}

@@ -1,0 +1,324 @@
+package verify_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mbd/internal/dpl"
+	"mbd/internal/dpl/analysis"
+	"mbd/internal/dpl/verify"
+)
+
+// buildArtifact runs the real source pipeline (parse, check, analyze,
+// compile, optionally optimize) and packages the result the way the
+// elastic process ships it.
+func buildArtifact(t *testing.T, src string, b *dpl.Bindings, optimize bool) *dpl.CompiledProgram {
+	t.Helper()
+	prog, err := dpl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if errs := dpl.Check(prog, b); len(errs) > 0 {
+		t.Fatalf("check: %v", errs[0])
+	}
+	rep := analysis.Analyze(prog, b)
+	if rep.HasErrors() {
+		t.Fatalf("analyze: %v", &analysis.Error{Diags: rep.Diags})
+	}
+	obj, err := dpl.Compile(prog, b)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if optimize {
+		dpl.Optimize(obj)
+	}
+	return &dpl.CompiledProgram{
+		Version:    dpl.CompilerVersion,
+		SourceHash: dpl.HashSource(src),
+		Verdict: dpl.Verdict{
+			Hosts:         rep.Effects.HostNames(),
+			Reads:         rep.Effects.ReadPrefixes(),
+			Writes:        rep.Effects.WritePrefixes(),
+			CostSteps:     rep.Cost.Steps,
+			CostUnbounded: rep.Cost.Unbounded,
+			StepBudget:    rep.SuggestedBudget(0),
+		},
+		Object: obj,
+	}
+}
+
+// honestSources exercises every recovery rule: constant OIDs, partial
+// concatenation heads, dynamic OIDs (wildcard on both sides), writes,
+// user-function indirection, loops (unbounded cost), recursion-free
+// bounded programs.
+var honestSources = []string{
+	`func main() { return mibGet("1.3.6.1.2.1.1.3.0"); }`,
+	`func main(i) { return mibGet("1.3.6.1.2." + i); }`,
+	`func main(oid) { return mibGet(oid); }`,
+	`func main(v) { mibSet("1.3.6.1.4.1.9", v); return snmpGet("host-a", "1.3.6.1.2.1"); }`,
+	`func probe(oid) { return mibNext(oid); }
+	 func main() { return probe("1.3.6.1.2.1.2"); }`,
+	`var acc = 0;
+	 func main(n) {
+		for (var i = 0; i < n; i += 1) { acc += len(mibWalk("1.3.6.1.2.1.2.2")); }
+		return acc;
+	 }`,
+	`func main() {
+		var parts = ["1.3.6", "1.2.3"];
+		var total = 0;
+		total += len(parts);
+		if (total > 1 && parts[0] != "") { return mibGet(parts[0] + ".1.2.0"); }
+		return nil;
+	 }`,
+}
+
+func TestVerifyAcceptsHonestArtifacts(t *testing.T) {
+	b := analysis.LintBindings()
+	srcs := append([]string{}, honestSources...)
+	glob, _ := filepath.Glob(filepath.Join("..", "..", "..", "examples", "agents", "*.dpl"))
+	for _, p := range glob {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs = append(srcs, string(data))
+	}
+	if len(glob) == 0 {
+		t.Log("no example agents found; inline sources only")
+	}
+	for i, src := range srcs {
+		for _, optimize := range []bool{false, true} {
+			cp := buildArtifact(t, src, b, optimize)
+			res := verify.Verify(cp, b)
+			if err := res.Err(); err != nil {
+				t.Errorf("source %d (optimize=%v): honest artifact rejected:\n%v\n%s", i, optimize, err, dpl.Disassemble(cp.Object))
+			}
+		}
+	}
+}
+
+// TestVerifySurvivesCodec: verification must give the same verdict on
+// an artifact that went through the wire encoding.
+func TestVerifySurvivesCodec(t *testing.T) {
+	b := analysis.LintBindings()
+	cp := buildArtifact(t, honestSources[3], b, true)
+	blob, err := cp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := dpl.DecodeProgram(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Verify(dec, b).Err(); err != nil {
+		t.Fatalf("decoded honest artifact rejected: %v", err)
+	}
+}
+
+func TestVerifyRecoveredEffects(t *testing.T) {
+	b := analysis.LintBindings()
+	cp := buildArtifact(t, `func main(v) { mibSet("1.3.6.1.4.1.9", v); return mibGet("1.3.6.1.2.1.1.3.0"); }`, b, true)
+	res := verify.Verify(cp, b)
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Recovered.ReadPrefixes(); len(got) != 1 || got[0] != "1.3.6.1.2.1.1.3.0" {
+		t.Errorf("recovered reads = %v", got)
+	}
+	if got := res.Recovered.WritePrefixes(); len(got) != 1 || got[0] != "1.3.6.1.4.1.9" {
+		t.Errorf("recovered writes = %v", got)
+	}
+	if !res.Recovered.CallsHost("mibSet") || !res.Recovered.CallsHost("mibGet") {
+		t.Errorf("recovered hosts = %v", res.Recovered.HostNames())
+	}
+}
+
+// hasCode reports whether diags contains an error with the given code.
+func hasCode(diags []analysis.Diagnostic, code string) bool {
+	for _, d := range diags {
+		if d.Code == code && d.Sev == analysis.SevError {
+			return true
+		}
+	}
+	return false
+}
+
+func TestVerifyRejectsTamperedArtifacts(t *testing.T) {
+	b := analysis.LintBindings()
+	cases := []struct {
+		name   string
+		src    string
+		tamper func(cp *dpl.CompiledProgram)
+		code   string
+	}{
+		{
+			"version skew", honestSources[0],
+			func(cp *dpl.CompiledProgram) { cp.Version++ },
+			analysis.CodeVersionSkew,
+		},
+		{
+			"bad opcode", honestSources[0],
+			func(cp *dpl.CompiledProgram) { cp.Object.Funcs[0].Code[0].Op = 99 },
+			analysis.CodeBadOpcode,
+		},
+		{
+			"jump out of range", honestSources[0],
+			func(cp *dpl.CompiledProgram) {
+				fn := cp.Object.Funcs[0]
+				fn.Code[len(fn.Code)-1] = dpl.Instr{Op: dpl.OpJump, A: 1 << 20}
+			},
+			analysis.CodeBadJump,
+		},
+		{
+			"stack underflow", honestSources[0],
+			func(cp *dpl.CompiledProgram) {
+				fn := cp.Object.Funcs[0]
+				fn.Code = append([]dpl.Instr{{Op: dpl.OpPop}}, fn.Code...)
+			},
+			analysis.CodeStackUnsafe,
+		},
+		{
+			"const index out of range", honestSources[0],
+			func(cp *dpl.CompiledProgram) { cp.Object.Funcs[0].Code[0] = dpl.Instr{Op: dpl.OpConst, A: 1 << 16} },
+			analysis.CodeBadOperand,
+		},
+		{
+			"undeclared host", honestSources[0],
+			func(cp *dpl.CompiledProgram) { cp.Verdict.Hosts = nil },
+			analysis.CodeEffectUndeclared,
+		},
+		{
+			"undeclared read prefix", honestSources[0],
+			func(cp *dpl.CompiledProgram) { cp.Verdict.Reads = []string{"1.3.6.1.4"} },
+			analysis.CodeEffectUndeclared,
+		},
+		{
+			"undeclared write", `func main(v) { mibSet("1.3.6.1.4.1.9", v); return nil; }`,
+			func(cp *dpl.CompiledProgram) { cp.Verdict.Writes = nil },
+			analysis.CodeEffectUndeclared,
+		},
+		{
+			"wildcard smuggled as narrow prefix", `func main(oid) { return mibGet(oid); }`,
+			func(cp *dpl.CompiledProgram) { cp.Verdict.Reads = []string{"1.3.6.1"} },
+			analysis.CodeEffectUndeclared,
+		},
+		{
+			"budget below cost", honestSources[0],
+			func(cp *dpl.CompiledProgram) { cp.Verdict.StepBudget = cp.Verdict.CostSteps - 1 },
+			analysis.CodeBudgetMismatch,
+		},
+		{
+			"bounded claim with no budget", honestSources[0],
+			func(cp *dpl.CompiledProgram) { cp.Verdict.StepBudget = 0 },
+			analysis.CodeBudgetMismatch,
+		},
+		{
+			"budget below provable worst case", honestSources[0],
+			func(cp *dpl.CompiledProgram) {
+				cp.Verdict.CostSteps = 1
+				cp.Verdict.StepBudget = 2
+			},
+			analysis.CodeBudgetMismatch,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cp := buildArtifact(t, tc.src, b, true)
+			tc.tamper(cp)
+			res := verify.Verify(cp, b)
+			if !hasCode(res.Diags, tc.code) {
+				t.Fatalf("want %s, got %v", tc.code, res.Diags)
+			}
+		})
+	}
+}
+
+// TestVerifyRejectsBoundedClaimOnRecursion: the source analyzer always
+// marks recursive programs unbounded; a verdict claiming otherwise is a
+// lie the bytecode itself disproves.
+func TestVerifyRejectsBoundedClaimOnRecursion(t *testing.T) {
+	b := analysis.LintBindings()
+	cp := buildArtifact(t, `func loop(n) { if (n <= 0) { return 0; } return loop(n - 1); }
+		func main() { return loop(3); }`, b, true)
+	if !cp.Verdict.CostUnbounded {
+		t.Fatal("source analysis should mark recursion unbounded")
+	}
+	cp.Verdict.CostUnbounded = false
+	cp.Verdict.CostSteps = 10
+	cp.Verdict.StepBudget = 1 << 30
+	res := verify.Verify(cp, b)
+	if !hasCode(res.Diags, analysis.CodeBudgetMismatch) {
+		t.Fatalf("bounded claim on recursive code accepted: %v", res.Diags)
+	}
+}
+
+// TestVerifyHostTableSkew: an artifact built against one binding layout
+// must not be admitted by a node whose table disagrees.
+func TestVerifyHostTableSkew(t *testing.T) {
+	b := analysis.LintBindings()
+	cp := buildArtifact(t, honestSources[0], b, true)
+
+	missing := dpl.Std() // no mibGet at all
+	if res := verify.Verify(cp, missing); !hasCode(res.Diags, analysis.CodeHostTableSkew) {
+		t.Fatalf("missing host accepted: %v", res.Diags)
+	}
+
+	// Same names, different slot order for a host the code calls.
+	shuffled := dpl.NewBindings()
+	stub := func(*dpl.Env, []dpl.Value) (dpl.Value, error) { return nil, nil }
+	names := cp.Object.HostNames
+	for i := len(names) - 1; i >= 0; i-- {
+		shuffled.Register(names[i], -1, stub)
+	}
+	if len(names) > 1 {
+		if res := verify.Verify(cp, shuffled); !hasCode(res.Diags, analysis.CodeHostTableSkew) {
+			t.Fatalf("shuffled host table accepted: %v", res.Diags)
+		}
+	}
+
+	// Right slot, wrong arity.
+	wrongArity := dpl.NewBindings()
+	for _, n := range names {
+		wrongArity.Register(n, 7, stub)
+	}
+	if res := verify.Verify(cp, wrongArity); !hasCode(res.Diags, analysis.CodeHostTableSkew) {
+		t.Fatalf("wrong arity accepted: %v", res.Diags)
+	}
+}
+
+// TestVerifierRejectionImpliesVMRefusal: anything the verifier rejects
+// structurally (DPL010–DPL013) must also be refused by the VM itself.
+func TestVerifierRejectionImpliesVMRefusal(t *testing.T) {
+	b := analysis.LintBindings()
+	structural := map[string]bool{
+		analysis.CodeBadOpcode: true, analysis.CodeBadJump: true,
+		analysis.CodeStackUnsafe: true, analysis.CodeBadOperand: true,
+	}
+	tampers := []func(cp *dpl.CompiledProgram){
+		func(cp *dpl.CompiledProgram) { cp.Object.Funcs[0].Code[0].Op = 200 },
+		func(cp *dpl.CompiledProgram) { cp.Object.Funcs[0].Code[0] = dpl.Instr{Op: dpl.OpJump, A: -3} },
+		func(cp *dpl.CompiledProgram) {
+			cp.Object.Funcs[0].Code[0] = dpl.Instr{Op: dpl.OpBin, A: int(dpl.TokPlus)}
+		},
+		func(cp *dpl.CompiledProgram) { cp.Object.Funcs[0].Code[0] = dpl.Instr{Op: dpl.OpLoadL, A: 1 << 10} },
+	}
+	for i, tamper := range tampers {
+		cp := buildArtifact(t, honestSources[0], b, false)
+		tamper(cp)
+		res := verify.Verify(cp, b)
+		found := false
+		for _, d := range res.Diags {
+			if structural[d.Code] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("tamper %d: no structural diagnostic: %v", i, res.Diags)
+		}
+		if _, err := dpl.NewVM(cp.Object, b, dpl.WithMaxSteps(10000)).Run(context.Background(), "main"); err == nil {
+			t.Fatalf("tamper %d: VM ran a program the verifier rejected", i)
+		}
+	}
+}

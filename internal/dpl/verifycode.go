@@ -1,0 +1,309 @@
+package dpl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Structural bytecode verification. The VM's exec loop trusts its
+// operands — constant/global/local indices, jump targets and stack
+// discipline are unchecked per instruction, which keeps stepping cheap.
+// That trust is earned here: VerifyStructure proves, by abstract
+// interpretation over the opcode stream, that no reachable instruction
+// can index out of bounds or underflow the operand stack, and VM.Run
+// refuses to execute a program that fails the proof. Compiler output
+// always passes; the check exists for bytecode that arrives over the
+// wire (see CompiledProgram and internal/dpl/verify, which layers
+// effect- and budget-consistency checks on top of these faults).
+
+// FaultKind classifies one structural fault.
+type FaultKind uint8
+
+// Structural fault classes, mapped by internal/dpl/verify onto the
+// DPL010–DPL013 diagnostic codes.
+const (
+	// FaultOpcode is an opcode outside the instruction set.
+	FaultOpcode FaultKind = iota + 1
+	// FaultJump is a jump target outside [0, len(code)].
+	FaultJump
+	// FaultStack is a stack underflow or an inconsistent stack depth at
+	// a control-flow join.
+	FaultStack
+	// FaultOperand is an out-of-bounds constant, global, local,
+	// function or host index, or a malformed immediate.
+	FaultOperand
+)
+
+// String names the fault class.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultOpcode:
+		return "opcode"
+	case FaultJump:
+		return "jump"
+	case FaultStack:
+		return "stack"
+	case FaultOperand:
+		return "operand"
+	default:
+		return fmt.Sprintf("fault(%d)", uint8(k))
+	}
+}
+
+// CodeFault is one structural defect found in a code block. IP is -1
+// for faults about the function shape itself rather than an
+// instruction.
+type CodeFault struct {
+	Func string // function name, or "<init>" for the initializer block
+	IP   int
+	Kind FaultKind
+	Msg  string
+}
+
+// String renders the fault with its location.
+func (f CodeFault) String() string {
+	if f.IP < 0 {
+		return fmt.Sprintf("%s: %s fault: %s", f.Func, f.Kind, f.Msg)
+	}
+	return fmt.Sprintf("%s+%d: %s fault: %s", f.Func, f.IP, f.Kind, f.Msg)
+}
+
+// maxFaults bounds the fault list so hostile inputs cannot make
+// verification itself expensive.
+const maxFaults = 64
+
+// binOps is the set of operator immediates OpBin accepts. The VM routes
+// anything outside the arithmetic five to compare, which rejects
+// non-relational operators at run time; the verifier is stricter and
+// faults them statically so a verified program never reaches that path.
+var binOps = map[TokenKind]bool{
+	TokPlus: true, TokMinus: true, TokStar: true, TokSlash: true, TokPercent: true,
+	TokLt: true, TokLe: true, TokGt: true, TokGe: true,
+}
+
+// VerifyStructure checks every code block of c and returns the
+// structural faults found (nil when the program is safe to execute).
+func (c *Compiled) VerifyStructure() []CodeFault {
+	v := &structVerifier{c: c}
+	v.checkBlock("<init>", c.InitCode, 0)
+	for i, fn := range c.Funcs {
+		name := fn.Name
+		if name == "" {
+			name = fmt.Sprintf("func#%d", i)
+		}
+		if fn.NumParams < 0 || fn.NumLocals < 0 || fn.NumParams > fn.NumLocals || fn.NumLocals > maxProgLocals {
+			v.fault(name, -1, FaultOperand, fmt.Sprintf("implausible frame (params=%d locals=%d)", fn.NumParams, fn.NumLocals))
+		}
+		v.checkBlock(name, fn.Code, fn.NumLocals)
+	}
+	return v.faults
+}
+
+// EnsureStructure verifies c once and caches the outcome; subsequent
+// calls (one per VM.Run) are a mutex hit. Optimize invalidates the
+// cache after rewriting code.
+func (c *Compiled) EnsureStructure() error {
+	c.vmu.Lock()
+	defer c.vmu.Unlock()
+	if !c.vdone {
+		c.vdone = true
+		c.verr = nil
+		if faults := c.VerifyStructure(); len(faults) > 0 {
+			more := ""
+			if len(faults) > 1 {
+				more = fmt.Sprintf(" (and %d more)", len(faults)-1)
+			}
+			c.verr = fmt.Errorf("dpl: structurally invalid bytecode: %s%s", faults[0], more)
+		}
+	}
+	return c.verr
+}
+
+// invalidateVerify drops the cached EnsureStructure outcome.
+func (c *Compiled) invalidateVerify() {
+	c.vmu.Lock()
+	c.vdone = false
+	c.verr = nil
+	c.vmu.Unlock()
+}
+
+type structVerifier struct {
+	c      *Compiled
+	faults []CodeFault
+}
+
+func (v *structVerifier) fault(fn string, ip int, kind FaultKind, msg string) {
+	if len(v.faults) < maxFaults {
+		v.faults = append(v.faults, CodeFault{Func: fn, IP: ip, Kind: kind, Msg: msg})
+	}
+}
+
+// instrShape describes one instruction's static requirements: how many
+// values it pops and pushes, plus control-flow behavior.
+type instrShape struct {
+	pops, pushes int
+	branch       bool // may transfer to A
+	fall         bool // may fall through to ip+1
+}
+
+// shape computes the instruction's stack/control shape, emitting
+// operand faults along the way. ok=false means the instruction is too
+// broken to interpret and its successors are not explored.
+func (v *structVerifier) shape(fn string, ip int, in Instr, nLocals, nCode int) (instrShape, bool) {
+	c := v.c
+	badOperand := func(msg string, args ...any) (instrShape, bool) {
+		v.fault(fn, ip, FaultOperand, fmt.Sprintf(msg, args...))
+		return instrShape{}, false
+	}
+	switch in.Op {
+	case OpConst:
+		if in.A < 0 || in.A >= len(c.Consts) {
+			return badOperand("constant index %d out of range (pool size %d)", in.A, len(c.Consts))
+		}
+		return instrShape{pushes: 1, fall: true}, true
+	case OpNil, OpTrue, OpFalse:
+		return instrShape{pushes: 1, fall: true}, true
+	case OpLoadG, OpStoreG:
+		if in.A < 0 || in.A >= len(c.GlobalNames) {
+			return badOperand("global index %d out of range (%d globals)", in.A, len(c.GlobalNames))
+		}
+		if in.Op == OpLoadG {
+			return instrShape{pushes: 1, fall: true}, true
+		}
+		return instrShape{pops: 1, fall: true}, true
+	case OpLoadL, OpStoreL:
+		if in.A < 0 || in.A >= nLocals {
+			return badOperand("local index %d out of range (%d locals)", in.A, nLocals)
+		}
+		if in.Op == OpLoadL {
+			return instrShape{pushes: 1, fall: true}, true
+		}
+		return instrShape{pops: 1, fall: true}, true
+	case OpPop:
+		return instrShape{pops: 1, fall: true}, true
+	case OpBin:
+		if !binOps[TokenKind(in.A)] {
+			return badOperand("invalid binary operator immediate %d", in.A)
+		}
+		return instrShape{pops: 2, pushes: 1, fall: true}, true
+	case OpEq, OpNe, OpIndex:
+		return instrShape{pops: 2, pushes: 1, fall: true}, true
+	case OpNeg, OpNot:
+		return instrShape{pops: 1, pushes: 1, fall: true}, true
+	case OpJump:
+		return instrShape{branch: true}, true
+	case OpJumpFalse:
+		return instrShape{pops: 1, branch: true, fall: true}, true
+	case OpJFKeep, OpJTKeep:
+		// Keep-form branches peek at the top without popping.
+		return instrShape{pops: 1, pushes: 1, branch: true, fall: true}, true
+	case OpCall:
+		if in.A < 0 || in.A >= len(c.Funcs) {
+			return badOperand("function index %d out of range (%d functions)", in.A, len(c.Funcs))
+		}
+		if in.B < 0 || in.B != c.Funcs[in.A].NumParams {
+			return badOperand("call passes %d args, function %q takes %d", in.B, c.Funcs[in.A].Name, c.Funcs[in.A].NumParams)
+		}
+		return instrShape{pops: in.B, pushes: 1, fall: true}, true
+	case OpCallHost:
+		if in.A < 0 || in.A >= len(c.HostNames) {
+			return badOperand("host index %d out of range (%d hosts)", in.A, len(c.HostNames))
+		}
+		if in.B < 0 || in.B > nCode {
+			return badOperand("host call passes implausible %d args", in.B)
+		}
+		return instrShape{pops: in.B, pushes: 1, fall: true}, true
+	case OpReturn:
+		return instrShape{pops: 1}, true
+	case OpReturnNil:
+		return instrShape{}, true
+	case OpSetIndex:
+		return instrShape{pops: 3, fall: true}, true
+	case OpArray:
+		if in.A < 0 || in.A > nCode {
+			return badOperand("array of implausible %d elements", in.A)
+		}
+		return instrShape{pops: in.A, pushes: 1, fall: true}, true
+	case OpMap:
+		if in.A < 0 || in.A > nCode {
+			return badOperand("map of implausible %d pairs", in.A)
+		}
+		return instrShape{pops: 2 * in.A, pushes: 1, fall: true}, true
+	default:
+		v.fault(fn, ip, FaultOpcode, fmt.Sprintf("unknown opcode %d", in.Op))
+		return instrShape{}, false
+	}
+}
+
+// checkBlock runs the worklist abstract interpretation over one code
+// block: every reachable instruction gets a unique entry stack depth,
+// jumps stay inside [0, len(code)], and no instruction pops below
+// empty. Depth uniqueness at joins is what lets the VM skip per-step
+// stack checks.
+func (v *structVerifier) checkBlock(fn string, code []Instr, nLocals int) {
+	if len(code) == 0 {
+		return
+	}
+	depth := make([]int, len(code))
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[0] = 0
+	work := []int{0}
+	propagate := func(from, to, d int) {
+		if to == len(code) {
+			return // implicit return-nil epilogue; any depth is fine
+		}
+		if depth[to] == -1 {
+			depth[to] = d
+			work = append(work, to)
+		} else if depth[to] != d {
+			v.fault(fn, from, FaultStack, fmt.Sprintf("stack depth mismatch at join %d (%d vs %d)", to, depth[to], d))
+		}
+	}
+	for len(work) > 0 {
+		ip := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := code[ip]
+		sh, ok := v.shape(fn, ip, in, nLocals, len(code))
+		if !ok {
+			continue
+		}
+		d := depth[ip]
+		if d < sh.pops {
+			v.fault(fn, ip, FaultStack, fmt.Sprintf("stack underflow: %s needs %d operands, depth is %d", opName(in.Op), sh.pops, d))
+			continue
+		}
+		nd := d - sh.pops + sh.pushes
+		if sh.branch {
+			if in.A < 0 || in.A > len(code) {
+				v.fault(fn, ip, FaultJump, fmt.Sprintf("jump target %d outside [0,%d]", in.A, len(code)))
+			} else {
+				propagate(ip, in.A, nd)
+			}
+		}
+		if sh.fall {
+			propagate(ip, ip+1, nd)
+		}
+	}
+}
+
+// opName returns the mnemonic for op (shared with the disassembler).
+func opName(op Opcode) string {
+	if n, ok := opNames[op]; ok {
+		return n
+	}
+	return fmt.Sprintf("OP%d", op)
+}
+
+// FaultsError joins faults into one error value.
+func FaultsError(faults []CodeFault) error {
+	if len(faults) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(faults))
+	for i, f := range faults {
+		msgs[i] = f.String()
+	}
+	return fmt.Errorf("dpl: bytecode verification failed:\n  %s", strings.Join(msgs, "\n  "))
+}

@@ -195,6 +195,11 @@ const maxFrames = 256
 // Run executes the program's global initializers (once per VM) and then
 // the named entry function with args, returning its value.
 func (vm *VM) Run(ctx context.Context, entry string, args ...Value) (Value, error) {
+	// The exec loop does not bounds-check operands; refuse any program
+	// that fails structural verification (cached after the first Run).
+	if err := vm.prog.EnsureStructure(); err != nil {
+		return nil, err
+	}
 	vm.ctx = ctx
 	defer func() { vm.ctx = nil }()
 	if vm.steps.Load() == 0 && len(vm.prog.InitCode) > 0 {

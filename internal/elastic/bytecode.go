@@ -1,0 +1,124 @@
+package elastic
+
+import (
+	"fmt"
+
+	"mbd/internal/dpl"
+	"mbd/internal/dpl/analysis"
+	"mbd/internal/dpl/verify"
+)
+
+// Verified-bytecode admission. DelegateCompiled is the second delegate
+// primitive: instead of source, the caller ships an encoded
+// CompiledProgram (object code plus the sender's analysis verdict).
+// The receiver never trusts the artifact — the bytecode verifier
+// re-proves structural safety and checks the verdict against the code
+// before the same per-principal admission policy that governs source
+// delegations is applied to the declared effects and cost.
+
+// LangCompiled is the Lang value of a DP admitted from verified
+// bytecode; such DPs carry no source.
+const LangCompiled = "dplc"
+
+// DelegateCompiled verifies and stores a compiled program artifact
+// under name. The blob is a dpl.CompiledProgram encoding, typically
+// produced by an upstream hop's source-level delegation.
+func (p *Process) DelegateCompiled(principal, name string, blob []byte) error {
+	if !p.cfg.ACL.Allow(principal, RightDelegate) {
+		return fmt.Errorf("%w: %s may not delegate", ErrDenied, principal)
+	}
+	dp, err := p.prepareCompiled(principal, name, blob)
+	if err != nil {
+		return err
+	}
+	p.commit(dp)
+	return nil
+}
+
+// prepareCompiled decodes, verifies and admits one artifact without
+// storing it, with the same rejection accounting as prepare.
+func (p *Process) prepareCompiled(principal, name string, blob []byte) (*DP, error) {
+	start := p.clock.Now()
+	cp, err := dpl.DecodeProgram(blob)
+	if err != nil {
+		err = fmt.Errorf("elastic: decoding compiled program: %w", err)
+		p.rejected(name, err, p.clock.Now()-start)
+		return nil, err
+	}
+	ent, err := p.admitCompiled(principal, cp)
+	if err != nil {
+		p.rejected(name, err, p.clock.Now()-start)
+		return nil, err
+	}
+	return &DP{
+		Name:    name,
+		Owner:   principal,
+		Lang:    LangCompiled,
+		Object:  ent.obj,
+		Program: ent.prog,
+		// The artifact's budget was derived unclamped by the analyzing
+		// hop; each receiver applies its own quota.
+		StepBudget: p.clampBudget(ent.prog.Verdict.StepBudget),
+		StoredAt:   p.clock.Now(),
+		Effects:    ent.rep.Effects,
+		Cost:       ent.rep.Cost,
+		analysisNS: p.clock.Now() - start,
+	}, nil
+}
+
+// admitCompiled resolves cp through the program cache (an artifact
+// whose source this node already translated needs no verification —
+// the local compilation is authoritative) or verifies it from scratch,
+// then applies the per-principal admission policy.
+func (p *Process) admitCompiled(principal string, cp *dpl.CompiledProgram) (progEntry, error) {
+	if cp.Object == nil {
+		return progEntry{}, fmt.Errorf("elastic: compiled program carries no object code")
+	}
+	key := progKey{hash: cp.SourceHash, version: cp.Version}
+	if ent, ok := p.progCache.get(key); ok {
+		if err := p.admit(principal, ent.rep); err != nil {
+			return progEntry{}, err
+		}
+		return ent, nil
+	}
+	p.met.verifications.Inc()
+	res := verify.Verify(cp, p.bindings)
+	if err := res.Err(); err != nil {
+		rej := err.(*analysis.Error)
+		return progEntry{}, &RejectError{Diags: rej.Diags}
+	}
+	rep := reportFromVerdict(cp.Verdict)
+	if err := p.admit(principal, rep); err != nil {
+		return progEntry{}, err
+	}
+	ent := progEntry{obj: cp.Object, rep: rep, prog: cp}
+	p.progCache.put(key, ent)
+	return ent, nil
+}
+
+// clampBudget bounds a shipped step budget by this server's own quota:
+// the declared budget only ever tightens the local ceiling.
+func (p *Process) clampBudget(budget uint64) uint64 {
+	if q := p.cfg.MaxStepsPerDPI; q != 0 && (budget == 0 || budget > q) {
+		return q
+	}
+	return budget
+}
+
+// reportFromVerdict lifts a verified declared verdict into the
+// analysis.Report shape the admission policy consumes. Positions are
+// empty: a bytecode artifact has no source to point into.
+func reportFromVerdict(v dpl.Verdict) *analysis.Report {
+	rep := &analysis.Report{}
+	for _, h := range v.Hosts {
+		rep.Effects.Hosts = append(rep.Effects.Hosts, analysis.Effect{Name: h})
+	}
+	for _, r := range v.Reads {
+		rep.Effects.Reads = append(rep.Effects.Reads, analysis.Effect{Name: r})
+	}
+	for _, w := range v.Writes {
+		rep.Effects.Writes = append(rep.Effects.Writes, analysis.Effect{Name: w})
+	}
+	rep.Cost = analysis.CostEstimate{Steps: v.CostSteps, Unbounded: v.CostUnbounded}
+	return rep
+}

@@ -20,11 +20,18 @@ import (
 // so stored programs are re-checked against the (possibly changed)
 // allowed-function table before becoming instantiable again.
 
-// dpFileExt is the on-disk extension for delegated program source.
-const dpFileExt = ".dpl"
+// dpFileExt is the on-disk extension for delegated program source;
+// dpcFileExt holds encoded verified-bytecode artifacts, which have no
+// source to store.
+const (
+	dpFileExt  = ".dpl"
+	dpcFileExt = ".dplc"
+)
 
-// SaveRepository writes every stored DP's source into dir, one file per
-// program. DP names containing path separators are rejected.
+// SaveRepository writes every stored DP into dir, one file per program:
+// source DPs as <name>.dpl, bytecode-admitted DPs as their encoded
+// CompiledProgram in <name>.dplc. DP names containing path separators
+// are rejected.
 func (p *Process) SaveRepository(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("elastic: repository dir: %w", err)
@@ -33,8 +40,21 @@ func (p *Process) SaveRepository(dir string) error {
 		if strings.ContainsAny(dp.Name, "/\\") || dp.Name == "" || strings.HasPrefix(dp.Name, ".") {
 			return fmt.Errorf("elastic: dp name %q not storable as a file", dp.Name)
 		}
-		path := filepath.Join(dir, dp.Name+dpFileExt)
-		if err := os.WriteFile(path, []byte(dp.Source), 0o644); err != nil {
+		var path string
+		var data []byte
+		if dp.Lang == LangCompiled {
+			if dp.Program == nil {
+				return fmt.Errorf("elastic: dp %s has neither source nor program artifact", dp.Name)
+			}
+			blob, err := dp.Program.Encode()
+			if err != nil {
+				return fmt.Errorf("elastic: encoding %s: %w", dp.Name, err)
+			}
+			path, data = filepath.Join(dir, dp.Name+dpcFileExt), blob
+		} else {
+			path, data = filepath.Join(dir, dp.Name+dpFileExt), []byte(dp.Source)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
 			return fmt.Errorf("elastic: saving %s: %w", dp.Name, err)
 		}
 	}
@@ -57,15 +77,26 @@ func (p *Process) LoadRepository(dir, owner string) (int, error) {
 	}
 	var prepared []*DP
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), dpFileExt) {
+		if e.IsDir() {
 			continue
 		}
-		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		isSrc := strings.HasSuffix(e.Name(), dpFileExt)
+		isProg := strings.HasSuffix(e.Name(), dpcFileExt)
+		if !isSrc && !isProg {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
 			return 0, fmt.Errorf("elastic: reading %s: %w", e.Name(), err)
 		}
-		name := strings.TrimSuffix(e.Name(), dpFileExt)
-		dp, err := p.prepare(owner, name, "dpl", string(src))
+		var dp *DP
+		if isProg {
+			name := strings.TrimSuffix(e.Name(), dpcFileExt)
+			dp, err = p.prepareCompiled(owner, name, data)
+		} else {
+			name := strings.TrimSuffix(e.Name(), dpFileExt)
+			dp, err = p.prepare(owner, name, "dpl", string(data))
+		}
 		if err != nil {
 			return 0, fmt.Errorf("elastic: loading %s: %w", e.Name(), err)
 		}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mbd/internal/dpl"
+	"mbd/internal/dpl/analysis"
 	"mbd/internal/obs"
 )
 
@@ -97,6 +98,10 @@ type Config struct {
 	// instruction cost exceeds it; any nonzero ceiling also rejects
 	// programs with unbounded cost. 0 disables the ceiling.
 	CostCeiling uint64
+	// ProgramCacheSize bounds the content-addressed compiled-program
+	// cache (keyed by sha256(source) and compiler generation). 0 means
+	// the default of 256 entries; negative disables caching.
+	ProgramCacheSize int
 	// RestartBackoffBase is the first supervised-restart delay
 	// (default 100ms); successive consecutive failures double it.
 	RestartBackoffBase time.Duration
@@ -130,6 +135,7 @@ type Process struct {
 	repo       *Repository
 	translator *Translator
 	bindings   *dpl.Bindings
+	progCache  *progCache
 
 	mu      sync.Mutex
 	dpis    map[string]*DPI
@@ -180,6 +186,9 @@ type processMetrics struct {
 	restarts      *obs.Counter
 	watchdogKills *obs.Counter
 	crashLoops    *obs.Counter
+	// Verified-bytecode tier counters (see bytecode.go).
+	sourceAnalyses *obs.Counter
+	verifications  *obs.Counter
 	// events indexes per-kind emit counters by EventKind.
 	events [EventExit + 1]*obs.Counter
 }
@@ -198,6 +207,8 @@ func newProcessMetrics(reg *obs.Registry, emitted *atomic.Uint64) processMetrics
 		restarts:       reg.Counter("elastic_dpi_restarts_total", "supervised DPI restarts performed"),
 		watchdogKills:  reg.Counter("elastic_watchdog_kills_total", "DPIs killed for blowing a deadline or stalling"),
 		crashLoops:     reg.Counter("elastic_crash_loops_total", "supervised lineages abandoned at the restart cap"),
+		sourceAnalyses: reg.Counter("elastic_source_analyses_total", "full source-level translations (parse+compile+optimize+analyze)"),
+		verifications:  reg.Counter("elastic_bytecode_verifications_total", "compiled artifacts verified at admission"),
 	}
 	reg.FuncCounter("elastic_events_emitted_total", "events fanned out to subscribers", emitted.Load)
 	for k := EventReport; k <= EventExit; k++ {
@@ -267,6 +278,7 @@ func NewProcess(cfg Config) *Process {
 		p.reg = obs.NewRegistry()
 	}
 	p.met = newProcessMetrics(p.reg, &p.eventsEmitted)
+	p.progCache = newProgCache(cfg.ProgramCacheSize, p.reg)
 	p.bindings = cfg.Bindings.Clone()
 	p.registerInstanceServices()
 	p.translator = NewTranslator(p.bindings)
@@ -388,21 +400,14 @@ func (p *Process) Delegate(principal, name, lang, source string) error {
 // stay atomic across multi-file loads.
 func (p *Process) prepare(principal, name, lang, source string) (*DP, error) {
 	start := p.clock.Now()
-	obj, rep, err := p.translator.TranslateAnalyzed(lang, source)
+	ent, err := p.translateCached(lang, source)
 	if err == nil {
-		err = p.admit(principal, rep)
+		// Admission is always per principal; only the translation and
+		// analysis results are shared through the cache.
+		err = p.admit(principal, ent.rep)
 	}
 	if err != nil {
-		p.met.rejections.Inc()
-		var rej *RejectError
-		if errors.As(err, &rej) {
-			for _, d := range rej.Diags {
-				p.reg.LabeledCounter("elastic_rejections_by_code_total",
-					"delegations rejected at admission, by diagnostic code",
-					"code", d.Code).Inc()
-			}
-		}
-		p.tracer.Record(name, obs.StageReject, err.Error(), p.clock.Now()-start)
+		p.rejected(name, err, p.clock.Now()-start)
 		return nil, err
 	}
 	return &DP{
@@ -410,13 +415,75 @@ func (p *Process) prepare(principal, name, lang, source string) (*DP, error) {
 		Owner:      principal,
 		Lang:       lang,
 		Source:     source,
-		Object:     obj,
+		Object:     ent.obj,
+		Program:    ent.prog,
 		StoredAt:   p.clock.Now(),
-		Effects:    rep.Effects,
-		Cost:       rep.Cost,
-		StepBudget: rep.SuggestedBudget(p.cfg.MaxStepsPerDPI),
+		Effects:    ent.rep.Effects,
+		Cost:       ent.rep.Cost,
+		StepBudget: ent.rep.SuggestedBudget(p.cfg.MaxStepsPerDPI),
 		analysisNS: p.clock.Now() - start,
 	}, nil
+}
+
+// rejected accounts one admission failure (metrics, per-code labels,
+// trace span).
+func (p *Process) rejected(name string, err error, elapsed time.Duration) {
+	p.met.rejections.Inc()
+	var rej *RejectError
+	if errors.As(err, &rej) {
+		for _, d := range rej.Diags {
+			p.reg.LabeledCounter("elastic_rejections_by_code_total",
+				"delegations rejected at admission, by diagnostic code",
+				"code", d.Code).Inc()
+		}
+	}
+	p.tracer.Record(name, obs.StageReject, err.Error(), elapsed)
+}
+
+// translateCached resolves source through the content-addressed
+// program cache, running the full source pipeline only on a miss.
+func (p *Process) translateCached(lang, source string) (progEntry, error) {
+	key := progKey{hash: dpl.HashSource(source), version: dpl.CompilerVersion}
+	cacheable := lang == "dpl" && p.progCache != nil
+	if cacheable {
+		if ent, ok := p.progCache.get(key); ok {
+			return ent, nil
+		}
+	}
+	obj, rep, err := p.translator.TranslateAnalyzed(lang, source)
+	if err != nil {
+		return progEntry{}, err
+	}
+	p.met.sourceAnalyses.Inc()
+	ent := progEntry{
+		obj: obj,
+		rep: rep,
+		prog: &dpl.CompiledProgram{
+			Version:    dpl.CompilerVersion,
+			SourceHash: key.hash,
+			Verdict:    verdictFromReport(rep),
+			Object:     obj,
+		},
+	}
+	if cacheable {
+		p.progCache.put(key, ent)
+	}
+	return ent, nil
+}
+
+// verdictFromReport converts an analysis report into the shippable
+// verdict attached to a CompiledProgram. The step budget is the
+// analysis-derived one, unclamped: each receiving hop applies its own
+// quota at admission.
+func verdictFromReport(rep *analysis.Report) dpl.Verdict {
+	return dpl.Verdict{
+		Hosts:         rep.Effects.HostNames(),
+		Reads:         rep.Effects.ReadPrefixes(),
+		Writes:        rep.Effects.WritePrefixes(),
+		CostSteps:     rep.Cost.Steps,
+		CostUnbounded: rep.Cost.Unbounded,
+		StepBudget:    rep.SuggestedBudget(0),
+	}
 }
 
 // commit stores a prepared program and accounts the delegation.

@@ -30,6 +30,12 @@ type DP struct {
 	// (already clamped to the server quota); 0 means unlimited.
 	StepBudget uint64
 
+	// Program is the shippable verified-bytecode artifact: object code
+	// plus the analysis verdict, content-addressed by source hash. The
+	// federation layer forwards it so downstream hops verify instead of
+	// re-compiling. Nil only for DPs stored before this tier existed.
+	Program *dpl.CompiledProgram
+
 	// analysisNS is the translation+admission latency, kept for the
 	// delegate trace span.
 	analysisNS time.Duration
@@ -130,5 +136,10 @@ func (t *Translator) TranslateAnalyzed(lang, source string) (*dpl.Compiled, *ana
 	if err != nil {
 		return nil, nil, err
 	}
-	return obj, analysis.Analyze(prog, t.bindings), nil
+	rep := analysis.Analyze(prog, t.bindings)
+	// Analysis reads the AST, so optimizing afterwards cannot change
+	// the verdict; the verifier's effect recovery is defined to agree
+	// with the analyzer across optimizer rewrites.
+	dpl.Optimize(obj)
+	return obj, rep, nil
 }

@@ -159,6 +159,7 @@ type nodeMetrics struct {
 	suspects       *obs.Counter
 	deaths         *obs.Counter
 	applyDrops     *obs.Counter
+	bytecodeShips  *obs.Counter
 }
 
 // Node is one server's seat in the federation: the root of domain
@@ -243,6 +244,7 @@ func New(cfg Config) (*Node, error) {
 		suspects:       reg.Counter("federation_member_suspects_total", "members marked suspect by the failure detector"),
 		deaths:         reg.Counter("federation_member_deaths_total", "members declared dead by the failure detector"),
 		applyDrops:     reg.Counter("federation_apply_drops_total", "local reports dropped on apply-queue overflow"),
+		bytecodeShips:  reg.Counter("federation_bytecode_ships_total", "cascaded delegations forwarded as verified bytecode instead of source"),
 	}
 	reg.FuncGauge("federation_members_alive", "members currently alive", n.stateGauge(MemberAlive))
 	reg.FuncGauge("federation_members_suspect", "members currently suspect", n.stateGauge(MemberSuspect))
@@ -505,6 +507,21 @@ func (n *Node) Fanout(ctx context.Context, principal, dp, lang, source, entry st
 	res := &rds.FanoutResult{DP: dp}
 	res.Outcomes = append(res.Outcomes, n.localHop(principal, dp, lang, source, entry, args))
 
+	// Cascade verified bytecode whenever it is available: a compiled
+	// artifact is forwarded verbatim, and a source delegation that this
+	// hop just analyzed ships its compiled artifact instead of making
+	// every descendant repeat the source-level analysis. Children then
+	// admit through the bytecode verifier alone.
+	shipLang, shipPayload := lang, source
+	if lang != rds.LangCompiled {
+		if rec, ok := n.cfg.Proc.Repository().Lookup(dp); ok &&
+			rec.Program != nil && rec.Program.SourceHash == dpl.HashSource(source) {
+			if blob, err := rec.Program.Encode(); err == nil {
+				shipLang, shipPayload = rds.LangCompiled, string(blob)
+			}
+		}
+	}
+
 	type target struct{ name, domain, addr string }
 	var targets []target
 	n.mu.Lock()
@@ -522,7 +539,7 @@ func (n *Node) Fanout(ctx context.Context, principal, dp, lang, source, entry st
 		wg.Add(1)
 		go func(i int, t target) {
 			defer wg.Done()
-			outs[i] = n.cascade(ctx, t.name, t.domain, t.addr, principal, dp, source, entry, args)
+			outs[i] = n.cascade(ctx, t.name, t.domain, t.addr, dp, shipLang, shipPayload, entry, args)
 		}(i, t)
 	}
 	wg.Wait()
@@ -542,10 +559,18 @@ func (n *Node) Fanout(ctx context.Context, principal, dp, lang, source, entry st
 	return res
 }
 
-// localHop runs the delegation against this node's own elastic process.
+// localHop runs the delegation against this node's own elastic process:
+// the source translator for source delegations, the bytecode verifier
+// for compiled artifacts.
 func (n *Node) localHop(principal, dp, lang, source, entry string, args []string) rds.FanoutOutcome {
 	out := rds.FanoutOutcome{Member: n.cfg.Name, Domain: n.cfg.Domain, Addr: "local"}
-	if err := n.cfg.Proc.Delegate(principal, dp, lang, source); err != nil {
+	var err error
+	if lang == rds.LangCompiled {
+		err = n.cfg.Proc.DelegateCompiled(principal, dp, []byte(source))
+	} else {
+		err = n.cfg.Proc.Delegate(principal, dp, lang, source)
+	}
+	if err != nil {
 		out.Err = err.Error()
 		return out
 	}
@@ -567,7 +592,7 @@ func (n *Node) localHop(principal, dp, lang, source, entry string, args []string
 
 // cascade forwards the delegation to one member's subtree and returns
 // its outcomes (a single transport-failure outcome when unreachable).
-func (n *Node) cascade(ctx context.Context, name, domain, addr, principal, dp, source, entry string, args []string) []rds.FanoutOutcome {
+func (n *Node) cascade(ctx context.Context, name, domain, addr, dp, lang, payload, entry string, args []string) []rds.FanoutOutcome {
 	fail := func(err error) []rds.FanoutOutcome {
 		return []rds.FanoutOutcome{{
 			Member: name, Domain: domain, Addr: addr,
@@ -582,7 +607,13 @@ func (n *Node) cascade(ctx context.Context, name, domain, addr, principal, dp, s
 		return fail(err)
 	}
 	defer client.Close()
-	sub, err := client.PeerDelegate(ctx, dp, source, entry, args...)
+	var sub *rds.FanoutResult
+	if lang == rds.LangCompiled {
+		n.met.bytecodeShips.Inc()
+		sub, err = client.PeerDelegateCompiled(ctx, dp, []byte(payload), entry, args...)
+	} else {
+		sub, err = client.PeerDelegate(ctx, dp, payload, entry, args...)
+	}
 	if err != nil {
 		return fail(err)
 	}

@@ -515,6 +515,14 @@ func (c *Client) Delegate(ctx context.Context, name, source string) error {
 	return err
 }
 
+// DelegateCompiled transfers a verified-bytecode artifact (an encoded
+// dpl.CompiledProgram) to the server under name. The server admits it
+// through the bytecode verifier instead of the source translator.
+func (c *Client) DelegateCompiled(ctx context.Context, name string, program []byte) error {
+	_, err := c.roundTrip(ctx, &Message{Op: OpDelegate, Name: name, Lang: LangCompiled, Payload: program})
+	return err
+}
+
 // Instantiate starts an instance of dp calling entry(args...) and
 // returns the new DPI id. Arguments are wire strings; see ParseArg for
 // their interpretation server-side.

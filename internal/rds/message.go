@@ -144,6 +144,12 @@ type InfoRec struct {
 	Err    string
 }
 
+// LangCompiled marks a delegation whose Payload is an encoded
+// dpl.CompiledProgram (verified bytecode) rather than source text. It
+// mirrors elastic.LangCompiled without importing the package into
+// every client.
+const LangCompiled = "dplc"
+
 // Message is one RDS protocol message. Field use depends on Op (see the
 // Op constants). Digest carries the MD5 authenticator and is excluded
 // from its own computation.

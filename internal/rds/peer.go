@@ -197,6 +197,20 @@ func (c *Client) PeerDelegate(ctx context.Context, dp, source, entry string, arg
 	return DecodeFanoutResult(m.Payload)
 }
 
+// PeerDelegateCompiled cascades a verified-bytecode artifact through
+// the server's domain tree: each hop verifies the object code instead
+// of re-running source analysis.
+func (c *Client) PeerDelegateCompiled(ctx context.Context, dp string, program []byte, entry string, args ...string) (*FanoutResult, error) {
+	m, err := c.roundTrip(ctx, &Message{
+		Op: OpPeerDelegate, Name: dp, Lang: LangCompiled,
+		Payload: program, Entry: entry, Args: args,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return DecodeFanoutResult(m.Payload)
+}
+
 // DomainStatus fetches the server's federation status document (JSON).
 // DomainStatus is idempotent: under WithReconnect it retries across
 // outages.

@@ -499,7 +499,12 @@ const fanoutTimeout = 60 * time.Second
 func (s *Server) dispatch(ctx context.Context, req *Message) *Message {
 	switch req.Op {
 	case OpDelegate:
-		err := s.proc.Delegate(req.Principal, req.Name, req.Lang, string(req.Payload))
+		var err error
+		if req.Lang == LangCompiled {
+			err = s.proc.DelegateCompiled(req.Principal, req.Name, req.Payload)
+		} else {
+			err = s.proc.Delegate(req.Principal, req.Name, req.Lang, string(req.Payload))
+		}
 		return reply(req, nil, err)
 	case OpInstantiate:
 		args := make([]dpl.Value, len(req.Args))
