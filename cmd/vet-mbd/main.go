@@ -16,6 +16,16 @@
 //     formatting allocates on every executed instruction; errors there
 //     use fmt.Errorf on exit paths or preformatted strings.
 //
+//  3. Functions whose doc comment carries an "mbd:hotloop" marker (the
+//     VM dispatch loop) must not contain closure literals or syntactic
+//     heap allocations — make/new/append calls and composite literals.
+//     A closure would force every captured variable to the heap and
+//     defeat the register-like locals of the dispatch loop; an
+//     allocation per dispatched instruction destroys the steady-state
+//     0 allocs/op property the benchmarks gate on. Intentional
+//     amortized or program-driven allocations are exempted by an
+//     "mbd:alloc-ok" comment on the same line.
+//
 // Usage: vet-mbd [dir ...] (default "."). It walks each directory,
 // skipping testdata, vendor and hidden directories and _test.go files,
 // and prints findings as path:line:col: message. Exit status: 0 clean,
@@ -92,7 +102,7 @@ func vet(dirs []string) ([]finding, error) {
 			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 				return nil
 			}
-			f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
 			if err != nil {
 				return err
 			}
@@ -108,6 +118,7 @@ func vet(dirs []string) ([]finding, error) {
 	regs := map[string][]regSite{} // metric name -> registration sites
 	for _, f := range files {
 		hot := isHotFile(fset.Position(f.Pos()).Filename)
+		out = append(out, checkHotLoops(fset, f)...)
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -182,6 +193,69 @@ func vet(dirs []string) ([]finding, error) {
 		return a.Column < b.Column
 	})
 	return out, nil
+}
+
+// allocBuiltins are the builtin calls that always heap-allocate (or, for
+// append, may) when they appear in a dispatch loop.
+var allocBuiltins = map[string]bool{"make": true, "new": true, "append": true}
+
+// checkHotLoops enforces rule 3: no closure literals and no syntactic
+// allocations inside functions whose doc comment carries mbd:hotloop,
+// except on lines annotated mbd:alloc-ok.
+func checkHotLoops(fset *token.FileSet, f *ast.File) []finding {
+	allocOK := map[int]bool{} // source lines carrying an mbd:alloc-ok comment
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "mbd:alloc-ok") {
+				allocOK[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	var out []finding
+	flag := func(n ast.Node, fn *ast.FuncDecl, what string) {
+		pos := fset.Position(n.Pos())
+		if allocOK[pos.Line] {
+			return
+		}
+		out = append(out, finding{
+			pos: pos,
+			msg: fmt.Sprintf("%s in mbd:hotloop function %s (annotate the line mbd:alloc-ok only if the allocation is amortized or program-driven)", what, fn.Name.Name),
+		})
+	}
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Doc == nil || fn.Body == nil || !hasHotLoopMarker(fn.Doc.Text()) {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				flag(x, fn, "closure literal (captures escape to the heap)")
+				return false // interior allocations are the closure's problem
+			case *ast.CompositeLit:
+				flag(x, fn, "composite literal allocation")
+			case *ast.CallExpr:
+				if id, ok := x.Fun.(*ast.Ident); ok && allocBuiltins[id.Name] {
+					flag(x, fn, fmt.Sprintf("%s call", id.Name))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// hasHotLoopMarker reports whether a doc comment opts the function into
+// rule 3. The marker must start a line of the comment, so prose that
+// merely mentions the marker name (this checker's own documentation)
+// does not opt in.
+func hasHotLoopMarker(doc string) bool {
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "mbd:hotloop") {
+			return true
+		}
+	}
+	return false
 }
 
 // isHotFile reports whether path is one of the Sprintf-banned

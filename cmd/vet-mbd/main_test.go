@@ -129,3 +129,55 @@ func TestVetRepoIsClean(t *testing.T) {
 		t.Fatalf("repository violates its own vet rules:\n%s", messagesOf(findings))
 	}
 }
+
+// TestVetHotLoopRule pins rule 3: allocations and closures inside an
+// mbd:hotloop-marked function are findings, mbd:alloc-ok lines and
+// unmarked functions are not, and the marker only counts when it starts
+// a line of the doc comment.
+func TestVetHotLoopRule(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a/hot.go": `package a
+
+// dispatch is the hot loop.
+//
+// mbd:hotloop — no allocations here.
+func dispatch() {
+	s := make([]int, 4)
+	s = append(s, 1)
+	p := new(int)
+	v := struct{ x int }{x: *p}
+	f := func() int { return v.x + make([]int, 1)[0] }
+	ok := make([]int, 8) //mbd:alloc-ok — amortized growth
+	_, _, _ = s, f, ok
+}
+
+// cold merely mentions mbd:hotloop in prose, so it is not opted in.
+func cold() { _ = make([]int, 4) }
+`,
+	})
+	findings, err := vet([]string{root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := messagesOf(findings)
+	for _, want := range []string{
+		"make call",
+		"append call",
+		"new call",
+		"composite literal allocation",
+		"closure literal",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("findings missing %q:\n%s", want, got)
+		}
+	}
+	// make, append, new, composite literal, closure — the closure's
+	// interior make is the closure's problem, and the alloc-ok line and
+	// the unmarked function are exempt.
+	if len(findings) != 5 {
+		t.Errorf("got %d findings, want exactly 5:\n%s", len(findings), got)
+	}
+	if strings.Contains(got, "cold") {
+		t.Errorf("false positive in unmarked function:\n%s", got)
+	}
+}

@@ -231,6 +231,75 @@ func (a *assembler) parseInstr(line string) (Instr, error) {
 		}
 		in.A = n
 		return in, nil
+	case OpLoadLConstBin, OpLoadLLoadLBin:
+		// "<local> <op> <const-or-local>" — the constant is last
+		// because its rendering may contain spaces.
+		parts := strings.SplitN(operand, " ", 3)
+		if len(parts) != 3 {
+			return Instr{}, fmt.Errorf("malformed %s operand %q", mn, operand)
+		}
+		local, err := strconv.Atoi(parts[0])
+		if err != nil || local < 0 {
+			return Instr{}, fmt.Errorf("malformed %s local in %q", mn, operand)
+		}
+		k, ok := asmBinOps[parts[1]]
+		if !ok {
+			return Instr{}, fmt.Errorf("unknown operator %q", parts[1])
+		}
+		in.A = local
+		if op == OpLoadLLoadLBin {
+			l2, err := strconv.Atoi(parts[2])
+			if err != nil || l2 < 0 {
+				return Instr{}, fmt.Errorf("malformed %s local in %q", mn, operand)
+			}
+			in.B = PackIdxOp(l2, k)
+			return in, nil
+		}
+		v, err := parseConstOperand(strings.TrimSpace(parts[2]))
+		if err != nil {
+			return Instr{}, err
+		}
+		in.B = PackIdxOp(a.constant(v), k)
+		return in, nil
+	case OpBinJumpFalse:
+		parts := strings.SplitN(operand, " ", 2)
+		if len(parts) != 2 {
+			return Instr{}, fmt.Errorf("malformed %s operand %q", mn, operand)
+		}
+		k, ok := asmBinOps[parts[0]]
+		if !ok {
+			return Instr{}, fmt.Errorf("unknown operator %q", parts[0])
+		}
+		t, ok := strings.CutPrefix(parts[1], "->")
+		if !ok {
+			return Instr{}, fmt.Errorf("malformed jump target %q", parts[1])
+		}
+		n, err := strconv.Atoi(t)
+		if err != nil {
+			return Instr{}, fmt.Errorf("malformed jump target %q", parts[1])
+		}
+		in.A = n
+		in.B = int(k)
+		return in, nil
+	case OpConstStoreL, OpIncL, OpDecL:
+		parts := strings.SplitN(operand, " ", 2)
+		if len(parts) != 2 {
+			return Instr{}, fmt.Errorf("malformed %s operand %q", mn, operand)
+		}
+		local, err := strconv.Atoi(parts[0])
+		if err != nil || local < 0 {
+			return Instr{}, fmt.Errorf("malformed %s local in %q", mn, operand)
+		}
+		v, err := parseConstOperand(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return Instr{}, err
+		}
+		if op == OpConstStoreL {
+			in.A, in.B = a.constant(v), local
+		} else {
+			in.A, in.B = local, a.constant(v)
+		}
+		return in, nil
 	default:
 		return Instr{}, fmt.Errorf("unassemblable opcode %s", mn)
 	}

@@ -12,11 +12,21 @@ import (
 // arbitrary external or internal functions" — is enforced by requiring
 // every non-local call in a DP to resolve in a Bindings table at
 // translation time.
+//
+// Non-retention contract: env and args are only valid for the duration
+// of the call. The VM passes args as a window into its live value stack
+// and reuses one Env per VM across all host calls, so a HostFunc that
+// needs either beyond its return must copy (the args slice is capped,
+// so appending to it is safe but still allocates a copy). Values read
+// out of args may be retained freely — only the slice and the Env are
+// recycled.
 type HostFunc func(env *Env, args []Value) (Value, error)
 
 // Env is the per-instance execution environment handed to host
 // functions: it carries the executing VM (for context, instance
-// identity and accounting) and is supplied by the elastic runtime.
+// identity and accounting) and is supplied by the elastic runtime. One
+// Env per VM is reused across calls — see the HostFunc non-retention
+// contract.
 type Env struct {
 	// VM is the executing virtual machine, never nil during a call.
 	VM *VM

@@ -38,7 +38,38 @@ const (
 	OpSetIndex                // pop3[pop2] = pop1
 	OpArray                   // build array from A stack values
 	OpMap                     // build map from A key/value pairs
+
+	// Superinstructions: fused forms of the dominant pairs and triples,
+	// emitted only by the generation-3 fusion pass (see
+	// fuseSuperinstructions in optimize.go). They are appended after the
+	// generation-1 set so every older opcode keeps its wire value.
+	// Operands that carry both a pool/local index and a binary operator
+	// pack them as index<<8|op (see PackIdxOp).
+	OpLoadLConstBin // push locals[A] <op> Consts[idx]; B = PackIdxOp(idx, op)
+	OpLoadLLoadLBin // push locals[A] <op> locals[idx]; B = PackIdxOp(idx, op)
+	OpBinJumpFalse  // v = pop2 <op> pop1; if !truthy(v) → ip = A; B = op
+	OpConstStoreL   // locals[B] = Consts[A]
+	OpIncL          // locals[A] = locals[A] + Consts[B]
+	OpDecL          // locals[A] = locals[A] - Consts[B]
 )
+
+// OpcodeVersion reports the compiler generation that introduced op.
+// Receivers use it to refuse artifacts whose claimed Version predates
+// opcodes they contain (a version-skew lie; see verify.Verify).
+func OpcodeVersion(op Opcode) int {
+	if op >= OpLoadLConstBin && op <= OpDecL {
+		return 3
+	}
+	return 1
+}
+
+// PackIdxOp packs a constant-pool or local index together with a binary
+// operator into one superinstruction operand. TokenKind fits in eight
+// bits, so the index occupies the rest of the int.
+func PackIdxOp(idx int, op TokenKind) int { return idx<<8 | int(op) }
+
+// UnpackIdxOp reverses PackIdxOp.
+func UnpackIdxOp(v int) (idx int, op TokenKind) { return v >> 8, TokenKind(v & 0xff) }
 
 // Instr is one VM instruction.
 type Instr struct {
@@ -52,6 +83,13 @@ type CompiledFunc struct {
 	NumParams int
 	NumLocals int
 	Code      []Instr
+
+	// maxStack is the function's operand-stack high-water mark, proved
+	// by the structural verifier (checkBlock) and populated by
+	// VerifyStructure. The flat-frame VM sizes activation frames as
+	// NumLocals+maxStack, so it is only meaningful after EnsureStructure
+	// has succeeded — exactly the precondition for running the code.
+	maxStack int
 }
 
 // Compiled is an executable delegated program: the "object code" the
@@ -74,6 +112,24 @@ type Compiled struct {
 	vmu   sync.Mutex
 	vdone bool
 	verr  error
+	// initFn wraps InitCode as a synthetic function so the VM reuses
+	// one frame descriptor (with its verified stack bound) instead of
+	// building a fresh CompiledFunc per run. initMaxStack is recorded
+	// by VerifyStructure alongside the per-function bounds.
+	initFn       *CompiledFunc
+	initMaxStack int
+}
+
+// initFunc returns the cached synthetic function wrapping InitCode, or
+// nil when the program has no global initializers. Callers must have
+// run EnsureStructure first: the frame size comes from the verifier.
+func (c *Compiled) initFunc() *CompiledFunc {
+	c.vmu.Lock()
+	defer c.vmu.Unlock()
+	if c.initFn == nil && len(c.InitCode) > 0 {
+		c.initFn = &CompiledFunc{Name: "<init>", Code: c.InitCode, maxStack: c.initMaxStack}
+	}
+	return c.initFn
 }
 
 // Compile translates a checked program to bytecode. It runs Check first

@@ -14,6 +14,8 @@ var opNames = map[Opcode]string{
 	OpJTKeep: "JTK", OpCall: "CALL", OpCallHost: "CALLH", OpReturn: "RET",
 	OpReturnNil: "RETNIL", OpIndex: "INDEX", OpSetIndex: "SETIDX",
 	OpArray: "ARRAY", OpMap: "MAP",
+	OpLoadLConstBin: "LLCB", OpLoadLLoadLBin: "LLLB", OpBinJumpFalse: "BJF",
+	OpConstStoreL: "KSTL", OpIncL: "INCL", OpDecL: "DECL",
 }
 
 // String returns the opcode mnemonic.
@@ -86,8 +88,32 @@ func FormatInstr(c *Compiled, in Instr) string {
 		}
 	case OpLoadL, OpStoreL, OpArray, OpMap:
 		fmt.Fprintf(&b, " %d", in.A)
+	case OpLoadLConstBin:
+		// "LLCB <local> <op> <const>" — the constant rendering may
+		// contain spaces (quoted strings), so it always comes last.
+		idx, op := UnpackIdxOp(in.B)
+		fmt.Fprintf(&b, " %d %s %s", in.A, op, formatConstRef(c, idx))
+	case OpLoadLLoadLBin:
+		idx, op := UnpackIdxOp(in.B)
+		fmt.Fprintf(&b, " %d %s %d", in.A, op, idx)
+	case OpBinJumpFalse:
+		fmt.Fprintf(&b, " %s ->%d", TokenKind(in.B), in.A)
+	case OpConstStoreL:
+		fmt.Fprintf(&b, " %d %s", in.B, formatConstRef(c, in.A))
+	case OpIncL, OpDecL:
+		fmt.Fprintf(&b, " %d %s", in.A, formatConstRef(c, in.B))
 	}
 	return strings.TrimRight(b.String(), " ")
+}
+
+// formatConstRef renders a constant-pool reference, falling back to the
+// raw index for out-of-range operands (FormatInstr appears in verifier
+// diagnostics, which cite invalid code).
+func formatConstRef(c *Compiled, idx int) string {
+	if idx >= 0 && idx < len(c.Consts) {
+		return formatConst(c.Consts[idx])
+	}
+	return fmt.Sprintf("#%d", idx)
 }
 
 // formatConst renders a constant-pool value so the listing is

@@ -10,11 +10,20 @@ package dpl
 // zero, type mismatches), so errors still happen at run time exactly
 // where the unoptimized program raised them.
 //
-// CompilerVersion stamps compiled artifacts (see program.go). Receivers
-// refuse bytecode from a different compiler generation, so the constant
-// must be bumped whenever the instruction encoding or the optimizer's
-// observable output changes shape.
-const CompilerVersion = 2
+// CompilerVersion stamps compiled artifacts (see program.go). It must
+// be bumped whenever the instruction encoding or the optimizer's
+// observable output changes shape. Generation 3 added the
+// superinstruction set (OpLoadLConstBin..OpDecL).
+const CompilerVersion = 3
+
+// MinCompilerVersion is the oldest artifact generation receivers still
+// accept. Generation-2 bytecode uses a strict subset of the current
+// instruction set, so it loads, verifies and runs unchanged; anything
+// older predates the CompiledProgram wire format entirely. verify.Verify
+// enforces the [MinCompilerVersion, CompilerVersion] window and
+// additionally refuses artifacts whose claimed version predates opcodes
+// they contain (see OpcodeVersion).
+const MinCompilerVersion = 2
 
 // OptStats counts the rewrites one Optimize call performed.
 type OptStats struct {
@@ -28,10 +37,15 @@ type OptStats struct {
 	DeadCode int
 	// DeadStores counts stores to never-read locals turned into pops.
 	DeadStores int
+	// Fused counts instruction pairs/triples collapsed into
+	// superinstructions.
+	Fused int
 }
 
 // Total returns the number of individual rewrites.
-func (s OptStats) Total() int { return s.Folded + s.Propagated + s.DeadCode + s.DeadStores }
+func (s OptStats) Total() int {
+	return s.Folded + s.Propagated + s.DeadCode + s.DeadStores + s.Fused
+}
 
 // maxOptRounds bounds the fold/propagate/eliminate fixpoint loop. Each
 // productive round strictly shrinks or simplifies the code, so the bound
@@ -54,9 +68,11 @@ func Optimize(c *Compiled) OptStats {
 	return st
 }
 
-// optimizeCode runs the pass pipeline over one code block to fixpoint.
-// fn is nil for the init block (which has no locals and whose global
-// stores must survive: globals are observable after the run).
+// optimizeCode runs the pass pipeline over one code block to fixpoint,
+// then fuses superinstructions as the final step (fused opcodes are
+// opaque to the scalar passes, so fusing last loses nothing). fn is nil
+// for the init block (which has no locals and whose global stores must
+// survive: globals are observable after the run).
 func optimizeCode(c *Compiled, pool *constPool, code []Instr, nLocals int, fn *CompiledFunc, st *OptStats) []Instr {
 	for round := 0; round < maxOptRounds; round++ {
 		changed := false
@@ -74,9 +90,10 @@ func optimizeCode(c *Compiled, pool *constPool, code []Instr, nLocals int, fn *C
 			changed = true
 		}
 		if !changed {
-			return code
+			break
 		}
 	}
+	code, _ = fuseSuperinstructions(code, nLocals, st)
 	return code
 }
 
@@ -141,7 +158,8 @@ func constOf(c *Compiled, in Instr) (Value, bool) {
 
 // isJump reports whether op transfers control via its A operand.
 func isJump(op Opcode) bool {
-	return op == OpJump || op == OpJumpFalse || op == OpJFKeep || op == OpJTKeep
+	return op == OpJump || op == OpJumpFalse || op == OpJFKeep || op == OpJTKeep ||
+		op == OpBinJumpFalse
 }
 
 // jumpTargets returns a bitmap (indexed 0..len(code)) of instruction
@@ -195,8 +213,10 @@ func foldCode(c *Compiled, pool *constPool, code []Instr, st *OptStats) ([]Instr
 			continue
 		}
 		// A branch to the next instruction is a no-op (modulo the pop
-		// OpJumpFalse performs either way).
-		if in := code[i]; isJump(in.Op) && in.A == i+1 {
+		// OpJumpFalse performs either way). OpBinJumpFalse is exempt:
+		// its binary operation runs — and may fault — whether or not
+		// the branch is taken.
+		if in := code[i]; isJump(in.Op) && in.Op != OpBinJumpFalse && in.A == i+1 {
 			if in.Op == OpJumpFalse {
 				code[i] = Instr{Op: OpPop}
 			} else {
@@ -319,7 +339,7 @@ func dropUnreachable(code []Instr, st *OptStats) ([]Instr, bool) {
 			case OpJump:
 				ip = in.A
 				continue
-			case OpJumpFalse, OpJFKeep, OpJTKeep:
+			case OpJumpFalse, OpJFKeep, OpJTKeep, OpBinJumpFalse:
 				if in.A >= 0 && in.A < len(code) && !seen[in.A] {
 					work = append(work, in.A)
 				}
@@ -352,9 +372,19 @@ func dropDeadStores(code []Instr, nLocals int, st *OptStats) bool {
 		return false
 	}
 	loaded := make([]bool, nLocals)
+	mark := func(i int) {
+		if i >= 0 && i < nLocals {
+			loaded[i] = true
+		}
+	}
 	for _, in := range code {
-		if in.Op == OpLoadL && in.A >= 0 && in.A < nLocals {
-			loaded[in.A] = true
+		switch in.Op {
+		case OpLoadL, OpLoadLConstBin, OpIncL, OpDecL:
+			mark(in.A)
+		case OpLoadLLoadLBin:
+			mark(in.A)
+			idx, _ := UnpackIdxOp(in.B)
+			mark(idx)
 		}
 	}
 	changed := false
@@ -481,4 +511,101 @@ func propagateConsts(c *Compiled, pool *constPool, code []Instr, nLocals int, st
 		}
 	}
 	return changed
+}
+
+// fusePatterns documents the superinstruction set for the curious
+// reader of listings; the authoritative matcher is below.
+//
+//	LOADL a; CONST k; BIN ±; STOREL a  →  INCL/DECL a, k
+//	LOADL a; CONST k; BIN op           →  LLCB a, k, op
+//	LOADL a; LOADL b; BIN op           →  LLLB a, b, op
+//	BIN op; JF t                       →  BJF op, t
+//	CONST k; STOREL l                  →  KSTL k, l
+//
+// fuseSuperinstructions rewrites those patterns in place (generation 3;
+// see CompilerVersion). It runs after the scalar passes reach fixpoint:
+// fused opcodes are opaque to propagation and folding, so fusing last
+// keeps the scalar passes maximally effective. Matching is longest-first
+// at each position, and a pattern's interior instructions must not be
+// jump targets — control entering mid-pattern would observe the
+// unfused intermediate stack. Only plain OpConst operands fuse (the
+// nil/true/false pushes have no pool index to pack).
+func fuseSuperinstructions(code []Instr, nLocals int, st *OptStats) ([]Instr, bool) {
+	tgt := jumpTargets(code)
+	dead := make([]bool, len(code))
+	changed := false
+	localOK := func(i int) bool { return i >= 0 && i < nLocals }
+	binOp := func(in Instr) (TokenKind, bool) {
+		if in.Op != OpBin {
+			return 0, false
+		}
+		op := TokenKind(in.A)
+		return op, binOps[op]
+	}
+	for i := 0; i < len(code); i++ {
+		if dead[i] {
+			continue
+		}
+		in := code[i]
+		// LOADL a; CONST k; BIN ±; STOREL a → INCL/DECL a, k
+		if in.Op == OpLoadL && localOK(in.A) && i+3 < len(code) &&
+			!tgt[i+1] && !tgt[i+2] && !tgt[i+3] &&
+			code[i+1].Op == OpConst && code[i+1].A >= 0 &&
+			code[i+3].Op == OpStoreL && code[i+3].A == in.A {
+			if op, ok := binOp(code[i+2]); ok && (op == TokPlus || op == TokMinus) {
+				fused := OpIncL
+				if op == TokMinus {
+					fused = OpDecL
+				}
+				code[i] = Instr{Op: fused, A: in.A, B: code[i+1].A}
+				dead[i+1], dead[i+2], dead[i+3] = true, true, true
+				st.Fused++
+				changed = true
+				i += 3
+				continue
+			}
+		}
+		// LOADL a; CONST k; BIN op → LLCB and LOADL a; LOADL b; BIN op → LLLB
+		if in.Op == OpLoadL && localOK(in.A) && i+2 < len(code) && !tgt[i+1] && !tgt[i+2] {
+			if op, ok := binOp(code[i+2]); ok {
+				switch mid := code[i+1]; {
+				case mid.Op == OpConst && mid.A >= 0:
+					code[i] = Instr{Op: OpLoadLConstBin, A: in.A, B: PackIdxOp(mid.A, op)}
+				case mid.Op == OpLoadL && localOK(mid.A):
+					code[i] = Instr{Op: OpLoadLLoadLBin, A: in.A, B: PackIdxOp(mid.A, op)}
+				default:
+					goto pair
+				}
+				dead[i+1], dead[i+2] = true, true
+				st.Fused++
+				changed = true
+				i += 2
+				continue
+			}
+		}
+	pair:
+		// BIN op; JF t → BJF op, t
+		if op, ok := binOp(in); ok && i+1 < len(code) && !tgt[i+1] && code[i+1].Op == OpJumpFalse {
+			code[i] = Instr{Op: OpBinJumpFalse, A: code[i+1].A, B: int(op)}
+			dead[i+1] = true
+			st.Fused++
+			changed = true
+			i++
+			continue
+		}
+		// CONST k; STOREL l → KSTL k, l
+		if in.Op == OpConst && in.A >= 0 && i+1 < len(code) && !tgt[i+1] &&
+			code[i+1].Op == OpStoreL && localOK(code[i+1].A) {
+			code[i] = Instr{Op: OpConstStoreL, A: in.A, B: code[i+1].A}
+			dead[i+1] = true
+			st.Fused++
+			changed = true
+			i++
+			continue
+		}
+	}
+	if !changed {
+		return code, false
+	}
+	return compact(code, dead), true
 }

@@ -207,3 +207,119 @@ func TestVerifyStructureAcceptsCompilerOutput(t *testing.T) {
 		}
 	}
 }
+
+// TestFuseSuperinstructions pins the generation-3 fusion rewrites: each
+// dominant pattern collapses to its fused opcode, the fused program
+// still verifies, runs to the same value, and survives the
+// disassemble/assemble round trip. The semantic property test above
+// covers fusion across random programs; this test pins which opcode
+// each shape becomes.
+func TestFuseSuperinstructions(t *testing.T) {
+	b := Std()
+	cases := []struct {
+		name string
+		src  string
+		op   Opcode // fused opcode that must appear in main
+		want Value
+	}{
+		{
+			"local-const arithmetic", `func main(n) { return n * 3 + n; }`,
+			OpLoadLConstBin, nil,
+		},
+		{
+			"local-local arithmetic", `func main(a, b) { return a - b; }`,
+			OpLoadLLoadLBin, nil,
+		},
+		{
+			// The comparison's left operand is itself fused (LLCB), so
+			// the trailing BIN '>' has no LoadL/Const prefix to join and
+			// pairs with the JF instead. A plain `n > 0` condition fuses
+			// into LLCB first — longest-match wins — and never leaves a
+			// bare BIN;JF.
+			"compare-and-branch",
+			`func main() { var n = len("abcdefghi"); while (n - 1 > 0) { n -= 2; } return n; }`,
+			OpBinJumpFalse, int64(1),
+		},
+		{
+			"increment",
+			`func main() { var i = 0; var acc = 0; while (i < 5) { i += 1; acc = i; } return acc; }`,
+			OpIncL, int64(5),
+		},
+		{
+			"decrement",
+			`func main() { var i = 6; while (i > 0) { i -= 2; } return i; }`,
+			OpDecL, int64(0),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := compileSrc(t, tc.src, b)
+			st := Optimize(c)
+			if st.Fused == 0 {
+				t.Fatalf("no fusions recorded (stats %+v):\n%s", st, Disassemble(c))
+			}
+			main := c.Funcs[c.FuncIdx["main"]]
+			found := false
+			for _, in := range main.Code {
+				if in.Op == tc.op {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no %s in main:\n%s", tc.op, Disassemble(c))
+			}
+			if faults := c.VerifyStructure(); len(faults) > 0 {
+				t.Fatalf("fused program fails verification: %v", faults[0])
+			}
+			if tc.want != nil {
+				got, err := NewVM(c, b).Run(context.Background(), "main")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !valueEqual(got, tc.want) {
+					t.Errorf("got %v, want %v", got, tc.want)
+				}
+			}
+			// The listing round trip must survive fused opcodes.
+			listing := Disassemble(c)
+			back, err := Assemble(listing)
+			if err != nil {
+				t.Fatalf("assemble fused listing: %v\n%s", err, listing)
+			}
+			if got := Disassemble(back); got != listing {
+				t.Errorf("round trip diverged:\n-- first --\n%s\n-- second --\n%s", listing, got)
+			}
+		})
+	}
+}
+
+// TestFusionSkipsJumpTargets: an instruction pattern whose interior is
+// a jump target must not fuse — the branch would land mid-pattern.
+func TestFusionSkipsJumpTargets(t *testing.T) {
+	b := Std()
+	// while-loop conditions jump back to the comparison head; the
+	// optimizer must still produce correct code (covered by the
+	// semantics test) and every fused jump target must land on an
+	// instruction boundary that exists.
+	src := `func main() {
+		var i = 0;
+		var acc = 0;
+		while (i < 8) {
+			if (i % 2 == 0) { acc += i; }
+			i += 1;
+		}
+		return acc;
+	}`
+	c := compileSrc(t, src, b)
+	Optimize(c)
+	if faults := c.VerifyStructure(); len(faults) > 0 {
+		t.Fatalf("fused loop fails verification: %v\n%s", faults[0], Disassemble(c))
+	}
+	got, err := NewVM(c, b).Run(context.Background(), "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !valueEqual(got, int64(12)) {
+		t.Errorf("got %v, want 12", got)
+	}
+}

@@ -67,6 +67,21 @@ func corpusBlobs() ([][]byte, error) {
 			func(m *dpl.CompiledProgram) { m.Object.Funcs[0].Code[0] = dpl.Instr{Op: dpl.OpJump, A: 1 << 20} },
 			func(m *dpl.CompiledProgram) { m.Object.Funcs[0].Code[0] = dpl.Instr{Op: dpl.OpBin, A: 99} },
 			func(m *dpl.CompiledProgram) { m.Verdict.Hosts = nil; m.Verdict.Reads = nil; m.Verdict.Writes = nil },
+			// Fused-opcode mutants: corrupt packed operands, fused jump
+			// targets, and the version stamp under generation-3 code.
+			func(m *dpl.CompiledProgram) {
+				m.Object.Funcs[0].Code[0] = dpl.Instr{Op: dpl.OpLoadLConstBin, A: 0, B: dpl.PackIdxOp(1<<16, dpl.TokPlus)}
+			},
+			func(m *dpl.CompiledProgram) {
+				m.Object.Funcs[0].Code[0] = dpl.Instr{Op: dpl.OpLoadLLoadLBin, A: 1 << 12, B: dpl.PackIdxOp(0, 0xff)}
+			},
+			func(m *dpl.CompiledProgram) {
+				m.Object.Funcs[0].Code[0] = dpl.Instr{Op: dpl.OpBinJumpFalse, A: -1, B: int(dpl.TokLt)}
+			},
+			func(m *dpl.CompiledProgram) {
+				m.Object.Funcs[0].Code[0] = dpl.Instr{Op: dpl.OpIncL, A: 0, B: 1 << 16}
+			},
+			func(m *dpl.CompiledProgram) { m.Version = dpl.MinCompilerVersion },
 		} {
 			mut, err := dpl.DecodeProgram(blob)
 			if err != nil {

@@ -75,11 +75,20 @@ func Verify(cp *dpl.CompiledProgram, bindings *dpl.Bindings) *Result {
 		fail(analysis.CodeBadOperand, "artifact carries no object code")
 		return res
 	}
-	if cp.Version != dpl.CompilerVersion {
-		fail(analysis.CodeVersionSkew, "artifact compiled by generation %d, this node runs %d", cp.Version, dpl.CompilerVersion)
+	if cp.Version < dpl.MinCompilerVersion || cp.Version > dpl.CompilerVersion {
+		fail(analysis.CodeVersionSkew, "artifact compiled by generation %d, this node accepts %d..%d",
+			cp.Version, dpl.MinCompilerVersion, dpl.CompilerVersion)
 		return res
 	}
 	c := cp.Object
+	// An artifact may be older than this node, but it must not lie about
+	// it: opcodes from a newer generation than the claimed Version mean
+	// the stamp is forged (or the sender's toolchain is inconsistent),
+	// and downstream version-gated handling would misfire.
+	if skew := opcodeSkew(c, cp.Version); skew != "" {
+		fail(analysis.CodeVersionSkew, "%s", skew)
+		return res
+	}
 	if faults := c.VerifyStructure(); len(faults) > 0 {
 		for _, f := range faults {
 			res.Diags = append(res.Diags, analysis.Diagnostic{
@@ -93,6 +102,31 @@ func Verify(cp *dpl.CompiledProgram, bindings *dpl.Bindings) *Result {
 	v.recoverEffects()
 	v.checkBudget()
 	return res
+}
+
+// opcodeSkew returns a non-empty description when the object code uses
+// an opcode introduced after the compiler generation the artifact
+// claims (DPL016). Structural verification has not run yet, so this
+// walk assumes nothing about the code beyond its opcode bytes.
+func opcodeSkew(c *dpl.Compiled, version int) string {
+	check := func(name string, code []dpl.Instr) string {
+		for ip, in := range code {
+			if g := dpl.OpcodeVersion(in.Op); g > version {
+				return fmt.Sprintf("%s+%d: opcode %s requires compiler generation %d, artifact claims %d",
+					name, ip, in.Op, g, version)
+			}
+		}
+		return ""
+	}
+	if s := check("<init>", c.InitCode); s != "" {
+		return s
+	}
+	for _, fn := range c.Funcs {
+		if s := check(fn.Name, fn.Code); s != "" {
+			return s
+		}
+	}
+	return ""
 }
 
 type verifier struct {
@@ -229,7 +263,7 @@ func (v *verifier) recoverEffects() {
 		tgt := make([]bool, len(code)+1)
 		for _, in := range code {
 			switch in.Op {
-			case dpl.OpJump, dpl.OpJumpFalse, dpl.OpJFKeep, dpl.OpJTKeep:
+			case dpl.OpJump, dpl.OpJumpFalse, dpl.OpJFKeep, dpl.OpJTKeep, dpl.OpBinJumpFalse:
 				tgt[in.A] = true
 			}
 		}
@@ -323,6 +357,28 @@ func (v *verifier) recoverEffects() {
 						v.fail(analysis.CodeEffectUndeclared, "%s+%d: %s: reads OID prefix %q not covered by declared reads %v", name, ip, dpl.FormatInstr(c, in), oid, v.cp.Verdict.Reads)
 					}
 				}
+			case dpl.OpLoadLConstBin:
+				idx, op := dpl.UnpackIdxOp(in.B)
+				if op == dpl.TokPlus {
+					push(concat(locals[in.A], absVal{kind: absExact, v: c.Consts[idx]}))
+				} else {
+					push(absVal{})
+				}
+			case dpl.OpLoadLLoadLBin:
+				idx, op := dpl.UnpackIdxOp(in.B)
+				if op == dpl.TokPlus {
+					push(concat(locals[in.A], locals[idx]))
+				} else {
+					push(absVal{})
+				}
+			case dpl.OpBinJumpFalse:
+				pop(2)
+			case dpl.OpConstStoreL:
+				locals[in.B] = absVal{kind: absExact, v: c.Consts[in.A]}
+			case dpl.OpIncL:
+				locals[in.A] = concat(locals[in.A], absVal{kind: absExact, v: c.Consts[in.B]})
+			case dpl.OpDecL:
+				locals[in.A] = absVal{}
 			case dpl.OpSetIndex:
 				pop(3)
 			case dpl.OpArray:
@@ -452,7 +508,7 @@ func worstCaseSteps(c *dpl.Compiled) (steps uint64, ok bool) {
 					return 0, false // back-edge: loop
 				}
 				after = longest[in.A]
-			case dpl.OpJumpFalse, dpl.OpJFKeep, dpl.OpJTKeep:
+			case dpl.OpJumpFalse, dpl.OpJFKeep, dpl.OpJTKeep, dpl.OpBinJumpFalse:
 				if in.A <= ip {
 					return 0, false
 				}

@@ -185,6 +185,39 @@ func TestVerifyRejectsTamperedArtifacts(t *testing.T) {
 			analysis.CodeBadOperand,
 		},
 		{
+			"fused const index out of range", honestSources[0],
+			func(cp *dpl.CompiledProgram) {
+				cp.Object.Funcs[0].Code[0] = dpl.Instr{Op: dpl.OpIncL, A: 0, B: 1 << 16}
+			},
+			analysis.CodeBadOperand,
+		},
+		{
+			"fused packed operand out of range", honestSources[0],
+			func(cp *dpl.CompiledProgram) {
+				cp.Object.Funcs[0].Code[0] = dpl.Instr{Op: dpl.OpLoadLConstBin, A: 0, B: dpl.PackIdxOp(1<<16, dpl.TokPlus)}
+			},
+			analysis.CodeBadOperand,
+		},
+		{
+			"fused non-binop operator", honestSources[0],
+			func(cp *dpl.CompiledProgram) {
+				cp.Object.Funcs[0].Code[0] = dpl.Instr{Op: dpl.OpBinJumpFalse, A: 1, B: 0xff}
+			},
+			analysis.CodeBadOperand,
+		},
+		{
+			"fused jump out of range", honestSources[0],
+			func(cp *dpl.CompiledProgram) {
+				fn := cp.Object.Funcs[0]
+				fn.Code = append([]dpl.Instr{
+					{Op: dpl.OpConst, A: 0},
+					{Op: dpl.OpConst, A: 0},
+					{Op: dpl.OpBinJumpFalse, A: 1 << 20, B: int(dpl.TokPlus)},
+				}, fn.Code...)
+			},
+			analysis.CodeBadJump,
+		},
+		{
 			"undeclared host", honestSources[0],
 			func(cp *dpl.CompiledProgram) { cp.Verdict.Hosts = nil },
 			analysis.CodeEffectUndeclared,
@@ -303,6 +336,25 @@ func TestVerifierRejectionImpliesVMRefusal(t *testing.T) {
 			cp.Object.Funcs[0].Code[0] = dpl.Instr{Op: dpl.OpBin, A: int(dpl.TokPlus)}
 		},
 		func(cp *dpl.CompiledProgram) { cp.Object.Funcs[0].Code[0] = dpl.Instr{Op: dpl.OpLoadL, A: 1 << 10} },
+		// Invalid fused bytecode must be refused by the VM too: a bad
+		// packed constant index, a fused local out of frame, an
+		// operator byte that is not a binop, a fused backward jump into
+		// nowhere.
+		func(cp *dpl.CompiledProgram) {
+			cp.Object.Funcs[0].Code[0] = dpl.Instr{Op: dpl.OpLoadLConstBin, A: 0, B: dpl.PackIdxOp(1<<16, dpl.TokPlus)}
+		},
+		func(cp *dpl.CompiledProgram) {
+			cp.Object.Funcs[0].Code[0] = dpl.Instr{Op: dpl.OpLoadLLoadLBin, A: 1 << 10, B: dpl.PackIdxOp(0, dpl.TokPlus)}
+		},
+		func(cp *dpl.CompiledProgram) {
+			cp.Object.Funcs[0].Code[0] = dpl.Instr{Op: dpl.OpIncL, A: 0, B: 1 << 16}
+		},
+		func(cp *dpl.CompiledProgram) {
+			cp.Object.Funcs[0].Code[0] = dpl.Instr{Op: dpl.OpBinJumpFalse, A: 1 << 20, B: 0xff}
+		},
+		func(cp *dpl.CompiledProgram) {
+			cp.Object.Funcs[0].Code[0] = dpl.Instr{Op: dpl.OpConstStoreL, A: 1 << 16, B: 0}
+		},
 	}
 	for i, tamper := range tampers {
 		cp := buildArtifact(t, honestSources[0], b, false)
@@ -320,5 +372,76 @@ func TestVerifierRejectionImpliesVMRefusal(t *testing.T) {
 		if _, err := dpl.NewVM(cp.Object, b, dpl.WithMaxSteps(10000)).Run(context.Background(), "main"); err == nil {
 			t.Fatalf("tamper %d: VM ran a program the verifier rejected", i)
 		}
+	}
+}
+
+// TestVerifyCompilerVersionWindow pins the version-skew contract for
+// the generation-3 compiler: receivers accept the window
+// [MinCompilerVersion, CompilerVersion] rather than one generation, a
+// previous-generation artifact still loads, verifies and runs, and an
+// artifact that stamps an old generation while using new opcodes is a
+// forgery the verifier refuses.
+func TestVerifyCompilerVersionWindow(t *testing.T) {
+	b := analysis.LintBindings()
+
+	// An unoptimized compile emits only generation-1 opcodes, which is
+	// exactly what a MinCompilerVersion node would have shipped.
+	old := buildArtifact(t, honestSources[0], b, false)
+	old.Version = dpl.MinCompilerVersion
+	for _, fn := range old.Object.Funcs {
+		for _, in := range fn.Code {
+			if dpl.OpcodeVersion(in.Op) > dpl.MinCompilerVersion {
+				t.Fatalf("plain compile emitted generation-%d opcode %s", dpl.OpcodeVersion(in.Op), in.Op)
+			}
+		}
+	}
+	blob, err := old.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := dpl.DecodeProgram(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Version != dpl.MinCompilerVersion {
+		t.Fatalf("codec lost the version stamp: %d", dec.Version)
+	}
+	if err := verify.Verify(dec, b).Err(); err != nil {
+		t.Fatalf("previous-generation artifact rejected: %v", err)
+	}
+	quiet := quietBindings(dec)
+	if err := verify.Verify(dec, quiet).Err(); err != nil {
+		t.Fatalf("previous-generation artifact rejected under quiet bindings: %v", err)
+	}
+	if _, err := dpl.NewVM(dec.Object, quiet, dpl.WithMaxSteps(10000)).Run(context.Background(), "main"); err != nil {
+		t.Fatalf("previous-generation artifact failed to run: %v", err)
+	}
+
+	// Below the window: too old to admit.
+	ancient := buildArtifact(t, honestSources[0], b, false)
+	ancient.Version = dpl.MinCompilerVersion - 1
+	if res := verify.Verify(ancient, b); !hasCode(res.Diags, analysis.CodeVersionSkew) {
+		t.Fatalf("below-window artifact accepted: %v", res.Diags)
+	}
+
+	// Forged stamp: generation-3 opcodes under a generation-2 Version.
+	fused := buildArtifact(t, honestSources[5], b, true)
+	hasFused := false
+	for _, fn := range fused.Object.Funcs {
+		for _, in := range fn.Code {
+			if dpl.OpcodeVersion(in.Op) > dpl.MinCompilerVersion {
+				hasFused = true
+			}
+		}
+	}
+	if !hasFused {
+		t.Fatalf("optimizer produced no fused opcodes for the loop source:\n%s", dpl.Disassemble(fused.Object))
+	}
+	if err := verify.Verify(fused, b).Err(); err != nil {
+		t.Fatalf("honest fused artifact rejected: %v", err)
+	}
+	fused.Version = dpl.MinCompilerVersion
+	if res := verify.Verify(fused, b); !hasCode(res.Diags, analysis.CodeVersionSkew) {
+		t.Fatalf("forged version stamp accepted: %v", res.Diags)
 	}
 }

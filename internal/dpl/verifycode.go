@@ -83,9 +83,13 @@ var binOps = map[TokenKind]bool{
 
 // VerifyStructure checks every code block of c and returns the
 // structural faults found (nil when the program is safe to execute).
+// As a by-product of the depth proof it records each block's
+// operand-stack high-water mark (CompiledFunc.maxStack), which the
+// flat-frame VM uses to size activation frames without growth checks
+// inside the dispatch loop.
 func (c *Compiled) VerifyStructure() []CodeFault {
 	v := &structVerifier{c: c}
-	v.checkBlock("<init>", c.InitCode, 0)
+	c.initMaxStack = v.checkBlock("<init>", c.InitCode, 0)
 	for i, fn := range c.Funcs {
 		name := fn.Name
 		if name == "" {
@@ -94,7 +98,7 @@ func (c *Compiled) VerifyStructure() []CodeFault {
 		if fn.NumParams < 0 || fn.NumLocals < 0 || fn.NumParams > fn.NumLocals || fn.NumLocals > maxProgLocals {
 			v.fault(name, -1, FaultOperand, fmt.Sprintf("implausible frame (params=%d locals=%d)", fn.NumParams, fn.NumLocals))
 		}
-		v.checkBlock(name, fn.Code, fn.NumLocals)
+		fn.maxStack = v.checkBlock(name, fn.Code, fn.NumLocals)
 	}
 	return v.faults
 }
@@ -119,11 +123,13 @@ func (c *Compiled) EnsureStructure() error {
 	return c.verr
 }
 
-// invalidateVerify drops the cached EnsureStructure outcome.
+// invalidateVerify drops the cached EnsureStructure outcome and the
+// derived init frame (the code it wrapped may have been rewritten).
 func (c *Compiled) invalidateVerify() {
 	c.vmu.Lock()
 	c.vdone = false
 	c.verr = nil
+	c.initFn = nil
 	c.vmu.Unlock()
 }
 
@@ -229,6 +235,48 @@ func (v *structVerifier) shape(fn string, ip int, in Instr, nLocals, nCode int) 
 			return badOperand("map of implausible %d pairs", in.A)
 		}
 		return instrShape{pops: 2 * in.A, pushes: 1, fall: true}, true
+	case OpLoadLConstBin:
+		idx, op := UnpackIdxOp(in.B)
+		if in.A < 0 || in.A >= nLocals {
+			return badOperand("local index %d out of range (%d locals)", in.A, nLocals)
+		}
+		if idx < 0 || idx >= len(c.Consts) {
+			return badOperand("constant index %d out of range (pool size %d)", idx, len(c.Consts))
+		}
+		if !binOps[op] {
+			return badOperand("invalid binary operator immediate %d", op)
+		}
+		return instrShape{pushes: 1, fall: true}, true
+	case OpLoadLLoadLBin:
+		idx, op := UnpackIdxOp(in.B)
+		if in.A < 0 || in.A >= nLocals || idx < 0 || idx >= nLocals {
+			return badOperand("local index out of range (%d, %d of %d locals)", in.A, idx, nLocals)
+		}
+		if !binOps[op] {
+			return badOperand("invalid binary operator immediate %d", op)
+		}
+		return instrShape{pushes: 1, fall: true}, true
+	case OpBinJumpFalse:
+		if !binOps[TokenKind(in.B)] {
+			return badOperand("invalid binary operator immediate %d", in.B)
+		}
+		return instrShape{pops: 2, branch: true, fall: true}, true
+	case OpConstStoreL:
+		if in.A < 0 || in.A >= len(c.Consts) {
+			return badOperand("constant index %d out of range (pool size %d)", in.A, len(c.Consts))
+		}
+		if in.B < 0 || in.B >= nLocals {
+			return badOperand("local index %d out of range (%d locals)", in.B, nLocals)
+		}
+		return instrShape{fall: true}, true
+	case OpIncL, OpDecL:
+		if in.A < 0 || in.A >= nLocals {
+			return badOperand("local index %d out of range (%d locals)", in.A, nLocals)
+		}
+		if in.B < 0 || in.B >= len(c.Consts) {
+			return badOperand("constant index %d out of range (pool size %d)", in.B, len(c.Consts))
+		}
+		return instrShape{fall: true}, true
 	default:
 		v.fault(fn, ip, FaultOpcode, fmt.Sprintf("unknown opcode %d", in.Op))
 		return instrShape{}, false
@@ -239,10 +287,13 @@ func (v *structVerifier) shape(fn string, ip int, in Instr, nLocals, nCode int) 
 // block: every reachable instruction gets a unique entry stack depth,
 // jumps stay inside [0, len(code)], and no instruction pops below
 // empty. Depth uniqueness at joins is what lets the VM skip per-step
-// stack checks.
-func (v *structVerifier) checkBlock(fn string, code []Instr, nLocals int) {
+// stack checks. The return value is the proven operand-stack
+// high-water mark over all reachable paths (instructions pop before
+// they push, so the depth after each instruction bounds the peak).
+func (v *structVerifier) checkBlock(fn string, code []Instr, nLocals int) int {
+	maxDepth := 0
 	if len(code) == 0 {
-		return
+		return 0
 	}
 	depth := make([]int, len(code))
 	for i := range depth {
@@ -275,6 +326,9 @@ func (v *structVerifier) checkBlock(fn string, code []Instr, nLocals int) {
 			continue
 		}
 		nd := d - sh.pops + sh.pushes
+		if nd > maxDepth {
+			maxDepth = nd
+		}
 		if sh.branch {
 			if in.A < 0 || in.A > len(code) {
 				v.fault(fn, ip, FaultJump, fmt.Sprintf("jump target %d outside [0,%d]", in.A, len(code)))
@@ -286,6 +340,7 @@ func (v *structVerifier) checkBlock(fn string, code []Instr, nLocals int) {
 			propagate(ip, ip+1, nd)
 		}
 	}
+	return maxDepth
 }
 
 // opName returns the mnemonic for op (shared with the disassembler).

@@ -113,8 +113,21 @@ func (c *Control) gate(ctx context.Context) error {
 	}
 }
 
-// gateMask: the VM consults its Control every (gateMask+1) steps.
+// gateMask: the VM consults its Control at least every (gateMask+1)
+// steps. Step accounting is batched: the dispatch loop keeps a local
+// counter and flushes it to the shared atomic at gate boundaries,
+// backward jumps, calls and returns, so suspend/terminate/quota take
+// effect within one gate window instead of costing an atomic per
+// instruction.
 const gateMask = 255
+
+// frame is one suspended caller activation on the flat call stack.
+type frame struct {
+	fn   *CompiledFunc
+	code []Instr
+	ip   int
+	base int
+}
 
 // VM executes a Compiled program. A VM is single-threaded; the elastic
 // process runs each DPI's VM on its own goroutine.
@@ -126,6 +139,22 @@ type VM struct {
 	steps    atomic.Uint64
 	globals  []Value
 	ctx      context.Context
+
+	// env is the reusable host-call environment; hostFns aliases the
+	// bindings' resolved table so OpCallHost indexes it directly instead
+	// of allocating an Env and re-checking through Bindings.Call.
+	env     Env
+	hostFns []binding
+
+	// stack and frames form the flat execution machine, reused across
+	// runs: one contiguous value array holds every activation's locals
+	// and operand stack (frames are [base, base+NumLocals+maxStack)
+	// windows sized from the verifier's proven high-water marks). exec
+	// claims both by swapping nil in, so a host function that re-enters
+	// Run on the same VM builds a fresh transient machine instead of
+	// corrupting its caller's.
+	stack  []Value
+	frames []frame
 
 	// Meta is an opaque attachment for the embedding runtime (the MbD
 	// server hangs the DPI handle here so host functions can reach it).
@@ -155,6 +184,7 @@ func NewVM(prog *Compiled, bindings *Bindings, opts ...VMOption) *VM {
 		ctrl:     &Control{},
 		globals:  make([]Value, len(prog.GlobalNames)),
 	}
+	vm.env.VM = vm
 	for _, o := range opts {
 		o(vm)
 	}
@@ -195,17 +225,23 @@ const maxFrames = 256
 // Run executes the program's global initializers (once per VM) and then
 // the named entry function with args, returning its value.
 func (vm *VM) Run(ctx context.Context, entry string, args ...Value) (Value, error) {
-	// The exec loop does not bounds-check operands; refuse any program
-	// that fails structural verification (cached after the first Run).
+	// The dispatch loop does not bounds-check operands; refuse any
+	// program that fails structural verification (cached after the
+	// first Run).
 	if err := vm.prog.EnsureStructure(); err != nil {
 		return nil, err
 	}
+	prevCtx := vm.ctx
 	vm.ctx = ctx
-	defer func() { vm.ctx = nil }()
-	if vm.steps.Load() == 0 && len(vm.prog.InitCode) > 0 {
-		init := &CompiledFunc{Name: "<init>", Code: vm.prog.InitCode}
-		if _, err := vm.exec(init, nil, 0); err != nil {
-			return nil, fmt.Errorf("dpl: global initialization: %w", err)
+	defer func() { vm.ctx = prevCtx }()
+	if vm.bindings != nil {
+		vm.hostFns = vm.bindings.funcs
+	}
+	if vm.steps.Load() == 0 {
+		if init := vm.prog.initFunc(); init != nil {
+			if _, err := vm.exec(init, nil); err != nil {
+				return nil, fmt.Errorf("dpl: global initialization: %w", err)
+			}
 		}
 	}
 	fi, ok := vm.prog.FuncIdx[entry]
@@ -216,163 +252,378 @@ func (vm *VM) Run(ctx context.Context, entry string, args ...Value) (Value, erro
 	if len(args) != fn.NumParams {
 		return nil, fmt.Errorf("dpl: entry %q expects %d arguments, got %d", entry, fn.NumParams, len(args))
 	}
-	return vm.exec(fn, args, 0)
+	return vm.exec(fn, args)
 }
 
-// exec runs one function activation.
-func (vm *VM) exec(fn *CompiledFunc, args []Value, depth int) (Value, error) {
-	if depth >= maxFrames {
-		return nil, ErrStackOverflow
+// exec runs one entry activation on the VM's flat machine. It claims
+// the reused stack/frame arrays (a re-entrant Run from a host function
+// finds nil and allocates transient ones), sizes the entry frame from
+// the verifier's bound, and releases the — possibly grown — machine for
+// the next run. The release also drops every value reference the run
+// left behind, so a parked VM does not pin results.
+func (vm *VM) exec(fn *CompiledFunc, args []Value) (Value, error) {
+	stack, frames := vm.stack, vm.frames
+	vm.stack, vm.frames = nil, nil
+	if need := fn.NumLocals + fn.maxStack; cap(stack) < need {
+		stack = make([]Value, need)
+	} else {
+		stack = stack[:cap(stack)]
 	}
-	locals := make([]Value, fn.NumLocals)
-	copy(locals, args)
-	var stack []Value
-	push := func(v Value) { stack = append(stack, v) }
-	pop := func() Value {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		return v
+	copy(stack, args)
+	clear(stack[len(args):fn.NumLocals])
+	v, stack, frames, err := vm.dispatch(fn, stack, frames[:0])
+	clear(stack)
+	vm.stack, vm.frames = stack, frames[:0]
+	return v, err
+}
+
+// growValueStack returns a larger stack with the old contents; kept out
+// of the dispatch loop so the hot path stays allocation-free.
+func growValueStack(stack []Value, need int) []Value {
+	ns := make([]Value, need+need/2)
+	copy(ns, stack)
+	return ns
+}
+
+// flush publishes pending steps to the shared counter and runs the
+// gate and quota checks that fall due at this boundary. Quota may be
+// detected up to one gate window late — the documented tolerance that
+// buys batched accounting.
+func (vm *VM) flush(pending, nextGate uint64) (uint64, error) {
+	total := vm.steps.Add(pending)
+	if total >= nextGate {
+		if err := vm.ctrl.gate(vm.Context()); err != nil {
+			return nextGate, err
+		}
+		nextGate = (total | gateMask) + 1
 	}
-	code := fn.Code
-	for ip := 0; ip < len(code); ip++ {
-		n := vm.steps.Add(1)
-		if n&gateMask == 0 {
-			if err := vm.ctrl.gate(vm.Context()); err != nil {
-				return nil, err
+	if vm.maxSteps > 0 && total > vm.maxSteps {
+		return nextGate, ErrStepQuota
+	}
+	return nextGate, nil
+}
+
+// binEval applies one OpBin-class operator, routing the arithmetic five
+// to arith and the relational four to compare (the verifier admits no
+// other immediates). The int64/int64 fast path mirrors those functions
+// exactly — comparisons go through float64 like compare's toFloat route
+// does, so results match bit-for-bit even beyond 2^53 — and falls back
+// to them for zero divisors so error text stays identical.
+func binEval(op TokenKind, l, r Value) (Value, error) {
+	if x, ok := l.(int64); ok {
+		if y, ok := r.(int64); ok {
+			switch op {
+			case TokPlus:
+				return x + y, nil
+			case TokMinus:
+				return x - y, nil
+			case TokStar:
+				return x * y, nil
+			case TokLt:
+				return float64(x) < float64(y), nil
+			case TokLe:
+				return float64(x) <= float64(y), nil
+			case TokGt:
+				return float64(x) > float64(y), nil
+			case TokGe:
+				return float64(x) >= float64(y), nil
+			case TokSlash:
+				if y != 0 {
+					return x / y, nil
+				}
+			case TokPercent:
+				if y != 0 {
+					return x % y, nil
+				}
 			}
 		}
-		if vm.maxSteps > 0 && n > vm.maxSteps {
-			return nil, ErrStepQuota
+	}
+	switch op {
+	case TokPlus, TokMinus, TokStar, TokSlash, TokPercent:
+		return arith(op, l, r)
+	default:
+		return compare(op, l, r)
+	}
+}
+
+// dispatch is the flat-frame execution loop. Every activation lives in
+// one contiguous stack: locals at [base, base+NumLocals), operand stack
+// growing from there to at most base+NumLocals+maxStack (the verifier's
+// proven bound, so no per-push growth checks). OpCall pushes the caller
+// onto frames and re-bases in place — the arguments the caller pushed
+// *are* the callee's first locals, no copy. OpCallHost passes a
+// capped subslice of the live stack for the same reason. The returned
+// stack/frames are the (possibly grown) arrays for exec to recycle.
+//
+// mbd:hotloop — vet-mbd forbids heap allocations and closure captures
+// in this function; intentional amortized growth carries an
+// mbd:alloc-ok marker.
+func (vm *VM) dispatch(fn *CompiledFunc, stack []Value, frames []frame) (Value, []Value, []frame, error) {
+	var (
+		code     = fn.Code
+		ip       = 0
+		base     = 0
+		sp       = fn.NumLocals
+		pending  uint64
+		nextGate = (vm.steps.Load() | gateMask) + 1
+		rv       Value
+		in       Instr
+		err      error
+	)
+	for {
+		if ip >= len(code) {
+			rv = nil // implicit return-nil epilogue
+			goto ret
 		}
-		in := code[ip]
+		in = code[ip]
+		ip++
+		pending++
+		if pending > gateMask {
+			if nextGate, err = vm.flush(pending, nextGate); err != nil {
+				goto fail
+			}
+			pending = 0
+		}
 		switch in.Op {
 		case OpConst:
-			push(vm.prog.Consts[in.A])
+			stack[sp] = vm.prog.Consts[in.A]
+			sp++
 		case OpNil:
-			push(nil)
+			stack[sp] = nil
+			sp++
 		case OpTrue:
-			push(true)
+			stack[sp] = true
+			sp++
 		case OpFalse:
-			push(false)
+			stack[sp] = false
+			sp++
 		case OpLoadG:
-			push(vm.globals[in.A])
+			stack[sp] = vm.globals[in.A]
+			sp++
 		case OpStoreG:
-			vm.globals[in.A] = pop()
+			sp--
+			vm.globals[in.A] = stack[sp]
 		case OpLoadL:
-			push(locals[in.A])
+			stack[sp] = stack[base+in.A]
+			sp++
 		case OpStoreL:
-			locals[in.A] = pop()
+			sp--
+			stack[base+in.A] = stack[sp]
 		case OpPop:
-			pop()
+			sp--
 		case OpBin:
-			r := pop()
-			l := pop()
-			op := TokenKind(in.A)
-			var (
-				v   Value
-				err error
-			)
-			switch op {
-			case TokPlus, TokMinus, TokStar, TokSlash, TokPercent:
-				v, err = arith(op, l, r)
-			default:
-				v, err = compare(op, l, r)
-			}
+			sp -= 2
+			var v Value
+			v, err = binEval(TokenKind(in.A), stack[sp], stack[sp+1])
 			if err != nil {
-				return nil, err
+				goto fail
 			}
-			push(v)
+			stack[sp] = v
+			sp++
 		case OpEq:
-			r := pop()
-			l := pop()
-			push(valueEqual(l, r))
+			sp--
+			stack[sp-1] = valueEqual(stack[sp-1], stack[sp])
 		case OpNe:
-			r := pop()
-			l := pop()
-			push(!valueEqual(l, r))
+			sp--
+			stack[sp-1] = !valueEqual(stack[sp-1], stack[sp])
 		case OpNeg:
-			switch x := pop().(type) {
+			switch x := stack[sp-1].(type) {
 			case int64:
-				push(-x)
+				stack[sp-1] = -x
 			case float64:
-				push(-x)
+				stack[sp-1] = -x
 			default:
-				return nil, rtErrf("cannot negate %s", TypeName(x))
+				err = rtErrf("cannot negate %s", TypeName(x))
+				goto fail
 			}
 		case OpNot:
-			push(!Truthy(pop()))
+			stack[sp-1] = !Truthy(stack[sp-1])
 		case OpJump:
-			ip = in.A - 1
+			if in.A < ip { // backward: flush so loops stay observable
+				if nextGate, err = vm.flush(pending, nextGate); err != nil {
+					goto fail
+				}
+				pending = 0
+			}
+			ip = in.A
 		case OpJumpFalse:
-			if !Truthy(pop()) {
-				ip = in.A - 1
+			sp--
+			if !Truthy(stack[sp]) {
+				if in.A < ip {
+					if nextGate, err = vm.flush(pending, nextGate); err != nil {
+						goto fail
+					}
+					pending = 0
+				}
+				ip = in.A
 			}
 		case OpJFKeep:
-			if !Truthy(stack[len(stack)-1]) {
-				ip = in.A - 1
+			// Keep-form branches only ever jump forward in compiler
+			// output; hostile backward ones are still bounded by the
+			// gateMask-sized pending cap above.
+			if !Truthy(stack[sp-1]) {
+				ip = in.A
 			}
 		case OpJTKeep:
-			if Truthy(stack[len(stack)-1]) {
-				ip = in.A - 1
+			if Truthy(stack[sp-1]) {
+				ip = in.A
 			}
 		case OpCall:
-			callee := vm.prog.Funcs[in.A]
-			callArgs := make([]Value, in.B)
-			copy(callArgs, stack[len(stack)-in.B:])
-			stack = stack[:len(stack)-in.B]
-			v, err := vm.exec(callee, callArgs, depth+1)
-			if err != nil {
-				return nil, err
+			if nextGate, err = vm.flush(pending, nextGate); err != nil {
+				goto fail
 			}
-			push(v)
+			pending = 0
+			if len(frames) >= maxFrames-1 {
+				err = ErrStackOverflow
+				goto fail
+			}
+			frames = append(frames, frame{fn: fn, code: code, ip: ip, base: base}) //mbd:alloc-ok — amortized: capacity persists across runs
+			fn = vm.prog.Funcs[in.A]
+			base = sp - in.B
+			if need := base + fn.NumLocals + fn.maxStack; need > len(stack) {
+				stack = growValueStack(stack, need)
+			}
+			clear(stack[base+in.B : base+fn.NumLocals])
+			sp = base + fn.NumLocals
+			code = fn.Code
+			ip = 0
 		case OpCallHost:
-			callArgs := make([]Value, in.B)
-			copy(callArgs, stack[len(stack)-in.B:])
-			stack = stack[:len(stack)-in.B]
-			v, err := vm.bindings.Call(in.A, &Env{VM: vm}, callArgs)
-			if err != nil {
-				return nil, err
+			if nextGate, err = vm.flush(pending, nextGate); err != nil {
+				goto fail
 			}
-			push(v)
+			pending = 0
+			if in.A >= len(vm.hostFns) {
+				err = rtErrf("host function index %d out of range", in.A)
+				goto fail
+			}
+			hf := &vm.hostFns[in.A]
+			if hf.arity >= 0 && hf.arity != in.B {
+				err = rtErrf("%s expects %d arguments, got %d", hf.name, hf.arity, in.B)
+				goto fail
+			}
+			var v Value
+			v, err = hf.fn(&vm.env, stack[sp-in.B:sp:sp])
+			if err != nil {
+				goto fail
+			}
+			sp -= in.B
+			stack[sp] = v
+			sp++
 		case OpReturn:
-			return pop(), nil
+			sp--
+			rv = stack[sp]
+			goto ret
 		case OpReturnNil:
-			return nil, nil
+			rv = nil
+			goto ret
 		case OpIndex:
-			i := pop()
-			x := pop()
-			v, err := indexValue(x, i)
+			sp--
+			var v Value
+			v, err = indexValue(stack[sp-1], stack[sp])
 			if err != nil {
-				return nil, err
+				goto fail
 			}
-			push(v)
+			stack[sp-1] = v
 		case OpSetIndex:
-			v := pop()
-			i := pop()
-			x := pop()
-			if err := setIndex(x, i, v); err != nil {
-				return nil, err
+			sp -= 3
+			if err = setIndex(stack[sp], stack[sp+1], stack[sp+2]); err != nil {
+				goto fail
 			}
 		case OpArray:
-			a := &Array{Elems: make([]Value, in.A)}
-			copy(a.Elems, stack[len(stack)-in.A:])
-			stack = stack[:len(stack)-in.A]
-			push(a)
+			a := &Array{Elems: make([]Value, in.A)} //mbd:alloc-ok — the program constructs a value
+			sp -= in.A
+			copy(a.Elems, stack[sp:sp+in.A])
+			stack[sp] = a
+			sp++
 		case OpMap:
 			m := NewMap()
-			base := len(stack) - in.A*2
+			sp -= in.A * 2
 			for i := 0; i < in.A; i++ {
-				k, ok := stack[base+2*i].(string)
+				k, ok := stack[sp+2*i].(string)
 				if !ok {
-					return nil, rtErrf("map key must be string, got %s", TypeName(stack[base+2*i]))
+					err = rtErrf("map key must be string, got %s", TypeName(stack[sp+2*i]))
+					goto fail
 				}
-				m.M[k] = stack[base+2*i+1]
+				m.M[k] = stack[sp+2*i+1]
 			}
-			stack = stack[:base]
-			push(m)
+			stack[sp] = m
+			sp++
+		case OpLoadLConstBin:
+			var v Value
+			v, err = binEval(TokenKind(in.B&0xff), stack[base+in.A], vm.prog.Consts[in.B>>8])
+			if err != nil {
+				goto fail
+			}
+			stack[sp] = v
+			sp++
+		case OpLoadLLoadLBin:
+			var v Value
+			v, err = binEval(TokenKind(in.B&0xff), stack[base+in.A], stack[base+in.B>>8])
+			if err != nil {
+				goto fail
+			}
+			stack[sp] = v
+			sp++
+		case OpBinJumpFalse:
+			sp -= 2
+			var v Value
+			v, err = binEval(TokenKind(in.B), stack[sp], stack[sp+1])
+			if err != nil {
+				goto fail
+			}
+			if !Truthy(v) {
+				if in.A < ip {
+					if nextGate, err = vm.flush(pending, nextGate); err != nil {
+						goto fail
+					}
+					pending = 0
+				}
+				ip = in.A
+			}
+		case OpConstStoreL:
+			stack[base+in.B] = vm.prog.Consts[in.A]
+		case OpIncL:
+			var v Value
+			v, err = binEval(TokPlus, stack[base+in.A], vm.prog.Consts[in.B])
+			if err != nil {
+				goto fail
+			}
+			stack[base+in.A] = v
+		case OpDecL:
+			var v Value
+			v, err = binEval(TokMinus, stack[base+in.A], vm.prog.Consts[in.B])
+			if err != nil {
+				goto fail
+			}
+			stack[base+in.A] = v
 		default:
-			return nil, fmt.Errorf("dpl: unknown opcode %d", in.Op)
+			err = fmt.Errorf("dpl: unknown opcode %d", in.Op)
+			goto fail
 		}
+		continue
+
+	ret:
+		// Function return: flush (calls and returns are accounting
+		// boundaries), then either leave dispatch or pop the caller.
+		// The result lands where the callee's frame began — exactly
+		// where the caller expects its one pushed value.
+		if nextGate, err = vm.flush(pending, nextGate); err != nil {
+			goto fail
+		}
+		pending = 0
+		if len(frames) == 0 {
+			return rv, stack, frames, nil
+		}
+		{
+			fr := frames[len(frames)-1]
+			frames = frames[:len(frames)-1]
+			stack[base] = rv
+			sp = base + 1
+			fn, code, ip, base = fr.fn, fr.code, fr.ip, fr.base
+		}
+		continue
+
+	fail:
+		return nil, stack, frames, err
 	}
-	return nil, nil
 }

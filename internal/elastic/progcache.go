@@ -15,7 +15,13 @@ import (
 // reloads and warm restarts — skips parsing, compilation, optimization
 // and analysis entirely and goes straight to the per-principal
 // admission decision. Bumping dpl.CompilerVersion invalidates every
-// cached artifact at once, because the version is part of the key.
+// locally compiled artifact at once, because the version is part of
+// the key. Received artifacts cache under the generation they were
+// stamped with: a node that accepts the [MinCompilerVersion,
+// CompilerVersion] admission window therefore keeps one entry per
+// (source, generation) pair, and a previous-generation artifact never
+// shadows — or is shadowed by — this node's own generation-current
+// compile of the same source.
 
 // defaultProgCacheSize is used when Config.ProgramCacheSize is zero.
 const defaultProgCacheSize = 256

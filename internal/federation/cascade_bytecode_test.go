@@ -88,7 +88,14 @@ func TestCascadeShipsVerifiedBytecode(t *testing.T) {
 		return ok && st == "alive"
 	})
 
-	src := `func main() { return mibGet("1.3.6.1.2.1.1.3.0"); }`
+	// A counting loop so the root's optimizer emits generation-3 fused
+	// opcodes: the cascade must ship and verify a CompilerVersion=3
+	// artifact end to end, not just trivially fusion-free code.
+	src := `func main() {
+		var total = 0;
+		for (var i = 0; i < 3; i += 1) { total += mibGet("1.3.6.1.2.1.1.3.0"); }
+		return total;
+	}`
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	res := root.node.Fanout(ctx, "noc", "watch", "dpl", src, "", nil)
@@ -140,11 +147,26 @@ func TestCascadeShipsVerifiedBytecode(t *testing.T) {
 		if !dp.Effects.CallsHost("mibGet") {
 			t.Errorf("%s lost the effect summary: %s", hop.name, dp.Effects.String())
 		}
+		if dp.Program.Version != dpl.CompilerVersion {
+			t.Errorf("%s stored artifact generation %d, want %d", hop.name, dp.Program.Version, dpl.CompilerVersion)
+		}
+		fusedOps := 0
+		for _, fn := range dp.Object.Funcs {
+			for _, in := range fn.Code {
+				if dpl.OpcodeVersion(in.Op) == dpl.CompilerVersion {
+					fusedOps++
+				}
+			}
+		}
+		if fusedOps == 0 {
+			t.Errorf("%s stored no fused opcodes; the cascade did not exercise generation-3 code:\n%s",
+				hop.name, dpl.Disassemble(dp.Object))
+		}
 		dpi, err := hop.tn.proc.Instantiate("noc", "watch", "main")
 		if err != nil {
 			t.Fatalf("%s instantiate: %v", hop.name, err)
 		}
-		if v, err := dpi.Wait(ctx); err != nil || dpl.FormatValue(v) != "1" {
+		if v, err := dpi.Wait(ctx); err != nil || dpl.FormatValue(v) != "3" {
 			t.Fatalf("%s ran to (%v, %v)", hop.name, v, err)
 		}
 	}
