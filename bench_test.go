@@ -9,6 +9,7 @@ package mbd_test
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"testing"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"mbd/internal/dpl/verify"
 	"mbd/internal/elastic"
 	"mbd/internal/experiments"
+	"mbd/internal/federation"
 	"mbd/internal/mib"
 	"mbd/internal/oid"
 	"mbd/internal/rds"
@@ -670,6 +672,80 @@ func main() { while (true) { report(recv(-1)); } }`); err != nil {
 			if ev.Kind == "report" {
 				break
 			}
+		}
+	}
+}
+
+// BenchmarkRollupDelta measures incremental rollup maintenance: one
+// member's report folded into a key already materialized from 1000
+// contributors. The delta path visits O(1) members per report; compare
+// the full recombine a non-delta combiner pays (BenchmarkRollupDelta
+// divided into the contributor count approximates the old cost).
+func BenchmarkRollupDelta(b *testing.B) {
+	r := federation.NewRollup(federation.Sum())
+	const members = 1000
+	names := make([]string, members)
+	for i := range names {
+		names[i] = fmt.Sprintf("m%04d", i)
+		r.Report(names[i], "load", "1", int64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Report(names[i%members], "load", "2", int64(members+i))
+	}
+	st := r.Stats()
+	if st.Recombines > uint64(members)+1 {
+		b.Fatalf("delta path recombined %d times over %d reports", st.Recombines, st.Reports)
+	}
+}
+
+// BenchmarkPeerHeartbeatBatch measures one coalesced sync frame over
+// loopback TCP: a single OpPeerSync round trip carrying the heartbeat
+// plus 32 rollup deltas — the per-beat upstream cost of a federation
+// child, amortized across everything the frame carries.
+func BenchmarkPeerHeartbeatBatch(b *testing.B) {
+	proc := elastic.NewProcess(elastic.Config{})
+	defer proc.Stop()
+	node, err := federation.New(federation.Config{
+		Name: "root", Domain: "bench", Proc: proc,
+		Advertise: "127.0.0.1:0", Combiner: federation.Sum(),
+		HeartbeatInterval: time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	node.Start()
+	defer node.Stop()
+	srv := rds.NewServer(proc, nil, rds.WithPeerHandler(node))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(ctx, l) }()
+	defer func() { cancel(); <-done }()
+	cl, err := rds.Dial(l.Addr().String(), "federation")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.PeerJoin(ctx, "child", "lan", "127.0.0.1:9"); err != nil {
+		b.Fatal(err)
+	}
+	batch := &rds.SyncBatch{}
+	for i := 0; i < 32; i++ {
+		batch.Reports = append(batch.Reports, rds.SyncReport{
+			Key: fmt.Sprintf("k%02d", i), Value: "7", TimeMS: int64(i),
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.PeerSync(ctx, "child", batch); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

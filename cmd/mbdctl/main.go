@@ -22,6 +22,15 @@
 //	domain delegate <name> <file.dpl> [entry [args...]]
 //	                               cascade a delegation through the domain
 //	                               tree, printing every member's outcome
+//	domain rollout <lineage> <version> <file.dpl>...
+//	                               publish the files as a golden bundle
+//	                               (content-addressed; unchanged members
+//	                               transfer zero bytes) and atomically
+//	                               activate it fleet-wide
+//	domain rollback <lineage> <hash>
+//	                               atomically re-activate a previously
+//	                               staged bundle hash everywhere
+//	domain bundles                 the domain's bundle inventory
 //
 // Unknown commands print the usage summary and exit 2.
 //
@@ -41,6 +50,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -92,7 +102,7 @@ var commands = [][2]string{
 	{"stats", "stats"},
 	{"trace", "trace [n]"},
 	{"lint", "lint <file.dpl>..."},
-	{"domain", "domain status | members | delegate <name> <file.dpl> [entry [args...]]"},
+	{"domain", "domain status | members | bundles | delegate <name> <file.dpl> [entry [args...]] | rollout <lineage> <version> <file.dpl>... | rollback <lineage> <hash>"},
 }
 
 // validCommand reports whether cmd is a known subcommand.
@@ -375,7 +385,7 @@ func run(server, principal, secret string, timeout time.Duration, args []string)
 // domainCmd handles the federation subcommands.
 func domainCmd(ctx context.Context, c *rds.Client, rest []string) error {
 	if len(rest) < 1 {
-		return fmt.Errorf("usage: domain status | members | delegate <name> <file.dpl> [entry [args...]]")
+		return fmt.Errorf("usage: domain status | members | bundles | delegate ... | rollout ... | rollback ...")
 	}
 	switch rest[0] {
 	case "status":
@@ -440,9 +450,118 @@ func domainCmd(ctx context.Context, c *rds.Client, rest []string) error {
 			return fmt.Errorf("%d of %d hops rejected %q", rej, len(res.Outcomes), res.DP)
 		}
 		fmt.Printf("cascaded %q to %d member(s)\n", res.DP, res.Accepted())
+	case "rollout":
+		if len(rest) < 4 {
+			return fmt.Errorf("usage: domain rollout <lineage> <version> <file.dpl>...")
+		}
+		lineage := rest[1]
+		version, err := strconv.ParseUint(rest[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("usage: domain rollout <lineage> <version> <file.dpl>... (version must be a number)")
+		}
+		bundle := &rds.Bundle{Lineage: lineage, Version: version}
+		for _, file := range rest[3:] {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				return err
+			}
+			dp := strings.TrimSuffix(filepath.Base(file), ".dpl")
+			bundle.Items = append(bundle.Items, rds.BundleItem{
+				DP: dp, Lang: "dpl", Blob: src, Entry: "main",
+			})
+		}
+		// Publish source form: the root compiles, content-addresses the
+		// golden bundle, and pushes it down the tree (members already
+		// holding the hash answer the probe — zero bytes moved).
+		res, err := c.PeerBundleStage(ctx, lineage, "", bundle.Encode())
+		if err != nil {
+			return describeReject(rest[3], err)
+		}
+		fmt.Printf("golden bundle %s v%d: %s\n", lineage, version, res.Hash)
+		fmt.Printf("%-16s %-16s %-22s %-8s %s\n", "MEMBER", "DOMAIN", "ADDR", "STAGE", "BYTES/ERROR")
+		for _, o := range res.Outcomes {
+			stage, detail := "staged", strconv.FormatUint(o.ArtifactBytes, 10)
+			if o.AlreadyStaged {
+				stage = "cached"
+			}
+			if !o.OK {
+				stage, detail = "failed", o.Err
+			}
+			fmt.Printf("%-16s %-16s %-22s %-8s %s\n", o.Member, o.Domain, o.Addr, stage, detail)
+		}
+		if staged, total := res.Staged(), len(res.Outcomes); staged < total {
+			return fmt.Errorf("staged at %d of %d members; not activating", staged, total)
+		}
+		fmt.Printf("staged at %d member(s), %d artifact byte(s) transferred\n",
+			res.Staged(), res.TransferredBytes())
+		return activateBundle(ctx, c, lineage, res.Hash)
+	case "rollback":
+		if len(rest) != 3 {
+			return fmt.Errorf("usage: domain rollback <lineage> <hash>")
+		}
+		return activateBundle(ctx, c, rest[1], rest[2])
+	case "bundles":
+		out, err := c.DomainStatus(ctx)
+		if err != nil {
+			return err
+		}
+		var st struct {
+			Domain  string             `json:"domain"`
+			Bundles []rds.BundleStatus `json:"bundles"`
+			Members []struct {
+				Name    string             `json:"name"`
+				State   string             `json:"state"`
+				Bundles []rds.BundleStatus `json:"bundles"`
+			} `json:"members"`
+		}
+		if err := json.Unmarshal([]byte(out), &st); err != nil {
+			return fmt.Errorf("parsing domain status: %w", err)
+		}
+		fmt.Printf("%-16s %-16s %-10s %-8s %s\n", "MEMBER", "LINEAGE", "VERSION", "STAGED", "ACTIVE-HASH")
+		printRow := func(member, state string, b rds.BundleStatus) {
+			hash := b.Hash
+			if hash == "" {
+				hash = "(none)"
+			}
+			fmt.Printf("%-16s %-16s %-10d %-8d %s\n", member+state, b.Lineage, b.Version, b.Staged, hash)
+		}
+		for _, b := range st.Bundles {
+			printRow("(self)", "", b)
+		}
+		for _, m := range st.Members {
+			suffix := ""
+			if m.State != "alive" {
+				suffix = " [" + m.State + "]"
+			}
+			for _, b := range m.Bundles {
+				printRow(m.Name, suffix, b)
+			}
+		}
 	default:
-		return fmt.Errorf("unknown domain subcommand %q (want status, members or delegate)", rest[0])
+		return fmt.Errorf("unknown domain subcommand %q (want status, members, bundles, delegate, rollout or rollback)", rest[0])
 	}
+	return nil
+}
+
+// activateBundle flips the domain's active pointer for lineage to hash
+// and prints every member's outcome.
+func activateBundle(ctx context.Context, c *rds.Client, lineage, hash string) error {
+	res, err := c.PeerBundleActivate(ctx, lineage, hash)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %-16s %-22s %-8s %s\n", "MEMBER", "DOMAIN", "ADDR", "RESULT", "DPI/ERROR")
+	for _, o := range res.Outcomes {
+		result, detail := "active", o.DPI
+		if !o.OK {
+			result, detail = "rejected", o.Err
+		}
+		fmt.Printf("%-16s %-16s %-22s %-8s %s\n", o.Member, o.Domain, o.Addr, result, detail)
+	}
+	if rej := res.Rejected(); rej > 0 {
+		return fmt.Errorf("%d of %d hops rejected activation of %.12s…", rej, len(res.Outcomes), hash)
+	}
+	fmt.Printf("activated %s %.12s… at %d member(s)\n", lineage, hash, res.Accepted())
 	return nil
 }
 

@@ -35,6 +35,13 @@
 // and flush events, checkpoints the repository, and only then stops the
 // elastic process.
 //
+// With -domain, the server joins (or roots) a management domain: each
+// member sends its parent one coalesced sync frame per heartbeat —
+// liveness, pending rollup deltas, and its golden-bundle inventory in a
+// single round trip — and serves the domain bundle operations (mbdctl
+// domain rollout / rollback / bundles) for content-addressed,
+// atomically-switched program distribution.
+//
 // With one or more -secret principal=secret flags, RDS requests must
 // carry a valid MD5 digest; otherwise authentication is off (the first
 // prototype's behavior).
@@ -277,8 +284,8 @@ func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, s
 	}
 	if node := srv.Federation(); node != nil {
 		srvOpts = append(srvOpts, rds.WithPeerHandler(node))
-		log.Printf("federation: domain %q as %q (parent %q, advertise %s)",
-			fed.Domain, name, fed.Parent, fed.advertiseAddr(rdsAddr))
+		log.Printf("federation: domain %q as %q (parent %q, advertise %s, rollup %s)",
+			fed.Domain, name, fed.Parent, fed.advertiseAddr(rdsAddr), fed.Rollup)
 	}
 	rdsSrv := rds.NewServer(srv.Process(), auth, srvOpts...)
 

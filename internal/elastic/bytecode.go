@@ -35,6 +35,29 @@ func (p *Process) DelegateCompiled(principal, name string, blob []byte) error {
 	return nil
 }
 
+// CompileProgram translates source through the content-addressed
+// program cache into a shippable CompiledProgram, without touching the
+// repository or the admission policy. The golden-bundle publisher uses
+// it to normalize source items into canonical artifacts before content
+// addressing.
+func (p *Process) CompileProgram(lang, source string) (*dpl.CompiledProgram, error) {
+	ent, err := p.translateCached(lang, source)
+	if err != nil {
+		return nil, err
+	}
+	return ent.prog, nil
+}
+
+// VerifyCompiled dry-runs the compiled-artifact admission path for
+// principal without storing anything: decode, bytecode verification,
+// per-principal admission policy. Bundle staging uses it so a bad
+// artifact is refused at stage time, long before activation tries to
+// run it.
+func (p *Process) VerifyCompiled(principal, name string, blob []byte) error {
+	_, err := p.prepareCompiled(principal, name, blob)
+	return err
+}
+
 // prepareCompiled decodes, verifies and admits one artifact without
 // storing it, with the same rejection accounting as prepare.
 func (p *Process) prepareCompiled(principal, name string, blob []byte) (*DP, error) {

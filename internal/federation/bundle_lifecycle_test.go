@@ -1,0 +1,159 @@
+package federation
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"mbd/internal/rds"
+)
+
+// bundleOf builds a one-item source bundle for lineage, reporting val
+// from its entry so activations are observable in the rollup.
+func bundleOf(lineage string, version uint64, val string) []byte {
+	src := `func main() { report("` + val + `"); return 1; }`
+	return (&rds.Bundle{Lineage: lineage, Version: version, Items: []rds.BundleItem{
+		{DP: "pulse", Lang: "dpl", Blob: []byte(src), Entry: "main"},
+	}}).Encode()
+}
+
+// TestBundleStageActivateRollback drives the full golden-bundle
+// lifecycle through a two-node tree: source publish (normalized to a
+// compiled golden bundle at the root), delta re-publish transferring
+// zero artifact bytes, atomic activation, v2 upgrade, and rollback to
+// v1 — with the rollup proving which version actually runs where.
+func TestBundleStageActivateRollback(t *testing.T) {
+	hb := 20 * time.Millisecond
+	root := startNode(t, "root", "campus", "", Sum(), hb)
+	leaf := startNode(t, "leaf", "lan", root.addr, Sum(), hb)
+	waitFor(t, 5*time.Second, "leaf join", func() bool {
+		st, ok := memberState(root.node, "leaf")
+		return ok && st == "alive"
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Publish v1 as source: the root compiles it, content-addresses the
+	// golden form, and pushes it down the tree.
+	raw1 := bundleOf("suite", 1, "1")
+	res, err := root.node.PeerBundleStage(ctx, "federation", "suite", "", raw1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hash) != 64 {
+		t.Fatalf("golden hash = %q, want hex sha256", res.Hash)
+	}
+	hash1 := res.Hash
+	if res.Staged() != 2 || res.TransferredBytes() == 0 {
+		t.Fatalf("first publish: staged=%d bytes=%d, want 2 members and bytes moved",
+			res.Staged(), res.TransferredBytes())
+	}
+
+	// Delta push: an unchanged re-publish moves ZERO artifact bytes —
+	// every member answers the probe from its content-addressed store.
+	res, err = root.node.PeerBundleStage(ctx, "federation", "suite", "", raw1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hash != hash1 {
+		t.Fatalf("re-publish hash = %q, want %q", res.Hash, hash1)
+	}
+	if res.TransferredBytes() != 0 {
+		t.Fatalf("unchanged re-publish transferred %d artifact bytes, want 0", res.TransferredBytes())
+	}
+	for _, o := range res.Outcomes {
+		if !o.OK || !o.AlreadyStaged {
+			t.Fatalf("re-publish outcome %+v, want AlreadyStaged", o)
+		}
+	}
+
+	// Activating an unstaged hash is refused before anything moves.
+	if _, err := root.node.PeerBundleActivate(ctx, "federation", "suite", strings.Repeat("00", 32)); err == nil {
+		t.Fatal("activation of an unstaged hash succeeded")
+	}
+
+	// Activate v1 everywhere: both members flip and start instances.
+	fr, err := root.node.PeerBundleActivate(ctx, "federation", "suite", hash1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Accepted() != 2 || fr.Rejected() != 0 {
+		t.Fatalf("activate outcomes = %+v", fr.Outcomes)
+	}
+	// Each instance reports "1" under its DP name; the sum across both
+	// members reaches the root's rollup.
+	waitFor(t, 10*time.Second, "v1 rollup", func() bool {
+		v, ok := root.node.rollup.Value("pulse")
+		return ok && v == "2"
+	})
+	for _, n := range []*Node{root.node, leaf.node} {
+		bs := n.BundleStatuses()
+		if len(bs) != 1 || bs[0].Hash != hash1 || bs[0].Version != 1 || bs[0].Staged != 1 {
+			t.Fatalf("%s bundle status = %+v", n.Name(), bs)
+		}
+	}
+	// The child's sync frames carry its inventory upstream.
+	waitFor(t, 5*time.Second, "leaf inventory at root", func() bool {
+		for _, m := range root.node.MembersSnapshot() {
+			if m.Name == "leaf" && len(m.Bundles) == 1 && m.Bundles[0].Hash == hash1 {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Upgrade to v2 (reports "5"): stage, activate, observe the rollup
+	// move — then roll back by re-activating the v1 hash, zero bytes.
+	res, err = root.node.PeerBundleStage(ctx, "federation", "suite", "", bundleOf("suite", 2, "5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash2 := res.Hash
+	if hash2 == hash1 {
+		t.Fatal("v2 content address collides with v1")
+	}
+	if fr, err = root.node.PeerBundleActivate(ctx, "federation", "suite", hash2); err != nil || fr.Accepted() != 2 {
+		t.Fatalf("v2 activate: %v %+v", err, fr)
+	}
+	waitFor(t, 10*time.Second, "v2 rollup", func() bool {
+		v, ok := root.node.rollup.Value("pulse")
+		return ok && v == "10"
+	})
+
+	fr, err = root.node.PeerBundleActivate(ctx, "federation", "suite", hash1)
+	if err != nil || fr.Accepted() != 2 {
+		t.Fatalf("rollback: %v %+v", err, fr)
+	}
+	waitFor(t, 10*time.Second, "rollback rollup", func() bool {
+		v, ok := root.node.rollup.Value("pulse")
+		return ok && v == "2"
+	})
+	bs := root.node.BundleStatuses()
+	if len(bs) != 1 || bs[0].Hash != hash1 || bs[0].Staged != 2 {
+		t.Fatalf("after rollback: %+v, want active v1 with 2 staged versions", bs)
+	}
+}
+
+// TestBundleStageRefusesBadArtifacts: staging verifies every artifact;
+// a bundle whose program fails analysis never becomes answerable.
+func TestBundleStageRefusesBadArtifacts(t *testing.T) {
+	root := startNode(t, "root", "campus", "", nil, 20*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	bad := (&rds.Bundle{Lineage: "suite", Version: 1, Items: []rds.BundleItem{
+		{DP: "broken", Lang: "dpl", Blob: []byte(`func main() { return nosuchvar; }`)},
+	}}).Encode()
+	if _, err := root.node.PeerBundleStage(ctx, "federation", "suite", "", bad); err == nil {
+		t.Fatal("stage of an unanalyzable bundle succeeded")
+	}
+	// Probing for anything afterwards still misses: nothing was staged.
+	if _, err := root.node.PeerBundleStage(ctx, "federation", "suite", strings.Repeat("ab", 32), nil); !isUnknownBundle(err) {
+		t.Fatalf("probe err = %v, want unknown bundle", err)
+	}
+	// A bundle staged under the wrong lineage name is refused too.
+	ok := bundleOf("other", 1, "1")
+	if _, err := root.node.PeerBundleStage(ctx, "federation", "suite", "", ok); err == nil || !strings.Contains(err.Error(), "lineage") {
+		t.Fatalf("lineage mismatch err = %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package federation
 import (
 	"context"
 	"net"
+	"sort"
 	"strings"
 	"time"
 
@@ -12,15 +13,17 @@ import (
 
 // childLink is a node's upstream half: it dials the parent (riding the
 // rds client's WithReconnect machinery across outages), joins the
-// parent's domain, heartbeats, and forwards this node's rollup-change
-// events as PeerReports.
+// parent's domain, then sends one coalesced sync frame per beat — the
+// heartbeat, every pending rollup delta, and this node's bundle
+// inventory in a single round trip (OpPeerSync), instead of one
+// heartbeat plus N report exchanges.
 //
 // Forwarding keeps a latest-value-per-key pending map rather than a
 // fire-and-forget queue: a report that cannot be delivered (parent
 // down, parent restarted and amnesiac) stays pending and is retried
-// after the next successful join/heartbeat, so the parent's rollup
-// always converges to this node's latest values — reports are neither
-// lost nor double-counted (the parent overwrites the member's slot).
+// in the next frame, so the parent's rollup always converges to this
+// node's latest values — reports are neither lost nor double-counted
+// (the parent overwrites the member's slot).
 type childLink struct {
 	n    *Node
 	kick chan struct{}
@@ -112,8 +115,9 @@ func (c *childLink) run(ctx context.Context) {
 				// converges without waiting for new local reports.
 				c.reseed()
 			}
-		} else {
-			err = client.PeerHeartbeat(ctx, cfg.Name)
+		}
+		if joined {
+			err = c.sync(ctx, client)
 			if err == nil {
 				fails = 0
 			} else if isUnknownMember(err) {
@@ -123,12 +127,6 @@ func (c *childLink) run(ctx context.Context) {
 		}
 		if err != nil {
 			fails++
-		}
-		if joined {
-			joined = c.flush(ctx, client)
-			if !joined {
-				continue
-			}
 		}
 
 		delay := rds.Backoff(cfg.HeartbeatInterval, cfg.HeartbeatInterval, 1)
@@ -151,28 +149,50 @@ func (c *childLink) reseed() {
 	}
 }
 
-// flush tries to deliver every pending report, keeping failures pending
-// for the next round. Returns false when the parent no longer knows us
-// (re-join needed).
-func (c *childLink) flush(ctx context.Context, client *rds.Client) (stillJoined bool) {
+// maxFrameReports caps the rollup deltas coalesced into one sync frame
+// (matching the server-side decode bound); a deeper backlog rides the
+// immediately-kicked next frame.
+const maxFrameReports = 4096
+
+// sync sends one coalesced frame — heartbeat + pending rollup deltas +
+// bundle inventory — and clears the deltas it delivered. Entries that
+// changed while the frame was in flight stay pending, so the parent
+// still converges to the latest values.
+func (c *childLink) sync(ctx context.Context, client *rds.Client) error {
 	c.n.mu.Lock()
 	batch := make([]localReport, 0, len(c.pending))
 	for _, r := range c.pending {
+		if len(batch) == maxFrameReports {
+			break
+		}
 		batch = append(batch, r)
 	}
 	c.n.mu.Unlock()
+	sort.Slice(batch, func(i, j int) bool { return batch[i].key < batch[j].key })
+
+	sb := &rds.SyncBatch{Bundles: c.n.BundleStatuses()}
 	for _, r := range batch {
-		rctx, cancel := context.WithTimeout(ctx, c.n.cfg.DialTimeout)
-		err := client.PeerReport(rctx, c.n.cfg.Name, r.key, r.value, r.timeMS)
-		cancel()
-		if err != nil {
-			return !isUnknownMember(err)
-		}
-		c.n.mu.Lock()
+		sb.Reports = append(sb.Reports, rds.SyncReport{Key: r.key, Value: r.value, TimeMS: r.timeMS})
+	}
+	rctx, cancel := context.WithTimeout(ctx, c.n.cfg.DialTimeout)
+	err := client.PeerSync(rctx, c.n.cfg.Name, sb)
+	cancel()
+	if err != nil {
+		return err
+	}
+	c.n.mu.Lock()
+	for _, r := range batch {
 		if cur, ok := c.pending[r.key]; ok && cur.value == r.value && cur.timeMS == r.timeMS {
 			delete(c.pending, r.key)
 		}
-		c.n.mu.Unlock()
 	}
-	return true
+	backlog := len(c.pending) > 0 && len(batch) == maxFrameReports
+	c.n.mu.Unlock()
+	if backlog {
+		select {
+		case c.kick <- struct{}{}:
+		default:
+		}
+	}
+	return nil
 }

@@ -134,6 +134,9 @@ type member struct {
 	lastSeen time.Time
 	reports  uint64
 	rejoins  uint64
+	// bundles is the member's last-reported lineage inventory, carried
+	// by its sync frames.
+	bundles []rds.BundleStatus
 }
 
 // localReport is one local DPI report queued for rollup application.
@@ -160,6 +163,12 @@ type nodeMetrics struct {
 	deaths         *obs.Counter
 	applyDrops     *obs.Counter
 	bytecodeShips  *obs.Counter
+
+	syncFrames        *obs.Counter
+	syncReports       *obs.Counter
+	bundleStages      *obs.Counter
+	bundleStageBytes  *obs.Counter
+	bundleActivations *obs.Counter
 }
 
 // Node is one server's seat in the federation: the root of domain
@@ -175,6 +184,8 @@ type Node struct {
 
 	mu      sync.Mutex
 	members map[string]*member
+
+	bundles bundleStore
 
 	applyCh chan localReport
 	ctx     context.Context
@@ -245,6 +256,12 @@ func New(cfg Config) (*Node, error) {
 		deaths:         reg.Counter("federation_member_deaths_total", "members declared dead by the failure detector"),
 		applyDrops:     reg.Counter("federation_apply_drops_total", "local reports dropped on apply-queue overflow"),
 		bytecodeShips:  reg.Counter("federation_bytecode_ships_total", "cascaded delegations forwarded as verified bytecode instead of source"),
+
+		syncFrames:        reg.Counter("federation_sync_frames_total", "batched child sync frames accepted"),
+		syncReports:       reg.Counter("federation_sync_reports_total", "rollup deltas carried by sync frames"),
+		bundleStages:      reg.Counter("federation_bundle_stages_total", "golden bundle stage requests served (probes included)"),
+		bundleStageBytes:  reg.Counter("federation_bundle_stage_bytes_total", "bundle artifact bytes received by stage requests"),
+		bundleActivations: reg.Counter("federation_bundle_activations_total", "bundle version flips performed locally"),
 	}
 	reg.FuncGauge("federation_members_alive", "members currently alive", n.stateGauge(MemberAlive))
 	reg.FuncGauge("federation_members_suspect", "members currently suspect", n.stateGauge(MemberSuspect))
@@ -490,6 +507,39 @@ func (n *Node) PeerReport(principal, memberName, key, value string, timeMS int64
 	return nil
 }
 
+// PeerSync implements rds.PeerHandler: apply one batched child frame —
+// heartbeat liveness, every carried rollup delta, and the member's
+// bundle inventory — in a single round trip. Unknown members are
+// refused so the child re-joins before re-sending.
+func (n *Node) PeerSync(principal, memberName string, batch *rds.SyncBatch) error {
+	n.mu.Lock()
+	m, ok := n.members[memberName]
+	dead := ok && m.state == MemberDead
+	if ok && !dead {
+		m.lastSeen = time.Now()
+		m.state = MemberAlive
+		m.reports += uint64(len(batch.Reports))
+		if len(batch.Bundles) > 0 || m.bundles != nil {
+			m.bundles = batch.Bundles
+		}
+	}
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownMember, memberName)
+	}
+	if dead {
+		return fmt.Errorf("%w: %s (declared dead; re-join)", ErrUnknownMember, memberName)
+	}
+	n.met.heartbeats.Inc()
+	n.met.syncFrames.Inc()
+	n.met.syncReports.Add(uint64(len(batch.Reports)))
+	n.met.reports.Add(uint64(len(batch.Reports)))
+	for _, r := range batch.Reports {
+		n.applyReport(memberName, r.Key, r.Value, r.TimeMS)
+	}
+	return nil
+}
+
 // PeerDelegate implements rds.PeerHandler: cascade one delegation
 // through this node and its subtree.
 func (n *Node) PeerDelegate(ctx context.Context, principal, dp, lang, source, entry string, args []string) (*rds.FanoutResult, error) {
@@ -642,6 +692,9 @@ type Status struct {
 	Advertise string         `json:"advertise,omitempty"`
 	Members   []MemberStatus `json:"members"`
 	Rollup    []RollupStatus `json:"rollup"`
+	// Bundles is this node's own lineage inventory (active hash +
+	// staged version count per lineage).
+	Bundles []rds.BundleStatus `json:"bundles,omitempty"`
 }
 
 // MemberStatus is one member's row in a Status document.
@@ -654,6 +707,8 @@ type MemberStatus struct {
 	SinceSeenMS int64  `json:"since_seen_ms"`
 	Reports     uint64 `json:"reports"`
 	Rejoins     uint64 `json:"rejoins"`
+	// Bundles is the member's last-reported lineage inventory.
+	Bundles []rds.BundleStatus `json:"bundles,omitempty"`
 }
 
 // RollupStatus is one rollup key's row in a Status document.
@@ -680,6 +735,7 @@ func (n *Node) MembersSnapshot() []MemberStatus {
 			SinceSeenMS: now.Sub(m.lastSeen).Milliseconds(),
 			Reports:     m.reports,
 			Rejoins:     m.rejoins,
+			Bundles:     append([]rds.BundleStatus(nil), m.bundles...),
 		})
 	}
 	n.mu.Unlock()
@@ -695,6 +751,7 @@ func (n *Node) Status() Status {
 		Parent:    n.cfg.Parent,
 		Advertise: n.cfg.Advertise,
 		Members:   n.MembersSnapshot(),
+		Bundles:   n.BundleStatuses(),
 	}
 	for _, r := range n.rollup.Rows() {
 		st.Rollup = append(st.Rollup, RollupStatus{

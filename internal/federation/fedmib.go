@@ -4,13 +4,14 @@ import (
 	"mbd/internal/mib"
 	"mbd/internal/obs/obsmib"
 	"mbd/internal/oid"
+	"mbd/internal/rds"
 )
 
 // OIDFederation is the default mount point for the federation subtree,
 // a sibling of the MCVA view arc (…1) and the self-stats arc (…2).
 var OIDFederation = oid.MustParse("1.3.6.1.4.1.424242.3")
 
-// The subtree holds two tables, walked in order:
+// The subtree holds three tables, walked in order:
 //
 //	<prefix>.1.<col>.<i>  members  (rows: members sorted by name)
 //	  col 1 fedMemberName    OCTET STRING
@@ -22,6 +23,11 @@ var OIDFederation = oid.MustParse("1.3.6.1.4.1.424242.3")
 //	  col 2 fedRollupValue   OCTET STRING  (combined value)
 //	  col 3 fedRollupMembers Gauge32       (contributors)
 //	  col 4 fedRollupUpdates Counter64
+//	<prefix>.3.<col>.<i>  bundles  (rows: lineages sorted)
+//	  col 1 fedBundleLineage OCTET STRING
+//	  col 2 fedBundleActive  OCTET STRING  (active hash, "" if none)
+//	  col 3 fedBundleVersion Gauge32       (active publisher version)
+//	  col 4 fedBundleStaged  Gauge32       (staged version count)
 //
 // Like the self-stats subtree, row indexes are 1-based positions in the
 // current sorted snapshot; the name/key column makes walks
@@ -29,9 +35,11 @@ var OIDFederation = oid.MustParse("1.3.6.1.4.1.424242.3")
 const (
 	tableMembers = 1
 	tableRollup  = 2
+	tableBundles = 3
 
 	memberCols = 4
 	rollupCols = 4
+	bundleCols = 4
 )
 
 // Handler serves a Node as a MIB subtree. Create with NewHandler; mount
@@ -86,6 +94,25 @@ func rollupCell(rows []RollupRow, col, idx uint32) (mib.Value, bool) {
 	return mib.Value{}, false
 }
 
+// bundleCell returns the bundles-table value at (col, idx).
+func bundleCell(rows []rds.BundleStatus, col, idx uint32) (mib.Value, bool) {
+	if idx < 1 || int(idx) > len(rows) {
+		return mib.Value{}, false
+	}
+	b := rows[idx-1]
+	switch col {
+	case 1:
+		return mib.Str(b.Lineage), true
+	case 2:
+		return mib.Str(b.Hash), true
+	case 3:
+		return mib.Gauge32(b.Version), true
+	case 4:
+		return mib.Gauge32(b.Staged), true
+	}
+	return mib.Value{}, false
+}
+
 // GetRel implements mib.Handler. rel is <table>.<col>.<idx>.
 func (h *Handler) GetRel(rel oid.OID) (mib.Value, bool) {
 	if len(rel) != 3 {
@@ -96,6 +123,8 @@ func (h *Handler) GetRel(rel oid.OID) (mib.Value, bool) {
 		return memberCell(h.node.MembersSnapshot(), rel[1], rel[2])
 	case tableRollup:
 		return rollupCell(h.node.rollup.Rows(), rel[1], rel[2])
+	case tableBundles:
+		return bundleCell(h.node.BundleStatuses(), rel[1], rel[2])
 	}
 	return mib.Value{}, false
 }
@@ -110,11 +139,12 @@ func (h *Handler) NextRel(rel oid.OID) (oid.OID, mib.Value, bool) {
 func (h *Handler) AppendNextRel(dst oid.OID, rel oid.OID) (oid.OID, mib.Value, bool) {
 	members := h.node.MembersSnapshot()
 	rollup := h.node.rollup.Rows()
+	bundles := h.node.BundleStatuses()
 
 	table := uint32(tableMembers)
 	var sub oid.OID
 	if len(rel) > 0 {
-		if rel[0] > tableRollup {
+		if rel[0] > tableBundles {
 			return nil, mib.Value{}, false
 		}
 		if rel[0] >= tableMembers {
@@ -133,10 +163,20 @@ func (h *Handler) AppendNextRel(dst oid.OID, rel oid.OID) (oid.OID, mib.Value, b
 		// table from its start.
 		table, sub = tableRollup, nil
 	}
-	if col, idx := obsmib.NextCell(sub, rollupCols, len(rollup)); col != 0 {
-		v, ok := rollupCell(rollup, col, idx)
+	if table == tableRollup {
+		if col, idx := obsmib.NextCell(sub, rollupCols, len(rollup)); col != 0 {
+			v, ok := rollupCell(rollup, col, idx)
+			if ok {
+				return append(dst, tableRollup, col, idx), v, true
+			}
+		}
+		// Rollup table exhausted: fall into the bundles table.
+		sub = nil
+	}
+	if col, idx := obsmib.NextCell(sub, bundleCols, len(bundles)); col != 0 {
+		v, ok := bundleCell(bundles, col, idx)
 		if ok {
-			return append(dst, tableRollup, col, idx), v, true
+			return append(dst, tableBundles, col, idx), v, true
 		}
 	}
 	return nil, mib.Value{}, false

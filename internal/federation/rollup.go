@@ -30,7 +30,38 @@ type Combiner interface {
 	Combine(vals []MemberValue) string
 }
 
-// CombinerFunc adapts a function to the Combiner interface.
+// KeyState is a DeltaCombiner's materialized per-key state: whatever
+// the combiner needs to fold one member delta without revisiting the
+// other members. Num and Best cover the built-in combiners; Valid is
+// managed by the Rollup (false forces the next change through a full
+// recombine).
+type KeyState struct {
+	Num   float64
+	Best  MemberValue
+	Valid bool
+}
+
+// DeltaCombiner is the incremental capability: a combiner that can
+// seed per-key state from the full contribution set once, then fold
+// individual member deltas in O(1) — the property that lets a
+// 10k-member tree converge without O(members) recomputation per
+// report. A fold may decline (ok=false) when the delta invalidates the
+// materialized state (e.g. the current max winner degrades); the
+// Rollup then falls back to one full recombine and reseeds.
+type DeltaCombiner interface {
+	Combiner
+	// Seed materializes st from vals (never empty, sorted by member)
+	// and returns the combined value.
+	Seed(st *KeyState, vals []MemberValue) string
+	// Fold applies one member delta to st: prev/had is the member's
+	// displaced contribution, next/have its new one (have=false is a
+	// removal). It returns the new combined value, or ok=false when the
+	// state cannot absorb this delta and a full recombine is needed.
+	Fold(st *KeyState, prev MemberValue, had bool, next MemberValue, have bool) (combined string, ok bool)
+}
+
+// CombinerFunc adapts a function to the Combiner interface. It has no
+// delta capability: every change recombines the full contribution set.
 type CombinerFunc struct {
 	Label string
 	Fn    func(vals []MemberValue) string
@@ -58,43 +89,140 @@ func renderNumber(f float64) string {
 	return strconv.FormatFloat(f, 'g', -1, 64)
 }
 
+// sumCombiner adds values numerically; folds adjust a running total.
+type sumCombiner struct{}
+
+func (sumCombiner) Name() string { return "sum" }
+
+func (sumCombiner) Combine(vals []MemberValue) string {
+	total := 0.0
+	for _, v := range vals {
+		total += numeric(v.Value)
+	}
+	return renderNumber(total)
+}
+
+func (sumCombiner) Seed(st *KeyState, vals []MemberValue) string {
+	total := 0.0
+	for _, v := range vals {
+		total += numeric(v.Value)
+	}
+	st.Num = total
+	return renderNumber(total)
+}
+
+func (sumCombiner) Fold(st *KeyState, prev MemberValue, had bool, next MemberValue, have bool) (string, bool) {
+	if had {
+		st.Num -= numeric(prev.Value)
+	}
+	if have {
+		st.Num += numeric(next.Value)
+	}
+	return renderNumber(st.Num), true
+}
+
 // Sum adds the members' values numerically.
-func Sum() Combiner {
-	return CombinerFunc{Label: "sum", Fn: func(vals []MemberValue) string {
-		total := 0.0
-		for _, v := range vals {
-			total += numeric(v.Value)
+func Sum() Combiner { return sumCombiner{} }
+
+// maxCombiner keeps the largest value; folds track the winning member
+// so only a winner's degrade or departure forces a recombine.
+type maxCombiner struct{}
+
+func (maxCombiner) Name() string { return "max" }
+
+func (maxCombiner) Combine(vals []MemberValue) string {
+	best := numeric(vals[0].Value)
+	for _, v := range vals[1:] {
+		if f := numeric(v.Value); f > best {
+			best = f
 		}
-		return renderNumber(total)
-	}}
+	}
+	return renderNumber(best)
+}
+
+func (maxCombiner) Seed(st *KeyState, vals []MemberValue) string {
+	st.Best = vals[0]
+	st.Num = numeric(vals[0].Value)
+	for _, v := range vals[1:] {
+		if f := numeric(v.Value); f > st.Num {
+			st.Best, st.Num = v, f
+		}
+	}
+	return renderNumber(st.Num)
+}
+
+func (maxCombiner) Fold(st *KeyState, prev MemberValue, had bool, next MemberValue, have bool) (string, bool) {
+	if !have {
+		if prev.Member == st.Best.Member {
+			return "", false // the winner left: recombine
+		}
+		return renderNumber(st.Num), true
+	}
+	f := numeric(next.Value)
+	if next.Member == st.Best.Member {
+		if f < st.Num {
+			return "", false // the winner degraded: recombine
+		}
+		st.Best, st.Num = next, f
+	} else if f > st.Num {
+		st.Best, st.Num = next, f
+	}
+	return renderNumber(st.Num), true
 }
 
 // Max keeps the numerically largest member value.
-func Max() Combiner {
-	return CombinerFunc{Label: "max", Fn: func(vals []MemberValue) string {
-		best := numeric(vals[0].Value)
-		for _, v := range vals[1:] {
-			if f := numeric(v.Value); f > best {
-				best = f
-			}
+func Max() Combiner { return maxCombiner{} }
+
+// latestCombiner keeps the most recent report; folds track the holder.
+type latestCombiner struct{}
+
+func (latestCombiner) Name() string { return "latest" }
+
+func (latestCombiner) Combine(vals []MemberValue) string {
+	best := vals[0]
+	for _, v := range vals[1:] {
+		if v.TimeMS > best.TimeMS {
+			best = v
 		}
-		return renderNumber(best)
-	}}
+	}
+	return best.Value
+}
+
+func (latestCombiner) Seed(st *KeyState, vals []MemberValue) string {
+	st.Best = vals[0]
+	for _, v := range vals[1:] {
+		if v.TimeMS > st.Best.TimeMS {
+			st.Best = v
+		}
+	}
+	return st.Best.Value
+}
+
+func (latestCombiner) Fold(st *KeyState, prev MemberValue, had bool, next MemberValue, have bool) (string, bool) {
+	if !have {
+		if prev.Member == st.Best.Member {
+			return "", false // the holder left: recombine
+		}
+		return st.Best.Value, true
+	}
+	if next.Member == st.Best.Member {
+		if next.TimeMS < st.Best.TimeMS {
+			return "", false // holder's clock went backwards: recombine
+		}
+		st.Best = next
+		return st.Best.Value, true
+	}
+	// Ties break on the smaller member name, matching the sorted-order
+	// semantics of Combine.
+	if next.TimeMS > st.Best.TimeMS || (next.TimeMS == st.Best.TimeMS && next.Member < st.Best.Member) {
+		st.Best = next
+	}
+	return st.Best.Value, true
 }
 
 // Latest keeps the most recently reported value (ties break on member
 // name, keeping the result deterministic).
-func Latest() Combiner {
-	return CombinerFunc{Label: "latest", Fn: func(vals []MemberValue) string {
-		best := vals[0]
-		for _, v := range vals[1:] {
-			if v.TimeMS > best.TimeMS {
-				best = v
-			}
-		}
-		return best.Value
-	}}
-}
+func Latest() Combiner { return latestCombiner{} }
 
 // dpCombineTimeout bounds one custom-DP combination run.
 const dpCombineTimeout = 5 * time.Second
@@ -104,7 +232,9 @@ const dpCombineTimeout = 5 * time.Second
 // values is an array of the members' values (each interpreted like a
 // wire argument — see rds.ParseArg). The program passes the same
 // static-analysis admission gate as any evaluation. Errors fall back to
-// Latest semantics so a broken combiner never blanks the rollup.
+// Latest semantics so a broken combiner never blanks the rollup. A DP
+// combiner sees the full set on every change (no delta capability: the
+// program is opaque).
 func DPCombiner(proc *elastic.Process, principal, source, entry string) Combiner {
 	return CombinerFunc{Label: "dp:" + entry, Fn: func(vals []MemberValue) string {
 		args := &dpl.Array{}
@@ -131,10 +261,28 @@ type RollupRow struct {
 	UpdatedAt    time.Time
 }
 
-// rollupKey holds one key's per-member latest values and its combined
-// result.
+// RollupStats counts the aggregation work a rollup has done. The
+// fleet-scale invariant lives in MembersVisited: with a DeltaCombiner
+// it grows by 1 per folded report instead of by the contributor count,
+// so work per report is O(delta), not O(members).
+type RollupStats struct {
+	// Reports counts Report calls.
+	Reports uint64
+	// Folds counts deltas absorbed incrementally (O(1) work).
+	Folds uint64
+	// Recombines counts full recomputations (first sight of a key,
+	// declined folds, combiner swaps).
+	Recombines uint64
+	// MembersVisited totals contributions examined across folds and
+	// recombines.
+	MembersVisited uint64
+}
+
+// rollupKey holds one key's per-member latest values, its combined
+// result, and the combiner's materialized delta state.
 type rollupKey struct {
 	vals      map[string]MemberValue
+	state     KeyState
 	combined  string
 	updates   uint64
 	updatedAt time.Time
@@ -151,6 +299,7 @@ type Rollup struct {
 	def       Combiner
 	combiners map[string]Combiner
 	keys      map[string]*rollupKey
+	stats     RollupStats
 }
 
 // NewRollup returns a rollup whose keys default to def (nil = Latest).
@@ -187,14 +336,40 @@ func (r *Rollup) combinerFor(key string) Combiner {
 }
 
 // combineLocked recomputes a key's merged value from its current
-// contributions (caller holds r.mu).
+// contributions and reseeds the delta state (caller holds r.mu).
 func (r *Rollup) combineLocked(key string, k *rollupKey) string {
 	vals := make([]MemberValue, 0, len(k.vals))
 	for _, v := range k.vals {
 		vals = append(vals, v)
 	}
 	sort.Slice(vals, func(i, j int) bool { return vals[i].Member < vals[j].Member })
-	return r.combinerFor(key).Combine(vals)
+	r.stats.Recombines++
+	r.stats.MembersVisited += uint64(len(vals))
+	c := r.combinerFor(key)
+	k.state = KeyState{}
+	if dc, ok := c.(DeltaCombiner); ok {
+		combined := dc.Seed(&k.state, vals)
+		k.state.Valid = true
+		return combined
+	}
+	return c.Combine(vals)
+}
+
+// foldLocked tries to absorb one member delta incrementally, falling
+// back to a full recombine when the combiner has no delta capability or
+// declines the fold (caller holds r.mu; k.vals already reflects the
+// delta).
+func (r *Rollup) foldLocked(key string, k *rollupKey, prev MemberValue, had bool, next MemberValue, have bool) string {
+	if k.state.Valid {
+		if dc, ok := r.combinerFor(key).(DeltaCombiner); ok {
+			if combined, ok := dc.Fold(&k.state, prev, had, next, have); ok {
+				r.stats.Folds++
+				r.stats.MembersVisited++
+				return combined
+			}
+		}
+	}
+	return r.combineLocked(key, k)
 }
 
 // Report merges one member report and returns the key's combined value
@@ -202,13 +377,21 @@ func (r *Rollup) combineLocked(key string, k *rollupKey) string {
 func (r *Rollup) Report(member, key, value string, timeMS int64) (combined string, changed bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.stats.Reports++
 	k, ok := r.keys[key]
 	if !ok {
 		k = &rollupKey{vals: make(map[string]MemberValue)}
 		r.keys[key] = k
 	}
-	k.vals[member] = MemberValue{Member: member, Value: value, TimeMS: timeMS}
-	next := r.combineLocked(key, k)
+	prev, had := k.vals[member]
+	nv := MemberValue{Member: member, Value: value, TimeMS: timeMS}
+	k.vals[member] = nv
+	var next string
+	if !ok {
+		next = r.combineLocked(key, k)
+	} else {
+		next = r.foldLocked(key, k, prev, had, nv, true)
+	}
 	changed = !ok || next != k.combined
 	k.combined = next
 	if changed {
@@ -235,7 +418,8 @@ func (r *Rollup) DropMember(member string) []KeyUpdate {
 	defer r.mu.Unlock()
 	var out []KeyUpdate
 	for key, k := range r.keys {
-		if _, ok := k.vals[member]; !ok {
+		prev, ok := k.vals[member]
+		if !ok {
 			continue
 		}
 		delete(k.vals, member)
@@ -244,7 +428,7 @@ func (r *Rollup) DropMember(member string) []KeyUpdate {
 			out = append(out, KeyUpdate{Key: key, Removed: true})
 			continue
 		}
-		next := r.combineLocked(key, k)
+		next := r.foldLocked(key, k, prev, true, MemberValue{}, false)
 		if next != k.combined {
 			k.combined = next
 			k.updates++
@@ -254,6 +438,13 @@ func (r *Rollup) DropMember(member string) []KeyUpdate {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
+}
+
+// Stats snapshots the aggregation-work counters.
+func (r *Rollup) Stats() RollupStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
 }
 
 // Rows snapshots the rollup sorted by key.

@@ -72,11 +72,30 @@ const (
 	// (Name=member, Entry=rollup key, Payload=value, TimeMS=member
 	// clock).
 	OpPeerReport
+	// OpPeerSync is the batched child→parent frame: one datagram-sized
+	// message carrying the member's heartbeat, every pending rollup
+	// delta, and the bundle hashes it runs (Name=member, Payload=a
+	// BER-encoded SyncBatch). It subsumes one OpPeerHeartbeat plus N
+	// OpPeerReport round trips.
+	OpPeerSync
+	// OpPeerBundleStage stages a content-addressed golden DP bundle
+	// (Name=lineage, Entry=sha256 hex of the canonical bundle encoding,
+	// Payload=the encoded Bundle — empty for a probe asking "do you
+	// already hold this hash?"). The reply's Payload carries a
+	// BER-encoded StageResult; a probe miss answers with an
+	// unknown-bundle error so the parent re-sends the full payload.
+	OpPeerBundleStage
+	// OpPeerBundleActivate flips a lineage's active-version pointer to
+	// an already-staged hash across the subtree (Name=lineage,
+	// Entry=hash). The reply's Payload carries a FanoutResult with every
+	// member's activation outcome. Activating a previously active hash
+	// is the rollback path.
+	OpPeerBundleActivate
 )
 
 // opMax is the highest assigned operation code; Decode rejects anything
 // beyond it.
-const opMax = OpPeerReport
+const opMax = OpPeerBundleActivate
 
 // String names the op.
 func (o Op) String() string {
@@ -111,6 +130,12 @@ func (o Op) String() string {
 		return "peer-delegate"
 	case OpPeerReport:
 		return "peer-report"
+	case OpPeerSync:
+		return "peer-sync"
+	case OpPeerBundleStage:
+		return "peer-bundle-stage"
+	case OpPeerBundleActivate:
+		return "peer-bundle-activate"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}

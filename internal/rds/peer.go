@@ -31,6 +31,20 @@ type PeerHandler interface {
 	// live member, collecting per-member outcomes. A non-empty entry
 	// also instantiates the program at each accepting hop.
 	PeerDelegate(ctx context.Context, principal, dp, lang, source, entry string, args []string) (*FanoutResult, error)
+	// PeerSync applies one batched child frame: heartbeat semantics for
+	// member plus every carried rollup delta and bundle status. An
+	// unknown member must be answered with an error so the child
+	// re-joins.
+	PeerSync(principal, member string, batch *SyncBatch) error
+	// PeerBundleStage stages a content-addressed golden bundle across
+	// the subtree. An empty bundle payload is a probe: a handler not
+	// holding hash answers with an unknown-bundle error so the caller
+	// re-sends the full payload.
+	PeerBundleStage(ctx context.Context, principal, lineage, hash string, bundle []byte) (*StageResult, error)
+	// PeerBundleActivate flips lineage's active-version pointer to an
+	// already-staged hash across the subtree (rollback is activating a
+	// previously active hash).
+	PeerBundleActivate(ctx context.Context, principal, lineage, hash string) (*FanoutResult, error)
 	// StatusJSON renders the domain status document served by the
 	// OpStats "federation" view.
 	StatusJSON() ([]byte, error)

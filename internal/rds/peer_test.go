@@ -54,6 +54,16 @@ func peerSeedMessages() []*Message {
 				{Member: "lan-a", Domain: "lan-a", Addr: "127.0.0.1:5501", Err: "rejected: DPL007"},
 			},
 		}).Encode()},
+		{Op: OpPeerSync, Seq: 14, Principal: "federation", Name: "lan-a", Payload: (&SyncBatch{
+			Reports: []SyncReport{{Key: "octet-rate", Value: "8192", TimeMS: 1234}},
+			Bundles: []BundleStatus{{Lineage: "probe-suite", Hash: "ab12", Version: 2, Staged: 2}},
+		}).Encode()},
+		{Op: OpPeerBundleStage, Seq: 15, Principal: "noc", Name: "probe-suite", Entry: "ab12", Payload: (&Bundle{
+			Lineage: "probe-suite", Version: 2, Items: []BundleItem{
+				{DP: "agent", Lang: "dpl", Blob: []byte("func main() { return 1; }"), Entry: "main", Args: []string{"3"}},
+			},
+		}).Encode()},
+		{Op: OpPeerBundleActivate, Seq: 16, Principal: "noc", Name: "probe-suite", Entry: "ab12"},
 	}
 }
 
@@ -67,7 +77,7 @@ func TestWritePeerFuzzCorpus(t *testing.T) {
 		t.Skip("set RDS_WRITE_CORPUS=1 to rewrite the committed corpus")
 	}
 	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeFrame")
-	names := []string{"seed_peer_join", "seed_peer_heartbeat", "seed_peer_report", "seed_peer_delegate", "seed_peer_fanout_reply"}
+	names := []string{"seed_peer_join", "seed_peer_heartbeat", "seed_peer_report", "seed_peer_delegate", "seed_peer_fanout_reply", "seed_peer_sync", "seed_peer_bundle_stage", "seed_peer_bundle_activate"}
 	msgs := peerSeedMessages()
 	for i, m := range msgs {
 		frame, err := m.AppendFrame(nil)
@@ -160,6 +170,15 @@ func TestPeerOpsWithoutHandler(t *testing.T) {
 			_, err := c.DomainStatus(ctx)
 			return err
 		},
+		"sync": func() error { return c.PeerSync(ctx, "m", &SyncBatch{}) },
+		"bundle-stage": func() error {
+			_, err := c.PeerBundleStage(ctx, "lineage", "hash", nil)
+			return err
+		},
+		"bundle-activate": func() error {
+			_, err := c.PeerBundleActivate(ctx, "lineage", "hash")
+			return err
+		},
 	} {
 		err := call()
 		if err == nil || !strings.Contains(err.Error(), "federation not enabled") {
@@ -170,10 +189,13 @@ func TestPeerOpsWithoutHandler(t *testing.T) {
 
 // fakePeerHandler records peer calls for dispatch tests.
 type fakePeerHandler struct {
-	mu     sync.Mutex
-	joins  []string
-	beats  int
-	report string
+	mu        sync.Mutex
+	joins     []string
+	beats     int
+	report    string
+	synced    []string
+	staged    map[string][]byte // hash -> bundle payload
+	activated []string
 }
 
 func (h *fakePeerHandler) PeerJoin(principal, member, domain, addr string) error {
@@ -203,6 +225,52 @@ func (h *fakePeerHandler) PeerReport(principal, member, key, value string, timeM
 func (h *fakePeerHandler) PeerDelegate(ctx context.Context, principal, dp, lang, source, entry string, args []string) (*FanoutResult, error) {
 	return &FanoutResult{DP: dp, Outcomes: []FanoutOutcome{
 		{Member: "root", Domain: "d", Addr: "local", OK: true, DPI: dp + "#1"},
+	}}, nil
+}
+
+func (h *fakePeerHandler) PeerSync(principal, member string, batch *SyncBatch) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if member == "stranger" {
+		return errors.New("federation: unknown member stranger")
+	}
+	h.beats++
+	for _, r := range batch.Reports {
+		h.synced = append(h.synced, fmt.Sprintf("%s:%s=%s@%d", member, r.Key, r.Value, r.TimeMS))
+	}
+	return nil
+}
+
+func (h *fakePeerHandler) PeerBundleStage(ctx context.Context, principal, lineage, hash string, bundle []byte) (*StageResult, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.staged == nil {
+		h.staged = make(map[string][]byte)
+	}
+	if len(bundle) == 0 {
+		// Probe: only answer for hashes already held.
+		if _, ok := h.staged[hash]; !ok {
+			return nil, fmt.Errorf("federation: unknown bundle %s", hash)
+		}
+		return &StageResult{Lineage: lineage, Hash: hash, Outcomes: []StageOutcome{
+			{Member: "root", Domain: "d", Addr: "local", OK: true, AlreadyStaged: true},
+		}}, nil
+	}
+	h.staged[hash] = bundle
+	return &StageResult{Lineage: lineage, Hash: hash, Outcomes: []StageOutcome{
+		{Member: "root", Domain: "d", Addr: "local", OK: true, ArtifactBytes: uint64(len(bundle))},
+	}}, nil
+}
+
+func (h *fakePeerHandler) PeerBundleActivate(ctx context.Context, principal, lineage, hash string) (*FanoutResult, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.staged[hash]; !ok {
+		return nil, fmt.Errorf("federation: bundle %s not staged", hash)
+	}
+	h.activated = append(h.activated, lineage+"@"+hash)
+	return &FanoutResult{DP: lineage, Outcomes: []FanoutOutcome{
+		{Member: "root", Domain: "d", Addr: "local", OK: true},
 	}}, nil
 }
 
@@ -252,16 +320,66 @@ func TestPeerOpsDispatch(t *testing.T) {
 		t.Fatalf("status = %q", st)
 	}
 
+	// Batched sync: one frame carries heartbeat + two rollup deltas.
+	if err := c.PeerSync(ctx, "lan-a", &SyncBatch{Reports: []SyncReport{
+		{Key: "k", Value: "43", TimeMS: 100},
+		{Key: "j", Value: "7", TimeMS: 101},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PeerSync(ctx, "stranger", &SyncBatch{}); err == nil || !strings.Contains(err.Error(), "unknown member") {
+		t.Fatalf("stranger sync err = %v, want unknown member", err)
+	}
+
+	// Bundle lifecycle: probe miss -> full stage -> probe hit -> activate.
+	raw := (&Bundle{Lineage: "probe-suite", Version: 1, Items: []BundleItem{
+		{DP: "agent", Lang: "dpl", Blob: []byte("func main() { return 1; }")},
+	}}).Encode()
+	hash := HashBundle(raw)
+	if _, err := c.PeerBundleStage(ctx, "probe-suite", hash, nil); err == nil || !strings.Contains(err.Error(), "unknown bundle") {
+		t.Fatalf("probe before stage err = %v, want unknown bundle", err)
+	}
+	sr, err := c.PeerBundleStage(ctx, "probe-suite", hash, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Hash != hash || sr.Staged() != 1 || sr.TransferredBytes() != uint64(len(raw)) {
+		t.Fatalf("stage result = %+v", sr)
+	}
+	sr, err = c.PeerBundleStage(ctx, "probe-suite", hash, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.TransferredBytes() != 0 || !sr.Outcomes[0].AlreadyStaged {
+		t.Fatalf("probe hit result = %+v", sr)
+	}
+	fr, err := c.PeerBundleActivate(ctx, "probe-suite", hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.DP != "probe-suite" || fr.Accepted() != 1 {
+		t.Fatalf("activate result = %+v", fr)
+	}
+	if _, err := c.PeerBundleActivate(ctx, "probe-suite", "deadbeef"); err == nil || !strings.Contains(err.Error(), "not staged") {
+		t.Fatalf("activate unstaged err = %v, want not staged", err)
+	}
+
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if len(h.joins) != 1 || h.joins[0] != "federation/lan-a/campus/127.0.0.1:1" {
 		t.Fatalf("joins = %v", h.joins)
 	}
-	if h.beats != 1 {
-		t.Fatalf("beats = %d, want 1", h.beats)
+	if h.beats != 2 {
+		t.Fatalf("beats = %d, want 2 (one heartbeat + one sync)", h.beats)
 	}
 	if h.report != "lan-a:k=42@99" {
 		t.Fatalf("report = %q", h.report)
+	}
+	if len(h.synced) != 2 || h.synced[0] != "lan-a:k=43@100" || h.synced[1] != "lan-a:j=7@101" {
+		t.Fatalf("synced = %v", h.synced)
+	}
+	if len(h.activated) != 1 || h.activated[0] != "probe-suite@"+hash {
+		t.Fatalf("activated = %v", h.activated)
 	}
 }
 

@@ -95,7 +95,8 @@ func WithTracer(tr *obs.Tracer) ServerOption {
 }
 
 // WithPeerHandler routes the federation operations (OpPeerJoin,
-// OpPeerHeartbeat, OpPeerDelegate, OpPeerReport) and the OpStats
+// OpPeerHeartbeat, OpPeerDelegate, OpPeerReport, OpPeerSync,
+// OpPeerBundleStage, OpPeerBundleActivate) and the OpStats
 // "federation" view to h — normally an internal/federation.Node.
 // Without one (the default) peer traffic is refused with
 // ErrNoFederation.
@@ -569,6 +570,38 @@ func (s *Server) dispatch(ctx context.Context, req *Message) *Message {
 		defer cancel()
 		res, err := s.peers.PeerDelegate(fctx, req.Principal, req.Name, req.Lang,
 			string(req.Payload), req.Entry, req.Args)
+		if err == nil && res == nil {
+			err = fmt.Errorf("rds: peer handler returned no fanout result")
+		}
+		return reply(req, func(m *Message) { m.Payload = res.Encode() }, err)
+	case OpPeerSync:
+		if s.peers == nil {
+			return reply(req, nil, ErrNoFederation)
+		}
+		batch, err := DecodeSyncBatch(req.Payload)
+		if err != nil {
+			return reply(req, nil, err)
+		}
+		err = s.peers.PeerSync(req.Principal, req.Name, batch)
+		return reply(req, nil, err)
+	case OpPeerBundleStage:
+		if s.peers == nil {
+			return reply(req, nil, ErrNoFederation)
+		}
+		fctx, cancel := context.WithTimeout(ctx, fanoutTimeout)
+		defer cancel()
+		res, err := s.peers.PeerBundleStage(fctx, req.Principal, req.Name, req.Entry, req.Payload)
+		if err == nil && res == nil {
+			err = fmt.Errorf("rds: peer handler returned no stage result")
+		}
+		return reply(req, func(m *Message) { m.Payload = res.Encode() }, err)
+	case OpPeerBundleActivate:
+		if s.peers == nil {
+			return reply(req, nil, ErrNoFederation)
+		}
+		fctx, cancel := context.WithTimeout(ctx, fanoutTimeout)
+		defer cancel()
+		res, err := s.peers.PeerBundleActivate(fctx, req.Principal, req.Name, req.Entry)
 		if err == nil && res == nil {
 			err = fmt.Errorf("rds: peer handler returned no fanout result")
 		}

@@ -198,3 +198,99 @@ func TestUDPRetransmissionSurvivesLoss(t *testing.T) {
 		t.Fatalf("eval through lossy relay = %q, %v", out, err)
 	}
 }
+
+func TestUDPOversizedReplyReportedAsError(t *testing.T) {
+	// The request fits a datagram but the reply would not: the server
+	// must substitute an in-band error rather than truncate or drop.
+	proc := elastic.NewProcess(elastic.Config{})
+	t.Cleanup(proc.Stop)
+	c := startPacketServer(t, proc, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	src := `func main() {
+		var s = "0123456789abcdef";
+		var i = 0;
+		while (i < 13) { s = s + s; i += 1; }
+		return s;
+	}`
+	_, err := c.Eval(ctx, src, "main")
+	var re *RemoteError
+	if !errors.As(err, &re) || !strings.Contains(re.Msg, "datagram limit") {
+		t.Fatalf("oversized reply err = %v, want in-band datagram-limit error", err)
+	}
+	// The exchange machinery is still healthy afterwards.
+	out, err := c.Eval(ctx, `func main() { return 6 * 7; }`, "main")
+	if err != nil || out != "42" {
+		t.Fatalf("follow-up eval = %q, %v", out, err)
+	}
+}
+
+func TestUDPGarbageDatagramDropped(t *testing.T) {
+	// Undecodable datagrams are dropped without a reply and without
+	// wedging the serve loop.
+	proc := elastic.NewProcess(elastic.Config{})
+	t.Cleanup(proc.Stop)
+	c := startPacketServer(t, proc, nil)
+	raw, err := net.Dial("udp", c.conn.RemoteAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte("\xff\xfenot ber at all")); err != nil {
+		t.Fatal(err)
+	}
+	_ = raw.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	buf := make([]byte, maxDatagram)
+	if n, err := raw.Read(buf); err == nil {
+		t.Fatalf("garbage datagram got a %d-byte reply, want silence", n)
+	}
+	// A well-formed request on the same server still round-trips.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	out, err := c.Eval(ctx, `func main() { return "ok"; }`, "main")
+	if err != nil || out != "ok" {
+		t.Fatalf("eval after garbage = %q, %v", out, err)
+	}
+}
+
+func TestUDPServerCloseMidRequest(t *testing.T) {
+	// The server goes away between attempts: the client burns its
+	// retries and surfaces a transport error, not a hang.
+	proc := elastic.NewProcess(elastic.Config{})
+	t.Cleanup(proc.Stop)
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(proc, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.ServePacket(ctx, pc)
+	}()
+	c, err := DialPacket(pc.LocalAddr().String(), "mgr",
+		WithPacketTimeout(200*time.Millisecond), WithPacketRetries(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cctx, ccancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer ccancel()
+	if out, err := c.Eval(cctx, `func main() { return "up"; }`, "main"); err != nil || out != "up" {
+		t.Fatalf("eval while up = %q, %v", out, err)
+	}
+	cancel()
+	<-done // the socket is closed; requests now go nowhere
+	start := time.Now()
+	_, err = c.Eval(cctx, `func main() { return "down"; }`, "main")
+	if err == nil {
+		t.Fatal("eval against a closed server succeeded")
+	}
+	if !strings.Contains(err.Error(), "attempts") {
+		t.Fatalf("err = %v, want retransmission-exhausted error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("failure took %s, want bounded by timeout*retries", elapsed)
+	}
+}
