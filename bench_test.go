@@ -749,3 +749,66 @@ func BenchmarkPeerHeartbeatBatch(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAdmitQuota is BenchmarkAdmitCached with tenant quotas
+// switched on: the delta between the two is the full quota bookkeeping
+// on the admission path (repository-byte admit plus ledger updates).
+func BenchmarkAdmitQuota(b *testing.B) {
+	proc := elastic.NewProcess(elastic.Config{Quota: elastic.Quota{
+		MaxLiveDPIs:     64,
+		StepsPerSec:     1 << 30,
+		EventsPerSec:    1 << 20,
+		RepositoryBytes: 1 << 20,
+	}})
+	defer proc.Stop()
+	if err := proc.Delegate("mgr", "bench", "dpl", benchAdmitSource); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := proc.Delegate("mgr", "bench", "dpl", benchAdmitSource); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedFairness: two single-DPI tenants contend for one run
+// slot with a small quantum; one op runs both bounded loops to
+// completion, so the number amortizes a full weighted-fair rotation —
+// park, grant, wake — over a few dozen quanta. It gates the
+// scheduler's slot-switch overhead.
+func BenchmarkSchedFairness(b *testing.B) {
+	proc := elastic.NewProcess(elastic.Config{SchedWorkers: 1, SchedQuantum: 512})
+	defer proc.Stop()
+	src := `
+func main() {
+	var x = 0;
+	for (var i = 0; i < 500; i += 1) { x += 1; }
+	return x;
+}`
+	if err := proc.Delegate("a", "loop", "dpl", src); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d1, err := proc.Instantiate("a", "loop", "main")
+		if err != nil {
+			b.Fatal(err)
+		}
+		d2, err := proc.Instantiate("b", "loop", "main")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d1.Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d2.Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
+		proc.Remove(d1.ID)
+		proc.Remove(d2.ID)
+	}
+}

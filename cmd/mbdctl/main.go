@@ -17,6 +17,8 @@
 //	stats                          dump the server's metrics (Prometheus text)
 //	trace [n]                      dump the server's last n lifecycle spans (JSON)
 //	lint <file.dpl>...             static-analyze programs locally
+//	tenant status                  live per-tenant usage/billing table
+//	tenant quota [principal]       effective quotas (default + overrides)
 //	domain status                  the server's federation status (JSON)
 //	domain members                 the server's domain membership table
 //	domain delegate <name> <file.dpl> [entry [args...]]
@@ -102,6 +104,7 @@ var commands = [][2]string{
 	{"stats", "stats"},
 	{"trace", "trace [n]"},
 	{"lint", "lint <file.dpl>..."},
+	{"tenant", "tenant status | quota [principal]"},
 	{"domain", "domain status | members | bundles | delegate <name> <file.dpl> [entry [args...]] | rollout <lineage> <version> <file.dpl>... | rollback <lineage> <hash>"},
 }
 
@@ -374,10 +377,104 @@ func run(server, principal, secret string, timeout time.Duration, args []string)
 		for ev := range c.Events() {
 			fmt.Printf("%8dms  %-16s %-7s %s\n", ev.TimeMS, ev.DPI, ev.Kind, ev.Payload)
 		}
+	case "tenant":
+		return tenantCmd(ctx, c, rest)
 	case "domain":
 		return domainCmd(ctx, c, rest)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+// tenantQuota mirrors elastic.Quota's JSON form.
+type tenantQuota struct {
+	MaxLiveDPIs     int    `json:"max_live_dpis,omitempty"`
+	StepsPerSec     uint64 `json:"steps_per_sec,omitempty"`
+	EventsPerSec    uint64 `json:"events_per_sec,omitempty"`
+	RepositoryBytes int64  `json:"repository_bytes,omitempty"`
+	RequestsPerSec  uint64 `json:"requests_per_sec,omitempty"`
+	Weight          int    `json:"weight,omitempty"`
+}
+
+// String renders a quota in the -quota flag's spec syntax; every axis
+// shown, 0 meaning unlimited.
+func (q tenantQuota) String() string {
+	return fmt.Sprintf("dpis=%d,steps=%d,events=%d,repo=%d,reqs=%d,weight=%d",
+		q.MaxLiveDPIs, q.StepsPerSec, q.EventsPerSec, q.RepositoryBytes, q.RequestsPerSec, q.Weight)
+}
+
+// tenantDoc mirrors the server's OpStats "tenants" view.
+type tenantDoc struct {
+	DefaultQuota tenantQuota `json:"default_quota"`
+	Tenants      []struct {
+		Principal    string      `json:"principal"`
+		Quota        tenantQuota `json:"quota"`
+		Override     bool        `json:"override"`
+		Weight       int         `json:"weight"`
+		LiveDPIs     int64       `json:"live_dpis"`
+		RepoBytes    int64       `json:"repo_bytes"`
+		Steps        uint64      `json:"steps_total"`
+		Events       uint64      `json:"events_total"`
+		Throttles    uint64      `json:"throttles_total"`
+		Suspensions  uint64      `json:"suspensions_total"`
+		Terminations uint64      `json:"terminations_total"`
+		Rejections   uint64      `json:"rejections_total"`
+		RequestsShed uint64      `json:"requests_shed_total"`
+		Blocked      string      `json:"blocked"`
+	} `json:"tenants"`
+}
+
+// tenantCmd handles the multi-tenant subcommands: status renders the
+// live per-tenant usage/billing table, quota the effective quotas.
+func tenantCmd(ctx context.Context, c *rds.Client, rest []string) error {
+	if len(rest) < 1 {
+		return fmt.Errorf("usage: tenant status | quota [principal]")
+	}
+	out, err := c.TenantStatus(ctx)
+	if err != nil {
+		return err
+	}
+	var doc tenantDoc
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		return fmt.Errorf("parsing tenant status: %w", err)
+	}
+	switch rest[0] {
+	case "status":
+		fmt.Printf("%-12s %-6s %-5s %-10s %-12s %-8s %-5s %-5s %-5s %-5s %-5s %s\n",
+			"PRINCIPAL", "WEIGHT", "DPIS", "REPO-BYTES", "STEPS", "EVENTS", "THR", "SUSP", "KILL", "REJ", "SHED", "BLOCKED")
+		for _, t := range doc.Tenants {
+			blocked := t.Blocked
+			if blocked == "" {
+				blocked = "-"
+			}
+			fmt.Printf("%-12s %-6d %-5d %-10d %-12d %-8d %-5d %-5d %-5d %-5d %-5d %s\n",
+				t.Principal, t.Weight, t.LiveDPIs, t.RepoBytes, t.Steps, t.Events,
+				t.Throttles, t.Suspensions, t.Terminations, t.Rejections, t.RequestsShed, blocked)
+		}
+	case "quota":
+		if len(rest) > 1 {
+			for _, t := range doc.Tenants {
+				if t.Principal == rest[1] {
+					src := "default"
+					if t.Override {
+						src = "override"
+					}
+					fmt.Printf("%s (%s): %s\n", t.Principal, src, t.Quota)
+					return nil
+				}
+			}
+			fmt.Printf("%s (default): %s\n", rest[1], doc.DefaultQuota)
+			return nil
+		}
+		fmt.Printf("default: %s\n", doc.DefaultQuota)
+		for _, t := range doc.Tenants {
+			if t.Override {
+				fmt.Printf("%s: %s\n", t.Principal, t.Quota)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown tenant subcommand %q (want status or quota)", rest[0])
 	}
 	return nil
 }

@@ -9,6 +9,14 @@
 //	mbdserver [-rds :5500] [-snmp :1161] [-name lab-router]
 //	          [-community public] [-secret mgr=s3cret ...] [-repo dir]
 //	          [-strict] [-costceiling n] [-obs :9090]
+//	          [-quota spec] [-tenantquota principal:spec ...]
+//	          [-schedworkers n] [-maxrepo bytes]
+//
+// Multi-tenant isolation: -quota sets the default per-principal quota
+// (spec keys: dpis, steps, events, repo, reqs, weight — see mbdctl
+// tenant quota), -tenantquota grants per-principal overrides,
+// -schedworkers sizes the weighted-fair DPI scheduler's run-slot pool,
+// and -maxrepo caps total stored program bytes. See docs/TENANCY.md.
 //
 // With -obs, the server exposes its own telemetry three ways: an HTTP
 // endpoint serving Prometheus /metrics, /debug/pprof/* and /tracez; the
@@ -82,6 +90,24 @@ func (s *secretsFlag) Set(v string) error {
 	return nil
 }
 
+// tenantQuotaFlag collects repeatable -tenantquota principal:spec
+// overrides, each spec in elastic.ParseQuota form.
+type tenantQuotaFlag map[string]elastic.Quota
+
+func (t tenantQuotaFlag) String() string { return fmt.Sprintf("%d overrides", len(t)) }
+func (t tenantQuotaFlag) Set(v string) error {
+	principal, spec, ok := strings.Cut(v, ":")
+	if !ok || principal == "" {
+		return fmt.Errorf("want principal:quota-spec, got %q", v)
+	}
+	q, err := elastic.ParseQuota(spec)
+	if err != nil {
+		return err
+	}
+	t[principal] = q
+	return nil
+}
+
 func main() {
 	rdsAddr := flag.String("rds", ":5500", "RDS (delegation) TCP listen address")
 	snmpAddr := flag.String("snmp", ":1161", "SNMP UDP listen address")
@@ -97,15 +123,34 @@ func main() {
 	advertise := flag.String("advertise", "", "RDS address peers use to reach this server (default derives from -rds)")
 	rollup := flag.String("rollup", "latest", "default rollup combiner: sum, max or latest")
 	heartbeat := flag.Duration("heartbeat", time.Second, "federation heartbeat interval")
+	quotaSpec := flag.String("quota", "", "default per-principal quota, e.g. dpis=8,steps=200000,events=50,repo=65536,reqs=100,weight=1 (empty = unlimited)")
+	schedWorkers := flag.Int("schedworkers", 0, "weighted-fair DPI scheduler run slots (0 = max(2, GOMAXPROCS), negative disables scheduling)")
+	maxRepo := flag.Int64("maxrepo", 0, "repository byte ceiling across all principals (0 = 64 MiB default, negative = unlimited)")
+	tenantQuotas := tenantQuotaFlag{}
+	flag.Var(tenantQuotas, "tenantquota", "per-principal quota override as principal:spec (repeatable)")
 	var secrets secretsFlag
 	flag.Var(&secrets, "secret", "principal=secret for MD5 auth (repeatable)")
 	flag.Parse()
 
-	fed := fedConfig{Domain: *domain, Parent: *parent, Advertise: *advertise,
-		Rollup: *rollup, Heartbeat: *heartbeat}
-	if err := run(*rdsAddr, *snmpAddr, *name, *community, *repoDir, secrets, *strict, *costCeiling, *obsAddr, *drain, fed); err != nil {
+	quota, err := elastic.ParseQuota(*quotaSpec)
+	if err != nil {
 		log.Fatal(err)
 	}
+	ten := tenancyConfig{Quota: quota, TenantQuotas: tenantQuotas,
+		SchedWorkers: *schedWorkers, MaxRepositoryBytes: *maxRepo}
+	fed := fedConfig{Domain: *domain, Parent: *parent, Advertise: *advertise,
+		Rollup: *rollup, Heartbeat: *heartbeat}
+	if err := run(*rdsAddr, *snmpAddr, *name, *community, *repoDir, secrets, *strict, *costCeiling, *obsAddr, *drain, fed, ten); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// tenancyConfig carries the multi-tenant flags into run.
+type tenancyConfig struct {
+	Quota              elastic.Quota
+	TenantQuotas       map[string]elastic.Quota
+	SchedWorkers       int
+	MaxRepositoryBytes int64
 }
 
 // fedConfig carries the federation flags into run.
@@ -142,7 +187,7 @@ func (f fedConfig) advertiseAddr(rdsAddr string) string {
 	return rdsAddr
 }
 
-func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, strict bool, costCeiling uint64, obsAddr string, drain time.Duration, fed fedConfig) error {
+func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, strict bool, costCeiling uint64, obsAddr string, drain time.Duration, fed fedConfig, ten tenancyConfig) error {
 	dev, err := mib.NewDevice(mib.DeviceConfig{Name: name, Interfaces: 4, Seed: time.Now().UnixNano()})
 	if err != nil {
 		return err
@@ -209,6 +254,11 @@ func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, s
 		Obs:             reg,
 		Tracer:          tracer,
 		Federation:      fedCfg,
+
+		Quota:              ten.Quota,
+		TenantQuotas:       ten.TenantQuotas,
+		SchedWorkers:       ten.SchedWorkers,
+		MaxRepositoryBytes: ten.MaxRepositoryBytes,
 	})
 	if err != nil {
 		return err

@@ -140,6 +140,17 @@ type VM struct {
 	globals  []Value
 	ctx      context.Context
 
+	// yield, when set, is invoked from flush once at least yieldEvery
+	// steps have accumulated since the previous invocation, receiving
+	// the consumed count. The embedding runtime uses it as its
+	// scheduling tick (fair-share accounting, rate quotas); a non-nil
+	// error aborts the run. Piggybacking on the gate boundary keeps the
+	// dispatch loop itself untouched: the cost is one comparison per
+	// gate window when a yield hook is installed, zero otherwise.
+	yield      func(consumed uint64) error
+	yieldEvery uint64
+	lastYield  uint64
+
 	// env is the reusable host-call environment; hostFns aliases the
 	// bindings' resolved table so OpCallHost indexes it directly instead
 	// of allocating an Env and re-checking through Bindings.Call.
@@ -173,6 +184,18 @@ func WithMaxSteps(n uint64) VMOption {
 // DPI handle).
 func WithControl(c *Control) VMOption {
 	return func(vm *VM) { vm.ctrl = c }
+}
+
+// WithYield installs fn as the VM's scheduling tick: it runs at the
+// first gate boundary after every `every` executed steps (so at
+// granularity max(every, gateMask+1)), receiving the steps consumed
+// since the previous tick. Returning an error aborts the run with that
+// error. every == 0 ticks at every gate boundary.
+func WithYield(every uint64, fn func(consumed uint64) error) VMOption {
+	return func(vm *VM) {
+		vm.yield = fn
+		vm.yieldEvery = every
+	}
 }
 
 // NewVM prepares a VM for prog using the given host bindings. The
@@ -296,6 +319,13 @@ func (vm *VM) flush(pending, nextGate uint64) (uint64, error) {
 			return nextGate, err
 		}
 		nextGate = (total | gateMask) + 1
+		if vm.yield != nil && total-vm.lastYield >= vm.yieldEvery {
+			consumed := total - vm.lastYield
+			vm.lastYield = total
+			if err := vm.yield(consumed); err != nil {
+				return nextGate, err
+			}
+		}
 	}
 	if vm.maxSteps > 0 && total > vm.maxSteps {
 		return nextGate, ErrStepQuota

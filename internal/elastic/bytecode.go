@@ -31,8 +31,7 @@ func (p *Process) DelegateCompiled(principal, name string, blob []byte) error {
 	if err != nil {
 		return err
 	}
-	p.commit(dp)
-	return nil
+	return p.commit(dp)
 }
 
 // CompileProgram translates source through the content-addressed
@@ -73,7 +72,7 @@ func (p *Process) prepareCompiled(principal, name string, blob []byte) (*DP, err
 		p.rejected(name, err, p.clock.Now()-start)
 		return nil, err
 	}
-	return &DP{
+	dp := &DP{
 		Name:    name,
 		Owner:   principal,
 		Lang:    LangCompiled,
@@ -86,7 +85,13 @@ func (p *Process) prepareCompiled(principal, name string, blob []byte) (*DP, err
 		Effects:    ent.rep.Effects,
 		Cost:       ent.rep.Cost,
 		analysisNS: p.clock.Now() - start,
-	}, nil
+		size:       int64(len(blob)),
+	}
+	if err := p.admitTenantRepo(dp); err != nil {
+		p.rejected(name, err, p.clock.Now()-start)
+		return nil, err
+	}
+	return dp, nil
 }
 
 // admitCompiled resolves cp through the program cache (an artifact

@@ -26,8 +26,19 @@ type DPI struct {
 	ctrl    *dpl.Control
 	mailbox chan string
 	started time.Duration
+	runCtx  context.Context
 	cancel  context.CancelFunc
 	done    chan struct{}
+
+	// Multi-tenant state: the billing ledger, the run-slot flag
+	// (touched only on the instance's own goroutine), the
+	// rate-escalation count, and the throttled marker surfaced through
+	// State.
+	tenant           *Tenant
+	principal        string
+	slotted          bool
+	quotaSuspensions int
+	throttled        atomic.Bool
 
 	// spec is the instantiation request this instance runs under; sup
 	// (nil when unsupervised) applies its restart policy on exit.
@@ -50,7 +61,7 @@ type DPI struct {
 // run executes the instance to completion. It always emits EventExit.
 func (d *DPI) run(ctx context.Context, args []dpl.Value) {
 	defer d.proc.wg.Done()
-	v, err := d.exec(ctx, args)
+	v, err := d.execScheduled(ctx, args)
 	p := d.proc
 	var pe *PanicError
 	crashed := errors.As(err, &pe)
@@ -70,6 +81,9 @@ func (d *DPI) run(ctx context.Context, args []dpl.Value) {
 	}
 	elapsed := p.clock.Now() - d.started
 	p.met.live.Add(-1)
+	if d.tenant != nil {
+		d.tenant.live.Add(-1)
+	}
 	p.met.stepsConsumed.Add(d.vm.Steps())
 	p.met.runLat.Observe(elapsed)
 	if crashed {
@@ -77,7 +91,7 @@ func (d *DPI) run(ctx context.Context, args []dpl.Value) {
 		p.tracer.Record(d.ID, obs.StageCrash, pe.Error(), elapsed)
 	}
 	p.tracer.Record(d.ID, obs.StageExit, payload, elapsed)
-	p.emit(Event{DPI: d.ID, Kind: EventExit, Payload: payload, Time: p.clock.Now()})
+	p.emit(Event{DPI: d.ID, Kind: EventExit, Payload: payload, Time: p.clock.Now(), Principal: d.principal})
 	if d.sup != nil {
 		// Runs before this goroutine's wg slot releases, so restart
 		// timers register with the WaitGroup race-free against Stop.
@@ -95,6 +109,23 @@ func (d *DPI) exec(ctx context.Context, args []dpl.Value) (v dpl.Value, err erro
 		}
 	}()
 	return d.vm.Run(ctx, d.Entry, args...)
+}
+
+// execScheduled runs exec under a run slot when the process schedules
+// DPI execution. The slot is acquired before the first VM step and
+// released on exit; schedTick rotates it per quantum in between.
+func (d *DPI) execScheduled(ctx context.Context, args []dpl.Value) (dpl.Value, error) {
+	if s := d.proc.sched; s != nil {
+		if err := s.acquire(ctx, d); err != nil {
+			return nil, err
+		}
+		defer func() {
+			if d.slotted {
+				s.release(d)
+			}
+		}()
+	}
+	return d.exec(ctx, args)
 }
 
 // Done returns a channel closed when the instance finishes.
@@ -162,6 +193,9 @@ func (d *DPI) State() string {
 		}
 		return "exited"
 	}
+	if d.throttled.Load() {
+		return "throttled"
+	}
 	return d.ctrl.State()
 }
 
@@ -190,6 +224,8 @@ func (d *DPI) info() Info {
 			inf.State = "exited"
 			inf.Result = dpl.FormatValue(d.result)
 		}
+	} else if d.throttled.Load() {
+		inf.State = "throttled"
 	} else {
 		inf.State = d.ctrl.State()
 	}
@@ -229,14 +265,16 @@ func (p *Process) registerInstanceServices() {
 		if !ok {
 			return nil, fmt.Errorf("elastic: sleep(ms) wants int, got %s", dpl.TypeName(args[0]))
 		}
-		if err := p.clock.Sleep(env.VM.Context(), time.Duration(ms)*time.Millisecond); err != nil {
+		err = d.unslotted(func() error {
+			return p.clock.Sleep(env.VM.Context(), time.Duration(ms)*time.Millisecond)
+		})
+		if err != nil {
 			return nil, err
 		}
 		// Honor a suspension that engaged while sleeping.
 		if err := env.VM.Gate(); err != nil {
 			return nil, err
 		}
-		_ = d
 		return nil, nil
 	})
 	p.bindings.Register("now", 0, func(env *dpl.Env, args []dpl.Value) (dpl.Value, error) {
@@ -272,14 +310,22 @@ func (p *Process) registerInstanceServices() {
 			}()
 			timeout = ch
 		}
-		select {
-		case m := <-d.mailbox:
-			return m, nil
-		case <-timeout:
-			return nil, nil
-		case <-ctx.Done():
-			return nil, ctx.Err()
+		var msg dpl.Value
+		err = d.unslotted(func() error {
+			select {
+			case m := <-d.mailbox:
+				msg = m
+				return nil
+			case <-timeout:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+		if err != nil {
+			return nil, err
 		}
+		return msg, nil
 	})
 	emit := func(kind EventKind) dpl.HostFunc {
 		return func(env *dpl.Env, args []dpl.Value) (dpl.Value, error) {
@@ -287,7 +333,10 @@ func (p *Process) registerInstanceServices() {
 			if err != nil {
 				return nil, err
 			}
-			p.emit(Event{DPI: d.ID, Kind: kind, Payload: dpl.FormatValue(args[0]), Time: p.clock.Now()})
+			if err := d.billEvent(); err != nil {
+				return nil, err
+			}
+			p.emit(Event{DPI: d.ID, Kind: kind, Payload: dpl.FormatValue(args[0]), Time: p.clock.Now(), Principal: d.principal})
 			return nil, nil
 		}
 	}

@@ -46,7 +46,7 @@ func (p *Process) Evaluate(ctx context.Context, principal, lang, source, entry s
 		Cost:       rep.Cost,
 		StepBudget: rep.SuggestedBudget(p.cfg.MaxStepsPerDPI),
 	}
-	d, err := p.startInstance(dp, InstanceSpec{DP: dp.Name, Entry: entry, Args: args}, nil)
+	d, err := p.startInstance(dp, InstanceSpec{DP: dp.Name, Entry: entry, Args: args, Principal: principal}, nil)
 	if err != nil {
 		return nil, err
 	}

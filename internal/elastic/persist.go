@@ -102,8 +102,13 @@ func (p *Process) LoadRepository(dir, owner string) (int, error) {
 		}
 		prepared = append(prepared, dp)
 	}
-	for _, dp := range prepared {
-		p.commit(dp)
+	replaced, err := p.repo.StoreAll(prepared)
+	if err != nil {
+		p.met.repoFull.Inc()
+		return 0, err
+	}
+	for i, dp := range prepared {
+		p.committed(dp, replaced[i])
 	}
 	return len(prepared), nil
 }
@@ -115,17 +120,34 @@ func (p *Process) LoadRepository(dir, owner string) (int, error) {
 // the normal analysis/admission gate — so a drained server comes back
 // running the same always-on management functions it was delegated.
 
-// dpiManifest is the running-DPI spec file inside a checkpoint dir.
-const dpiManifest = "dpis.json"
+// dpiManifest is the running-DPI spec file inside a checkpoint dir;
+// tenantManifest carries the per-principal quota overrides and billing
+// totals so a warm restart re-admits against the same tenancy state it
+// shut down with.
+const (
+	dpiManifest    = "dpis.json"
+	tenantManifest = "tenants.json"
+)
 
 // specRec is the JSON form of one running instance's spec.
 type specRec struct {
-	DP       string   `json:"dp"`
-	Entry    string   `json:"entry"`
-	Args     []argRec `json:"args,omitempty"`
-	Policy   string   `json:"policy,omitempty"`
-	Deadline int64    `json:"deadline_ms,omitempty"`
-	Stall    int64    `json:"stall_ms,omitempty"`
+	DP        string   `json:"dp"`
+	Entry     string   `json:"entry"`
+	Args      []argRec `json:"args,omitempty"`
+	Policy    string   `json:"policy,omitempty"`
+	Deadline  int64    `json:"deadline_ms,omitempty"`
+	Stall     int64    `json:"stall_ms,omitempty"`
+	Principal string   `json:"principal,omitempty"`
+}
+
+// tenantRec is the JSON form of one tenant's checkpointed state: the
+// quota override when one was granted, plus the cumulative billing
+// totals (a restart must not zero a tenant's bill).
+type tenantRec struct {
+	Principal string `json:"principal"`
+	Quota     *Quota `json:"quota,omitempty"`
+	Steps     uint64 `json:"steps_total,omitempty"`
+	Events    uint64 `json:"events_total,omitempty"`
 }
 
 // argRec is one wire-encoded DPL argument. T is the type tag: int,
@@ -187,11 +209,12 @@ func (p *Process) SaveCheckpoint(dir string) error {
 			continue
 		}
 		r := specRec{
-			DP:       d.spec.DP,
-			Entry:    d.spec.Entry,
-			Policy:   string(d.spec.Policy),
-			Deadline: d.spec.Deadline.Milliseconds(),
-			Stall:    d.spec.StallTimeout.Milliseconds(),
+			DP:        d.spec.DP,
+			Entry:     d.spec.Entry,
+			Policy:    string(d.spec.Policy),
+			Deadline:  d.spec.Deadline.Milliseconds(),
+			Stall:     d.spec.StallTimeout.Milliseconds(),
+			Principal: d.spec.Principal,
 		}
 		for _, a := range d.spec.Args {
 			r.Args = append(r.Args, encodeArg(a))
@@ -215,6 +238,58 @@ func (p *Process) SaveCheckpoint(dir string) error {
 	if err := os.WriteFile(filepath.Join(dir, dpiManifest), data, 0o644); err != nil {
 		return fmt.Errorf("elastic: writing checkpoint: %w", err)
 	}
+	return p.saveTenants(dir)
+}
+
+// saveTenants writes the tenant manifest: every principal with a quota
+// override or a nonzero bill.
+func (p *Process) saveTenants(dir string) error {
+	recs := []tenantRec{}
+	for _, st := range p.tenants.List() {
+		r := tenantRec{Principal: st.Principal, Steps: st.Steps, Events: st.Events}
+		if st.Override {
+			q := st.Quota
+			r.Quota = &q
+		}
+		if r.Quota == nil && r.Steps == 0 && r.Events == 0 {
+			continue
+		}
+		recs = append(recs, r)
+	}
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return fmt.Errorf("elastic: encoding tenant checkpoint: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, tenantManifest), data, 0o644); err != nil {
+		return fmt.Errorf("elastic: writing tenant checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadTenants restores the tenant manifest: overrides are re-granted
+// (so the repository and instance restores below re-admit against the
+// same quotas) and billing totals are re-credited. A missing manifest
+// is not an error.
+func (p *Process) loadTenants(dir string) error {
+	data, err := os.ReadFile(filepath.Join(dir, tenantManifest))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("elastic: reading tenant checkpoint: %w", err)
+	}
+	var recs []tenantRec
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return fmt.Errorf("elastic: decoding tenant checkpoint: %w", err)
+	}
+	for _, r := range recs {
+		if r.Quota != nil {
+			p.tenants.SetQuota(r.Principal, *r.Quota)
+		}
+		t := p.tenants.get(r.Principal)
+		t.stepsTotal.Add(r.Steps)
+		t.eventsTotal.Add(r.Events)
+	}
 	return nil
 }
 
@@ -226,6 +301,11 @@ func (p *Process) SaveCheckpoint(dir string) error {
 // the number of programs loaded and instances started. A missing
 // manifest is not an error (cold repositories predate checkpoints).
 func (p *Process) LoadCheckpoint(dir, owner string) (dps, dpis int, err error) {
+	// Tenancy state first: the repository and instance restores below
+	// must be admitted against the checkpointed quota overrides.
+	if err := p.loadTenants(dir); err != nil {
+		return 0, 0, err
+	}
 	dps, err = p.LoadRepository(dir, owner)
 	if err != nil {
 		return dps, 0, err
@@ -251,6 +331,7 @@ func (p *Process) LoadCheckpoint(dir, owner string) (dps, dpis int, err error) {
 			Policy:       RestartAlways,
 			Deadline:     time.Duration(r.Deadline) * time.Millisecond,
 			StallTimeout: time.Duration(r.Stall) * time.Millisecond,
+			Principal:    r.Principal,
 		}
 		for _, a := range r.Args {
 			v, err := decodeArg(a)

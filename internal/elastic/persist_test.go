@@ -152,3 +152,61 @@ func TestCheckpointManifestRoundTrip(t *testing.T) {
 		t.Fatalf("cold load = %d, %d, %v", dps, dpis, err)
 	}
 }
+
+// TestCheckpointTenantRoundTrip: quota overrides and cumulative tenant
+// bills survive a warm restart, restored instances are billed to their
+// saved principal, and re-admission runs against the restored quotas.
+func TestCheckpointTenantRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p1 := newProcess(t, Config{})
+	p1.Tenants().SetQuota("gold", Quota{MaxLiveDPIs: 1, Weight: 5})
+	if err := p1.Delegate("mgr", "daemon", "dpl", `func main() { recv(-1); return 0; }`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.InstantiateSpec("gold", InstanceSpec{
+		DP: "daemon", Entry: "main", Policy: RestartAlways,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A parked daemon bills no full quantum; stamp the ledger directly
+	// so the cumulative-bill round-trip is observable.
+	gold, ok := p1.Tenants().Lookup("gold")
+	if !ok {
+		t.Fatal("gold tenant not materialized")
+	}
+	gold.stepsTotal.Add(12345)
+	gold.eventsTotal.Add(67)
+	if err := p1.SaveCheckpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := newProcess(t, Config{})
+	dps, dpis, err := p2.LoadCheckpoint(dir, "mgr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dps != 1 || dpis != 1 {
+		t.Fatalf("restored %d programs, %d instances; want 1, 1", dps, dpis)
+	}
+	if q, override := p2.Tenants().QuotaFor("gold"); !override || q.MaxLiveDPIs != 1 || q.Weight != 5 {
+		t.Fatalf("restored quota = %+v (override %v)", q, override)
+	}
+	var st TenantStatus
+	for _, s := range p2.Tenants().List() {
+		if s.Principal == "gold" {
+			st = s
+		}
+	}
+	if st.Principal != "gold" || st.LiveDPIs != 1 {
+		t.Fatalf("restored instance not billed to gold: %+v", st)
+	}
+	if st.Steps < 12345 || st.Events < 67 {
+		t.Fatalf("cumulative bill lost: %+v", st)
+	}
+	// Restored admission already consumed gold's single slot under the
+	// restored override.
+	_, err = p2.Instantiate("gold", "daemon", "main")
+	if !hasCode(err, CodeQuotaDPIs) {
+		t.Fatalf("over-quota instantiate after restore: %v (codes %v)", err, rejectCodes(err))
+	}
+}

@@ -69,6 +69,11 @@ type Event struct {
 	Kind    EventKind
 	Payload string
 	Time    time.Duration // process-clock timestamp
+	// Principal is the billing principal of the emitting instance
+	// (empty for synthetic events published on the process's behalf,
+	// e.g. federation rollups). Downstream fan-out uses it to attribute
+	// and shed per tenant, not per connection.
+	Principal string
 }
 
 // Config parameterizes a Process.
@@ -115,6 +120,36 @@ type Config struct {
 	// clock (default 100ms). Only instances whose InstanceSpec carries a
 	// Deadline or StallTimeout are watched.
 	WatchdogInterval time.Duration
+	// Quota is the server-default per-tenant quota. The zero Quota
+	// leaves every axis unlimited (the pre-tenancy free-for-all);
+	// per-principal overrides come from TenantQuotas or runtime
+	// Tenants().SetQuota grants.
+	Quota Quota
+	// TenantQuotas grants per-principal quota overrides at
+	// construction (the ACL-style grant table for runtime resources).
+	TenantQuotas map[string]Quota
+	// SchedWorkers bounds the weighted-fair run-slot pool: how many
+	// DPIs may execute VM steps concurrently. 0 means
+	// max(2, GOMAXPROCS); negative disables fair scheduling and runs
+	// every DPI goroutine free (the pre-tenancy behavior).
+	SchedWorkers int
+	// SchedQuantum is the VM step grant per scheduling turn (0 = 4096).
+	SchedQuantum uint64
+	// ThrottleGrace is the longest single rate-quota pause served as a
+	// throttle; a debt beyond it escalates to a suspension (default
+	// 250ms).
+	ThrottleGrace time.Duration
+	// MaxQuotaSuspensions caps one DPI's rate-quota suspensions before
+	// it is terminated with a typed QuotaError (default 8).
+	MaxQuotaSuspensions int
+	// QuotaBlockPenalty is how long a tenant is refused new
+	// instantiations after a quota termination (default 10s).
+	QuotaBlockPenalty time.Duration
+	// MaxRepositoryBytes caps total stored program bytes even when
+	// per-tenant quotas are disabled; Store returns ErrRepositoryFull
+	// beyond it. 0 means the 64 MiB default, negative disables the
+	// ceiling.
+	MaxRepositoryBytes int64
 	// Obs receives the process's runtime metrics (delegations,
 	// rejections by diagnostic code, live instances, VM steps, event
 	// fan-out). Nil uses a private registry: counting always happens,
@@ -155,6 +190,16 @@ type Process struct {
 	supMaxRestarts      int
 	supWatchdogInterval time.Duration
 
+	// Multi-tenant machinery: the per-principal ledger table, the
+	// weighted-fair run-slot scheduler (nil when disabled), and the
+	// resolved escalation tunables.
+	tenants             *Tenants
+	sched               *scheduler
+	schedQuantum        uint64
+	throttleGrace       time.Duration
+	maxQuotaSuspensions int
+	quotaBlockPenalty   time.Duration
+
 	// Subscribers are an immutable snapshot swapped copy-on-write under
 	// subMu, so emit — the per-event hot path shared by every running
 	// DPI — fans out with a single atomic load and no lock.
@@ -189,6 +234,12 @@ type processMetrics struct {
 	// Verified-bytecode tier counters (see bytecode.go).
 	sourceAnalyses *obs.Counter
 	verifications  *obs.Counter
+	// Multi-tenant enforcement counters (see tenant.go, sched.go).
+	quotaThrottles   *obs.Counter
+	quotaSuspensions *obs.Counter
+	quotaKills       *obs.Counter
+	quotaRejections  *obs.Counter
+	repoFull         *obs.Counter
 	// events indexes per-kind emit counters by EventKind.
 	events [EventExit + 1]*obs.Counter
 }
@@ -209,6 +260,12 @@ func newProcessMetrics(reg *obs.Registry, emitted *atomic.Uint64) processMetrics
 		crashLoops:     reg.Counter("elastic_crash_loops_total", "supervised lineages abandoned at the restart cap"),
 		sourceAnalyses: reg.Counter("elastic_source_analyses_total", "full source-level translations (parse+compile+optimize+analyze)"),
 		verifications:  reg.Counter("elastic_bytecode_verifications_total", "compiled artifacts verified at admission"),
+
+		quotaThrottles:   reg.Counter("elastic_quota_throttles_total", "rate-quota throttle pauses served"),
+		quotaSuspensions: reg.Counter("elastic_quota_suspensions_total", "rate-quota suspensions served"),
+		quotaKills:       reg.Counter("elastic_quota_kills_total", "DPIs terminated for sustained quota violations"),
+		quotaRejections:  reg.Counter("elastic_quota_rejections_total", "QUO-coded admission rejections"),
+		repoFull:         reg.Counter("elastic_repo_full_total", "delegations refused at the repository byte ceiling"),
 	}
 	reg.FuncCounter("elastic_events_emitted_total", "events fanned out to subscribers", emitted.Load)
 	for k := EventReport; k <= EventExit; k++ {
@@ -226,11 +283,16 @@ type subscriber struct {
 
 // ProcessStats counts runtime activity.
 type ProcessStats struct {
-	Delegations    uint64
-	Rejections     uint64
-	Instantiations uint64
-	EventsEmitted  uint64
-	MessagesSent   uint64
+	Delegations      uint64
+	Rejections       uint64
+	Instantiations   uint64
+	EventsEmitted    uint64
+	MessagesSent     uint64
+	QuotaThrottles   uint64
+	QuotaSuspensions uint64
+	QuotaKills       uint64
+	QuotaRejections  uint64
+	RepoFull         uint64
 }
 
 // NewProcess builds an elastic process from cfg, registering the
@@ -279,6 +341,35 @@ func NewProcess(cfg Config) *Process {
 	}
 	p.met = newProcessMetrics(p.reg, &p.eventsEmitted)
 	p.progCache = newProgCache(cfg.ProgramCacheSize, p.reg)
+	p.throttleGrace = cfg.ThrottleGrace
+	if p.throttleGrace <= 0 {
+		p.throttleGrace = defaultThrottleGrace
+	}
+	p.maxQuotaSuspensions = cfg.MaxQuotaSuspensions
+	if p.maxQuotaSuspensions <= 0 {
+		p.maxQuotaSuspensions = defaultMaxQuotaSuspensions
+	}
+	p.quotaBlockPenalty = cfg.QuotaBlockPenalty
+	if p.quotaBlockPenalty <= 0 {
+		p.quotaBlockPenalty = defaultQuotaBlockPenalty
+	}
+	p.tenants = newTenants(p, cfg.Quota, cfg.TenantQuotas)
+	p.schedQuantum = cfg.SchedQuantum
+	if p.schedQuantum == 0 {
+		p.schedQuantum = defaultSchedQuantum
+	}
+	if cfg.SchedWorkers >= 0 {
+		p.sched = newScheduler(cfg.SchedWorkers, int64(p.schedQuantum))
+		p.reg.FuncCounter("elastic_sched_grants_total", "run-slot grants handed out by the fair scheduler", p.sched.grants.Load)
+		p.reg.FuncGauge("elastic_sched_waiters", "DPIs parked waiting for a run slot", p.sched.waiting.Load)
+	}
+	limit := cfg.MaxRepositoryBytes
+	if limit == 0 {
+		limit = defaultMaxRepositoryBytes
+	}
+	if limit > 0 {
+		p.repo.SetLimit(limit)
+	}
 	p.bindings = cfg.Bindings.Clone()
 	p.registerInstanceServices()
 	p.translator = NewTranslator(p.bindings)
@@ -300,11 +391,16 @@ func (p *Process) Bindings() *dpl.Bindings { return p.bindings }
 // Stats returns a copy of the process counters.
 func (p *Process) Stats() ProcessStats {
 	return ProcessStats{
-		Delegations:    p.met.delegations.Value(),
-		Rejections:     p.met.rejections.Value(),
-		Instantiations: p.met.instantiations.Value(),
-		EventsEmitted:  p.eventsEmitted.Load(),
-		MessagesSent:   p.met.messagesSent.Value(),
+		Delegations:      p.met.delegations.Value(),
+		Rejections:       p.met.rejections.Value(),
+		Instantiations:   p.met.instantiations.Value(),
+		EventsEmitted:    p.eventsEmitted.Load(),
+		MessagesSent:     p.met.messagesSent.Value(),
+		QuotaThrottles:   p.met.quotaThrottles.Value(),
+		QuotaSuspensions: p.met.quotaSuspensions.Value(),
+		QuotaKills:       p.met.quotaKills.Value(),
+		QuotaRejections:  p.met.quotaRejections.Value(),
+		RepoFull:         p.met.repoFull.Value(),
 	}
 }
 
@@ -390,8 +486,7 @@ func (p *Process) Delegate(principal, name, lang, source string) error {
 	if err != nil {
 		return err
 	}
-	p.commit(dp)
-	return nil
+	return p.commit(dp)
 }
 
 // prepare translates and admits one program without storing it. A
@@ -410,7 +505,7 @@ func (p *Process) prepare(principal, name, lang, source string) (*DP, error) {
 		p.rejected(name, err, p.clock.Now()-start)
 		return nil, err
 	}
-	return &DP{
+	dp := &DP{
 		Name:       name,
 		Owner:      principal,
 		Lang:       lang,
@@ -421,8 +516,31 @@ func (p *Process) prepare(principal, name, lang, source string) (*DP, error) {
 		Effects:    ent.rep.Effects,
 		Cost:       ent.rep.Cost,
 		StepBudget: ent.rep.SuggestedBudget(p.cfg.MaxStepsPerDPI),
+		size:       int64(len(source)),
 		analysisNS: p.clock.Now() - start,
-	}, nil
+	}
+	if err := p.admitTenantRepo(dp); err != nil {
+		return nil, err
+	}
+	return dp, nil
+}
+
+// admitTenantRepo checks the delegating principal's repository-bytes
+// quota against the growth this DP would cause (replacing one's own
+// same-name program only bills the difference). The check is advisory
+// under concurrency; the repository's global byte ceiling in Store is
+// authoritative.
+func (p *Process) admitTenantRepo(dp *DP) error {
+	t := p.tenants.get(dp.Owner)
+	limit := t.repoLimit.Load()
+	if limit <= 0 {
+		return nil
+	}
+	delta := dp.size
+	if prev, ok := p.repo.Lookup(dp.Name); ok && prev.Owner == dp.Owner {
+		delta -= prev.size
+	}
+	return p.tenants.admitRepoBytes(t, dp.Name, delta, limit)
 }
 
 // rejected accounts one admission failure (metrics, per-code labels,
@@ -486,9 +604,38 @@ func verdictFromReport(rep *analysis.Report) dpl.Verdict {
 	}
 }
 
-// commit stores a prepared program and accounts the delegation.
-func (p *Process) commit(dp *DP) {
-	p.repo.Store(dp)
+// commit stores a prepared program and accounts the delegation,
+// billing the stored bytes to the owner (and crediting the owner of
+// any replaced same-name program). The repository's byte ceiling is
+// enforced here; a full repository returns ErrRepositoryFull without
+// storing.
+func (p *Process) commit(dp *DP) error {
+	prev, err := p.repo.Store(dp)
+	if err != nil {
+		p.met.repoFull.Inc()
+		p.tracer.Record(dp.Name, obs.StageReject, err.Error(), 0)
+		return err
+	}
+	p.committed(dp, prev)
+	return nil
+}
+
+// committed settles the tenant byte ledger and accounting for one
+// stored program: the owner is charged, the displaced program's owner
+// credited.
+func (p *Process) committed(dp, prev *DP) {
+	if prev != nil && prev.Owner == dp.Owner {
+		// Same-owner replacement (the cached re-delegation hot path):
+		// bill only the size delta, usually zero.
+		if d := dp.size - prev.size; d != 0 {
+			p.tenants.get(dp.Owner).repoBytes.Add(d)
+		}
+	} else {
+		p.tenants.get(dp.Owner).repoBytes.Add(dp.size)
+		if prev != nil {
+			p.tenants.get(prev.Owner).repoBytes.Add(-prev.size)
+		}
+	}
 	p.met.delegations.Inc()
 	p.tracer.Record(dp.Name, obs.StageDelegate,
 		fmt.Sprintf("owner=%s lang=%s", dp.Owner, dp.Lang), dp.analysisNS)
@@ -500,9 +647,11 @@ func (p *Process) DeleteDP(principal, name string) error {
 	if !p.cfg.ACL.Allow(principal, RightDelete) {
 		return fmt.Errorf("%w: %s may not delete", ErrDenied, principal)
 	}
-	if !p.repo.Delete(name) {
+	prev, ok := p.repo.Delete(name)
+	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchDP, name)
 	}
+	p.tenants.get(prev.Owner).repoBytes.Add(-prev.size)
 	return nil
 }
 
@@ -515,12 +664,19 @@ func (p *Process) Instantiate(principal, dpName, entry string, args ...dpl.Value
 }
 
 // startInstance admits and launches one instance of dp under spec,
-// enforcing the process's resource limits. sup, when non-nil, is
+// enforcing the process's resource limits and the billing principal's
+// tenant quota (every incarnation passes through here, so supervised
+// restarts are billed like first starts). sup, when non-nil, is
 // notified of the instance's exit to apply the restart policy.
 func (p *Process) startInstance(dp *DP, spec InstanceSpec, sup *supervisor) (*DPI, error) {
+	tenant, err := p.tenants.admitInstance(spec.Principal)
+	if err != nil {
+		return nil, err
+	}
 	p.mu.Lock()
 	if p.stopped {
 		p.mu.Unlock()
+		tenant.live.Add(-1)
 		return nil, ErrStopped
 	}
 	live := 0
@@ -531,6 +687,7 @@ func (p *Process) startInstance(dp *DP, spec InstanceSpec, sup *supervisor) (*DP
 	}
 	if live >= p.cfg.MaxDPIs {
 		p.mu.Unlock()
+		tenant.live.Add(-1)
 		return nil, fmt.Errorf("%w (%d)", ErrTooManyDPIs, p.cfg.MaxDPIs)
 	}
 	p.seq[dp.Name]++
@@ -542,25 +699,32 @@ func (p *Process) startInstance(dp *DP, spec InstanceSpec, sup *supervisor) (*DP
 	if dp.StepBudget != 0 {
 		budget = dp.StepBudget
 	}
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &DPI{
+		ID:        id,
+		DP:        dp,
+		Entry:     spec.Entry,
+		spec:      spec,
+		sup:       sup,
+		proc:      p,
+		tenant:    tenant,
+		principal: spec.Principal,
+		ctrl:      ctrl,
+		mailbox:   make(chan string, p.cfg.MailboxDepth),
+		started:   p.clock.Now(),
+		runCtx:    ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+	}
 	vm := dpl.NewVM(dp.Object, p.bindings,
 		dpl.WithControl(ctrl),
 		dpl.WithMaxSteps(budget),
+		// The scheduling tick: fair-share slot rotation plus step-rate
+		// billing, at quantum granularity on top of the batched step
+		// accounting.
+		dpl.WithYield(p.schedQuantum, d.schedTick),
 	)
-	ctx, cancel := context.WithCancel(context.Background())
-	d := &DPI{
-		ID:      id,
-		DP:      dp,
-		Entry:   spec.Entry,
-		spec:    spec,
-		sup:     sup,
-		proc:    p,
-		vm:      vm,
-		ctrl:    ctrl,
-		mailbox: make(chan string, p.cfg.MailboxDepth),
-		started: p.clock.Now(),
-		cancel:  cancel,
-		done:    make(chan struct{}),
-	}
+	d.vm = vm
 	vm.Meta = d
 	p.dpis[id] = d
 	p.wg.Add(1)

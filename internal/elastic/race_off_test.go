@@ -1,0 +1,5 @@
+//go:build !race
+
+package elastic
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package elastic
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, which slows VM stepping by an order of magnitude and
+// invalidates wall-clock duty-cycle assumptions in fairness bars.
+const raceEnabled = true

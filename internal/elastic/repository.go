@@ -1,6 +1,7 @@
 package elastic
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -9,6 +10,12 @@ import (
 	"mbd/internal/dpl"
 	"mbd/internal/dpl/analysis"
 )
+
+// ErrRepositoryFull is returned by Store when accepting a program would
+// push the repository past its byte ceiling. It is typed so callers
+// (and the RDS wire path) can distinguish storage exhaustion from a
+// policy rejection.
+var ErrRepositoryFull = errors.New("elastic: repository full")
 
 // DP is a delegated program: source code accepted by the Translator,
 // its compiled object code, and bookkeeping. DPs are immutable once
@@ -39,14 +46,26 @@ type DP struct {
 	// analysisNS is the translation+admission latency, kept for the
 	// delegate trace span.
 	analysisNS time.Duration
+
+	// size is the program's storage footprint in bytes (source length,
+	// or blob length for pre-compiled programs), fixed at admission and
+	// charged against the repository ceiling and the owner's tenant
+	// ledger.
+	size int64
 }
 
+// Size returns the program's storage footprint in bytes.
+func (dp *DP) Size() int64 { return dp.size }
+
 // Repository stores delegated programs, the paper's "common database
-// service to store dps". It supports store, lookup, delete and listing.
-// The zero value is unusable; call NewRepository.
+// service to store dps". It supports store, lookup, delete and listing,
+// and enforces an optional byte ceiling over the total stored program
+// size. The zero value is unusable; call NewRepository.
 type Repository struct {
-	mu  sync.RWMutex
-	dps map[string]*DP
+	mu    sync.RWMutex
+	dps   map[string]*DP
+	bytes int64 // total size of stored programs
+	limit int64 // byte ceiling; <= 0 means unlimited
 }
 
 // NewRepository returns an empty repository.
@@ -54,13 +73,80 @@ func NewRepository() *Repository {
 	return &Repository{dps: make(map[string]*DP)}
 }
 
-// Store saves dp, replacing any previous program of the same name
-// (re-delegation updates the program; running instances keep their
-// already-instantiated object code).
-func (r *Repository) Store(dp *DP) {
+// SetLimit installs the repository byte ceiling; n <= 0 removes it.
+// Programs already stored are never evicted — the ceiling gates new
+// admissions only.
+func (r *Repository) SetLimit(n int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.limit = n
+}
+
+// Bytes returns the total storage footprint of the stored programs.
+func (r *Repository) Bytes() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.bytes
+}
+
+// Store saves dp, replacing any previous program of the same name
+// (re-delegation updates the program; running instances keep their
+// already-instantiated object code). It returns the replaced program,
+// if any, so the caller can settle per-owner byte accounting. When the
+// store would push the repository past its byte ceiling it returns
+// ErrRepositoryFull and stores nothing — replacement only charges the
+// delta, so re-delegating an existing program always fits if the new
+// body is no larger.
+func (r *Repository) Store(dp *DP) (*DP, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.storeLocked(dp)
+}
+
+func (r *Repository) storeLocked(dp *DP) (*DP, error) {
+	prev := r.dps[dp.Name]
+	next := r.bytes + dp.size
+	if prev != nil {
+		next -= prev.size
+	}
+	if r.limit > 0 && next > r.limit {
+		return nil, fmt.Errorf("%w: %d bytes stored, %d byte program over the %d byte ceiling",
+			ErrRepositoryFull, r.bytes, dp.size, r.limit)
+	}
 	r.dps[dp.Name] = dp
+	r.bytes = next
+	return prev, nil
+}
+
+// StoreAll stores every program or none: a failed ceiling check leaves
+// the repository exactly as it was. Used by checkpoint restore, where a
+// half-loaded repository is worse than a failed load. The returned
+// slice is aligned with dps: replaced[i] is the program dps[i]
+// displaced, or nil.
+func (r *Repository) StoreAll(dps []*DP) ([]*DP, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var need int64
+	for _, dp := range dps {
+		need += dp.size
+		if prev, ok := r.dps[dp.Name]; ok {
+			need -= prev.size
+		}
+	}
+	if r.limit > 0 && r.bytes+need > r.limit {
+		return nil, fmt.Errorf("%w: restoring %d programs needs %d bytes over the %d byte ceiling",
+			ErrRepositoryFull, len(dps), r.bytes+need-r.limit, r.limit)
+	}
+	replaced := make([]*DP, len(dps))
+	for i, dp := range dps {
+		prev, err := r.storeLocked(dp)
+		if err != nil {
+			// Unreachable: the aggregate check above covered the batch.
+			return replaced, err
+		}
+		replaced[i] = prev
+	}
+	return replaced, nil
 }
 
 // Lookup fetches a program by name.
@@ -71,15 +157,18 @@ func (r *Repository) Lookup(name string) (*DP, bool) {
 	return dp, ok
 }
 
-// Delete removes a program, reporting whether it existed.
-func (r *Repository) Delete(name string) bool {
+// Delete removes a program, returning it (for byte-ledger settlement)
+// and whether it existed.
+func (r *Repository) Delete(name string) (*DP, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.dps[name]; !ok {
-		return false
+	dp, ok := r.dps[name]
+	if !ok {
+		return nil, false
 	}
 	delete(r.dps, name)
-	return true
+	r.bytes -= dp.size
+	return dp, true
 }
 
 // List returns the stored programs sorted by name.

@@ -74,6 +74,12 @@ type InstanceSpec struct {
 	// compute-bound programs that must make forward progress; programs
 	// legitimately parked in recv(-1) should leave it zero.
 	StallTimeout time.Duration
+	// Principal is the billing principal the instance runs under: its
+	// tenant ledger is charged for the slot, the steps and the events,
+	// across every supervised incarnation. InstantiateSpec fills it from
+	// the instantiating principal when empty; checkpoint restore carries
+	// the original through.
+	Principal string
 }
 
 // Supervision errors.
@@ -119,6 +125,9 @@ func (p *Process) InstantiateSpec(principal string, spec InstanceSpec) (*DPI, er
 	}
 	if spec.Policy == "" {
 		spec.Policy = RestartNever
+	}
+	if spec.Principal == "" {
+		spec.Principal = principal
 	}
 	dp, ok := p.repo.Lookup(spec.DP)
 	if !ok {

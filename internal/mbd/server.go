@@ -39,6 +39,16 @@ type Config struct {
 	// process's static-analysis admission policy.
 	StrictAdmission bool
 	CostCeiling     uint64
+	// Multi-tenant isolation, passed through to the elastic process:
+	// the default per-principal Quota, per-principal overrides, the
+	// weighted-fair scheduler's worker count and step quantum, and the
+	// repository byte ceiling. See elastic.Config for the zero-value
+	// semantics.
+	Quota              elastic.Quota
+	TenantQuotas       map[string]elastic.Quota
+	SchedWorkers       int
+	SchedQuantum       uint64
+	MaxRepositoryBytes int64
 	// ExtraBindings are additional host functions (e.g. the MCVA's
 	// view services) merged into the allowed-function table before the
 	// process is built.
@@ -121,6 +131,12 @@ func New(cfg Config) (*Server, error) {
 		CostCeiling:     cfg.CostCeiling,
 		Obs:             cfg.Obs,
 		Tracer:          cfg.Tracer,
+
+		Quota:              cfg.Quota,
+		TenantQuotas:       cfg.TenantQuotas,
+		SchedWorkers:       cfg.SchedWorkers,
+		SchedQuantum:       cfg.SchedQuantum,
+		MaxRepositoryBytes: cfg.MaxRepositoryBytes,
 	})
 	s.agent = snmp.NewAgent(cfg.Device.Tree(), cfg.Community)
 	if cfg.Obs != nil {

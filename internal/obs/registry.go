@@ -230,6 +230,15 @@ func (r *Registry) FuncGauge(name, help string, fn func() int64) {
 	r.register(&metric{family: name, help: help, kind: kindFuncGauge, fg: fn})
 }
 
+// LabeledFuncGauge registers a gauge series for one (label, value)
+// pair of the named family whose value is read from fn at export time
+// — the labelled form of FuncGauge. fn must be safe for concurrent
+// use.
+func (r *Registry) LabeledFuncGauge(name, help, label, value string, fn func() int64) {
+	labels := fmt.Sprintf("{%s=%q}", label, value)
+	r.register(&metric{family: name, labels: labels, help: help, kind: kindFuncGauge, fg: fn})
+}
+
 // Histogram returns the latency histogram registered under name,
 // creating it (with DefaultBuckets when bounds is nil) if needed.
 func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram {

@@ -35,6 +35,11 @@ const (
 	StageFanout     = "fanout"
 	StageRollup     = "rollup"
 	StageMemberDead = "member-dead"
+	// Multi-tenant stages (see docs/TENANCY.md): a DPI paused for
+	// exceeding its tenant's rate quota, and a DPI terminated after
+	// repeated violations.
+	StageThrottle  = "quota-throttle"
+	StageQuotaKill = "quota-kill"
 )
 
 // Span is one recorded lifecycle event.

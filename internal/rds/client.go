@@ -76,6 +76,9 @@ type Event struct {
 	Kind    string // report | notify | log | exit
 	Payload string
 	TimeMS  int64
+	// Principal is the billing principal of the emitting instance
+	// (empty for synthetic platform events).
+	Principal string
 }
 
 // Client is a delegator's endpoint: it issues RDS requests over one
@@ -303,7 +306,7 @@ func (c *Client) readFrames(conn net.Conn) error {
 		switch m.Op {
 		case OpEvent:
 			select {
-			case c.events <- Event{DPI: m.Name, Kind: m.Entry, Payload: string(m.Payload), TimeMS: m.TimeMS}:
+			case c.events <- Event{DPI: m.Name, Kind: m.Entry, Payload: string(m.Payload), TimeMS: m.TimeMS, Principal: m.Principal}:
 			default: // drop on overflow
 			}
 		case OpReply:
@@ -600,6 +603,19 @@ func (c *Client) Subscribe(ctx context.Context, filter string) error {
 func (c *Client) Stats(ctx context.Context) (string, error) {
 	m, err := c.retryIdempotent(ctx, func() *Message {
 		return &Message{Op: OpStats, Entry: "metrics"}
+	})
+	if err != nil {
+		return "", err
+	}
+	return string(m.Payload), nil
+}
+
+// TenantStatus fetches the server's per-tenant audit/billing table as
+// a JSON document (default quota plus one row per known tenant). It is
+// idempotent: under WithReconnect it retries across outages.
+func (c *Client) TenantStatus(ctx context.Context) (string, error) {
+	m, err := c.retryIdempotent(ctx, func() *Message {
+		return &Message{Op: OpStats, Entry: "tenants"}
 	})
 	if err != nil {
 		return "", err

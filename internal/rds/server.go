@@ -24,6 +24,21 @@ import (
 // DPI's event emission.
 const subscriberQueueDepth = 256
 
+// TenantGate is the server's seam into the tenant ledger: per-principal
+// request-rate admission and the weights driving overload shedding.
+// *elastic.Tenants implements it; NewServer wires the process's own
+// table by default.
+type TenantGate interface {
+	// AdmitRequest bills one dispatched request to principal, returning
+	// a QUO005-coded error when the request should be shed.
+	AdmitRequest(principal string) error
+	// Weight is principal's shedding priority (higher sheds later).
+	Weight(principal string) int
+	// MaxActiveWeight is the highest weight among tenants with live
+	// DPIs; under global event backpressure traffic below it is shed.
+	MaxActiveWeight() int
+}
+
 // Server exposes an elastic process over the RDS protocol. Each
 // connection is handled on its own goroutine; events from subscribed
 // DPIs are pushed to the connection asynchronously through a bounded
@@ -38,10 +53,22 @@ type Server struct {
 	// cascaded delegation, upstream report). Nil refuses them.
 	peers PeerHandler
 
+	// gate is the tenant ledger seam: request-rate shedding and the
+	// weights behind event backpressure. Nil disables both; gateSet
+	// distinguishes an explicit nil from the default wiring.
+	gate    TenantGate
+	gateSet bool
+
 	// drainGrace > 0 turns shutdown into a drain: on ctx cancellation
 	// each connection gets that long to finish its in-flight request
 	// before its read path is cut, instead of being closed mid-reply.
 	drainGrace time.Duration
+
+	// queued and subscribers drive the global event high-water mark:
+	// when total queued events pass 3/4 of aggregate queue capacity,
+	// fan-out sheds the lowest-weight tenants' events first.
+	queued      atomic.Int64
+	subscribers atomic.Int64
 
 	stats serverCounters
 
@@ -61,6 +88,8 @@ type serverCounters struct {
 	bytesOut      atomic.Uint64
 	eventsSent    atomic.Uint64
 	eventsDropped atomic.Uint64
+	eventsShed    atomic.Uint64
+	requestsShed  atomic.Uint64
 	connsDrained  atomic.Uint64
 }
 
@@ -72,8 +101,14 @@ type ServerStats struct {
 	BytesOut   uint64
 	EventsSent uint64
 	// EventsDropped counts events discarded because a subscriber's
-	// bounded queue overflowed (drop-oldest policy).
+	// bounded queue overflowed (drop-oldest-per-tenant policy).
 	EventsDropped uint64
+	// EventsShed counts events refused at fan-out by the global
+	// high-water backpressure (lowest-weight tenants first).
+	EventsShed uint64
+	// RequestsShed counts requests refused by the per-principal
+	// request-rate quota (QUO005).
+	RequestsShed uint64
 	// ConnsDrained counts connections shut down through the drain-grace
 	// path instead of an immediate close.
 	ConnsDrained uint64
@@ -113,6 +148,13 @@ func WithDrainGrace(d time.Duration) ServerOption {
 	return func(s *Server) { s.drainGrace = d }
 }
 
+// WithTenantGate overrides the tenant ledger seam (the default is the
+// process's own Tenants table). Nil disables request-rate shedding and
+// weighted event backpressure.
+func WithTenantGate(g TenantGate) ServerOption {
+	return func(s *Server) { s.gate = g; s.gateSet = true }
+}
+
 // NewServer wraps proc. auth may be nil to disable authentication. By
 // default the server's counters join the process's registry (Config.Obs
 // or its private default), so one scrape covers protocol and runtime.
@@ -123,6 +165,9 @@ func NewServer(proc *elastic.Process, auth *Authenticator, opts ...ServerOption)
 	}
 	if s.reg == nil {
 		s.reg = proc.Obs()
+	}
+	if !s.gateSet {
+		s.gate = proc.Tenants()
 	}
 	s.instrument()
 	return s
@@ -142,6 +187,8 @@ func (s *Server) instrument() {
 		{"rds_bytes_out_total", "reply and event frame bytes sent", &s.stats.bytesOut},
 		{"rds_events_sent_total", "event frames delivered to subscribers", &s.stats.eventsSent},
 		{"rds_events_dropped_total", "events discarded on overflowing subscriber queues", &s.stats.eventsDropped},
+		{"rds_events_shed_total", "events refused at fan-out by weighted backpressure", &s.stats.eventsShed},
+		{"rds_requests_shed_total", "requests refused by the per-principal rate quota", &s.stats.requestsShed},
 		{"rds_conns_drained_total", "connections shut down via the drain-grace path", &s.stats.connsDrained},
 	} {
 		s.reg.FuncCounter(c.name, c.help, c.v.Load)
@@ -165,8 +212,25 @@ func (s *Server) Stats() ServerStats {
 		BytesOut:      s.stats.bytesOut.Load(),
 		EventsSent:    s.stats.eventsSent.Load(),
 		EventsDropped: s.stats.eventsDropped.Load(),
+		EventsShed:    s.stats.eventsShed.Load(),
+		RequestsShed:  s.stats.requestsShed.Load(),
 		ConnsDrained:  s.stats.connsDrained.Load(),
 	}
+}
+
+// droppedEvent accounts one discarded event: the aggregate counter plus
+// the per-principal attribution series ("" renders as principal "_").
+func (s *Server) droppedEvent(principal string, shed bool) {
+	if shed {
+		s.stats.eventsShed.Add(1)
+	} else {
+		s.stats.eventsDropped.Add(1)
+	}
+	if principal == "" {
+		principal = "_"
+	}
+	s.reg.LabeledCounter("rds_events_dropped_total",
+		"events discarded on overflowing subscriber queues", "principal", principal).Inc()
 }
 
 // Serve accepts connections on l until ctx is cancelled.
@@ -237,42 +301,97 @@ func (cw *connWriter) write(s *Server, m *Message, flush bool) error {
 }
 
 // eventQueue is a bounded FIFO of pending subscriber events. push
-// never blocks: when the ring is full the oldest event is discarded
-// (drop-oldest), keeping DPI event emission decoupled from the
-// subscriber connection's write speed.
+// never blocks: when the ring is full an older event is discarded to
+// make room, keeping DPI event emission decoupled from the subscriber
+// connection's write speed. The victim is chosen per tenant, not per
+// connection: a pushing principal with queued events overwrites its own
+// oldest, otherwise the principal hogging the most queue slots loses
+// its oldest — so one flooding tenant's burst can never evict a quiet
+// tenant's events. glob, when set, mirrors the queue's occupancy into
+// the server-wide queued gauge driving high-water shedding.
 type eventQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	buf    []elastic.Event // ring storage
 	head   int
 	n      int
+	counts map[string]int // queued events by principal
+	glob   *atomic.Int64
 	closed bool
 }
 
-func newEventQueue(depth int) *eventQueue {
-	q := &eventQueue{buf: make([]elastic.Event, depth)}
+func newEventQueue(depth int, glob *atomic.Int64) *eventQueue {
+	q := &eventQueue{buf: make([]elastic.Event, depth), counts: make(map[string]int), glob: glob}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
 
-// push enqueues ev, reporting whether an older event was dropped to
-// make room.
-func (q *eventQueue) push(ev elastic.Event) (dropped bool) {
+// push enqueues ev; when the ring was full it returns the principal
+// whose oldest event was dropped to make room (dropped true).
+func (q *eventQueue) push(ev elastic.Event) (victim string, dropped bool) {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		return false
+		return "", false
 	}
 	if q.n == len(q.buf) {
-		q.head = (q.head + 1) % len(q.buf)
-		q.n--
+		victim = ev.Principal
+		if q.counts[victim] == 0 {
+			victim = q.hogLocked()
+		}
+		q.removeOldestLocked(victim)
 		dropped = true
+	} else if q.glob != nil {
+		q.glob.Add(1)
 	}
 	q.buf[(q.head+q.n)%len(q.buf)] = ev
 	q.n++
+	q.counts[ev.Principal]++
 	q.mu.Unlock()
 	q.cond.Signal()
-	return dropped
+	return victim, dropped
+}
+
+// hogLocked returns the principal with the most queued events.
+func (q *eventQueue) hogLocked() string {
+	var hog string
+	best := -1
+	for pr, n := range q.counts {
+		if n > best {
+			hog, best = pr, n
+		}
+	}
+	return hog
+}
+
+// removeOldestLocked deletes victim's oldest queued event, compacting
+// the ring toward the head. O(n) on the overflow path only.
+func (q *eventQueue) removeOldestLocked(victim string) {
+	for i := 0; i < q.n; i++ {
+		idx := (q.head + i) % len(q.buf)
+		if q.buf[idx].Principal != victim {
+			continue
+		}
+		// Shift the segment before idx forward one slot.
+		for j := i; j > 0; j-- {
+			to := (q.head + j) % len(q.buf)
+			from := (q.head + j - 1) % len(q.buf)
+			q.buf[to] = q.buf[from]
+		}
+		q.buf[q.head] = elastic.Event{}
+		q.head = (q.head + 1) % len(q.buf)
+		q.n--
+		q.decCountLocked(victim)
+		return
+	}
+}
+
+func (q *eventQueue) decCountLocked(pr string) {
+	if c := q.counts[pr]; c <= 1 {
+		delete(q.counts, pr)
+	} else {
+		q.counts[pr] = c - 1
+	}
 }
 
 // pop dequeues the oldest event, blocking until one arrives or the
@@ -291,6 +410,10 @@ func (q *eventQueue) pop() (ev elastic.Event, more, ok bool) {
 	q.buf[q.head] = elastic.Event{}
 	q.head = (q.head + 1) % len(q.buf)
 	q.n--
+	q.decCountLocked(ev.Principal)
+	if q.glob != nil {
+		q.glob.Add(-1)
+	}
 	return ev, q.n > 0, true
 }
 
@@ -299,9 +422,32 @@ func (q *eventQueue) pop() (ev elastic.Event, more, ok bool) {
 func (q *eventQueue) close() {
 	q.mu.Lock()
 	q.closed = true
+	if q.glob != nil {
+		q.glob.Add(-int64(q.n))
+	}
 	q.n = 0
+	q.counts = make(map[string]int)
 	q.mu.Unlock()
 	q.cond.Broadcast()
+}
+
+// overloaded reports whether an event from principal should be shed at
+// fan-out: total queued events are past the global high-water mark
+// (3/4 of aggregate subscriber queue capacity) and the principal's
+// weight is below the heaviest active tenant's — lowest-weight traffic
+// sheds first, synthetic platform events (empty principal) never shed.
+func (s *Server) overloaded(principal string) bool {
+	if s.gate == nil || principal == "" {
+		return false
+	}
+	subs := s.subscribers.Load()
+	if subs == 0 {
+		return false
+	}
+	if s.queued.Load() < subs*subscriberQueueDepth*3/4 {
+		return false
+	}
+	return s.gate.Weight(principal) < s.gate.MaxActiveWeight()
 }
 
 // pumpEvents drains q onto cw until the queue closes, flushing only
@@ -314,11 +460,12 @@ func (s *Server) pumpEvents(q *eventQueue, cw *connWriter, done chan<- struct{})
 			return
 		}
 		msg := Message{
-			Op:      OpEvent,
-			Name:    ev.DPI,
-			Entry:   ev.Kind.String(),
-			Payload: []byte(ev.Payload),
-			TimeMS:  ev.Time.Milliseconds(),
+			Op:        OpEvent,
+			Name:      ev.DPI,
+			Entry:     ev.Kind.String(),
+			Payload:   []byte(ev.Payload),
+			TimeMS:    ev.Time.Milliseconds(),
+			Principal: ev.Principal,
 		}
 		if cw.write(s, &msg, !more) == nil {
 			s.stats.eventsSent.Add(1)
@@ -385,6 +532,7 @@ func (s *Server) ServeConn(ctx context.Context, conn net.Conn) {
 		if events != nil {
 			events.close()
 			<-pumpDone
+			s.subscribers.Add(-1)
 		}
 	}()
 
@@ -409,19 +557,31 @@ func (s *Server) ServeConn(ctx context.Context, conn net.Conn) {
 			_ = cw.write(s, reply(req, nil, err), true)
 			continue
 		}
+		if s.gate != nil && req.Principal != "" {
+			if err := s.gate.AdmitRequest(req.Principal); err != nil {
+				s.stats.requestsShed.Add(1)
+				_ = cw.write(s, reply(req, nil, err), true)
+				continue
+			}
+		}
 		switch req.Op {
 		case OpSubscribe:
 			if events == nil {
-				events = newEventQueue(subscriberQueueDepth)
+				events = newEventQueue(subscriberQueueDepth, &s.queued)
 				pumpDone = make(chan struct{})
+				s.subscribers.Add(1)
 				go s.pumpEvents(events, cw, pumpDone)
 				q, filter := events, req.Name
 				unsubscribe = s.proc.Subscribe(func(ev elastic.Event) {
 					if filter != "" && !strings.HasPrefix(ev.DPI, filter) {
 						return
 					}
-					if q.push(ev) {
-						s.stats.eventsDropped.Add(1)
+					if s.overloaded(ev.Principal) {
+						s.droppedEvent(ev.Principal, true)
+						return
+					}
+					if victim, dropped := q.push(ev); dropped {
+						s.droppedEvent(victim, false)
 					}
 				})
 			}
@@ -640,6 +800,12 @@ func (s *Server) serveStats(req *Message) *Message {
 			return reply(req, nil, ErrNoFederation)
 		}
 		doc, err := s.peers.StatusJSON()
+		if err != nil {
+			return reply(req, nil, err)
+		}
+		return reply(req, func(m *Message) { m.Payload = doc }, nil)
+	case "tenants":
+		doc, err := s.proc.TenantStatusJSON()
 		if err != nil {
 			return reply(req, nil, err)
 		}

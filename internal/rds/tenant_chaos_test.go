@@ -1,0 +1,203 @@
+package rds
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mbd/internal/elastic"
+	"mbd/internal/faultinject"
+	"mbd/internal/obs"
+)
+
+// pingRound issues one admission (Instantiate) and waits for the
+// instance's report event, returning both latencies.
+func pingRound(ctx context.Context, t *testing.T, c *Client) (admit, event time.Duration) {
+	t.Helper()
+	start := time.Now()
+	id, err := c.Instantiate(ctx, "ping", "main")
+	if err != nil {
+		t.Fatalf("ping instantiate: %v", err)
+	}
+	admit = time.Since(start)
+	for {
+		select {
+		case ev, ok := <-c.Events():
+			if !ok {
+				t.Fatal("event stream closed")
+			}
+			if ev.Kind == "report" && ev.DPI == id {
+				return admit, time.Since(start)
+			}
+		case <-ctx.Done():
+			t.Fatalf("report for %s never arrived", id)
+		}
+	}
+}
+
+func p99(d []time.Duration) time.Duration {
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	return d[(len(d)*99)/100]
+}
+
+// TestChaosHostileTenant runs a hostile tenant — spinner floods, quota
+// violations, burst requests — through a fault-injected transport
+// (>= 30 faults) while a well-behaved tenant keeps doing admissions on
+// a clean connection. The isolation contract: the well-behaved
+// tenant's p99 admission and event latencies stay within 2x its solo
+// baseline (plus a small scheduling floor), the hostile tenant's
+// violations surface as quota enforcement (not silence), and nothing
+// leaks.
+func TestChaosHostileTenant(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	reg := obs.NewRegistry()
+	proc := elastic.NewProcess(elastic.Config{Obs: reg})
+	proc.Tenants().SetQuota("evil", elastic.Quota{
+		MaxLiveDPIs:    4,
+		StepsPerSec:    50_000,
+		EventsPerSec:   20,
+		RequestsPerSec: 200,
+		Weight:         1,
+	})
+	addr := startListener(t, proc, WithObs(reg))
+
+	dialClean := func() (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, 5*time.Second)
+	}
+	goodConn, err := dialClean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := NewClient(goodConn, "mgr", WithDialer(dialClean),
+		WithReconnect(ReconnectConfig{BackoffBase: time.Millisecond, BackoffMax: 20 * time.Millisecond}))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := good.Subscribe(ctx, "ping"); err != nil {
+		t.Fatal(err)
+	}
+	if err := good.Delegate(ctx, "ping", `func main() { report(1); return 0; }`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Solo baseline: the well-behaved tenant alone on the server.
+	const samples = 40
+	var soloAdmit, soloEvent []time.Duration
+	for i := 0; i < samples; i++ {
+		a, e := pingRound(ctx, t, good)
+		soloAdmit, soloEvent = append(soloAdmit, a), append(soloEvent, e)
+	}
+
+	// Hostile tenant arrives over a fault-injected transport.
+	inj := faultinject.New(faultinject.Config{
+		Seed:             20260808,
+		ResetProb:        0.02,
+		LatencyProb:      0.05,
+		MaxLatency:       2 * time.Millisecond,
+		PartialWriteProb: 0.02,
+		CorruptProb:      0.02,
+		Obs:              reg,
+	})
+	dialEvil := inj.Dialer(dialClean)
+	evilConn, err := dialEvil()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil := NewClient(evilConn, "evil", WithDialer(dialEvil),
+		WithReconnect(ReconnectConfig{BackoffBase: time.Millisecond, BackoffMax: 20 * time.Millisecond}))
+
+	inj.SetEnabled(true)
+	var stop atomic.Bool
+	stormDone := make(chan struct{})
+	var evilOps, evilErrs atomic.Uint64
+	go func() {
+		defer close(stormDone)
+		_ = evil.Delegate(ctx, "hog", `func main() { while (true) {} }`)
+		_ = evil.Delegate(ctx, "chatty", `func main() { while (true) { report(0); } }`)
+		for i := 0; !stop.Load() && ctx.Err() == nil; i++ {
+			opCtx, opCancel := context.WithTimeout(ctx, 5*time.Second)
+			var err error
+			switch i % 4 {
+			case 0:
+				_, err = evil.Instantiate(opCtx, "hog", "main")
+			case 1:
+				_, err = evil.Instantiate(opCtx, "chatty", "main")
+			case 2:
+				_, err = evil.Query(opCtx, "")
+			case 3:
+				err = evil.Delegate(opCtx, "hog", `func main() { while (true) {} }`)
+			}
+			opCancel()
+			evilOps.Add(1)
+			if err != nil {
+				evilErrs.Add(1)
+			}
+		}
+	}()
+
+	// Measure the well-behaved tenant UNDER the storm, and keep
+	// measuring until the injector has fired at least 30 faults.
+	var stormAdmit, stormEvent []time.Duration
+	for len(stormAdmit) < samples || inj.Total() < 30 {
+		if ctx.Err() != nil {
+			t.Fatalf("storm timed out: faults=%d samples=%d", inj.Total(), len(stormAdmit))
+		}
+		a, e := pingRound(ctx, t, good)
+		stormAdmit, stormEvent = append(stormAdmit, a), append(stormEvent, e)
+	}
+	stop.Store(true)
+	<-stormDone
+	inj.SetEnabled(false)
+
+	// The hostile tenant was actually punished, visibly.
+	var evilStatus elastic.TenantStatus
+	for _, st := range proc.Tenants().List() {
+		if st.Principal == "evil" {
+			evilStatus = st
+		}
+	}
+	t.Logf("chaos: faults=%+v evilOps=%d evilErrs=%d evil=%+v",
+		inj.Stats(), evilOps.Load(), evilErrs.Load(), evilStatus)
+	if evilStatus.Principal != "evil" {
+		t.Fatal("hostile tenant never materialized in the ledger")
+	}
+	if evilStatus.Throttles == 0 && evilStatus.Suspensions == 0 && evilStatus.Rejections == 0 {
+		t.Fatalf("hostile tenant was never quota-enforced: %+v", evilStatus)
+	}
+
+	// Isolation: p99 latency within 2x solo plus a 50ms floor (the
+	// floor absorbs single-core scheduling noise on tiny baselines).
+	const floor = 50 * time.Millisecond
+	sa, se := p99(soloAdmit), p99(soloEvent)
+	ga, ge := p99(stormAdmit), p99(stormEvent)
+	t.Logf("p99 admit solo=%v storm=%v | event solo=%v storm=%v", sa, ga, se, ge)
+	if ga > 2*sa+floor {
+		t.Fatalf("admission p99 %v exceeds 2x solo %v + %v", ga, sa, floor)
+	}
+	if ge > 2*se+floor {
+		t.Fatalf("event p99 %v exceeds 2x solo %v + %v", ge, se, floor)
+	}
+
+	// Teardown and leak check (+2 for the fixture's Serve goroutines,
+	// reaped by t.Cleanup after the body).
+	evil.Close()
+	good.Close()
+	proc.Stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: baseline=%d now=%d\n%s", baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,153 @@
+package rds
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mbd/internal/elastic"
+)
+
+// TestQuotaRejectionOverWire: a QUO001 admission rejection crosses the
+// wire as a structured RejectError, and delivered events carry the
+// emitting instance's billing principal.
+func TestQuotaRejectionOverWire(t *testing.T) {
+	proc := elastic.NewProcess(elastic.Config{Quota: elastic.Quota{MaxLiveDPIs: 1}})
+	t.Cleanup(proc.Stop)
+	c := startServer(t, proc, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	if err := c.Subscribe(ctx, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delegate(ctx, "daemon", `func main() { recv(-1); return 0; }`); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Instantiate(ctx, "daemon", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Instantiate(ctx, "daemon", "main")
+	var rej *RejectError
+	if !errors.As(err, &rej) || !rej.HasCode("QUO001") {
+		t.Fatalf("second instantiate: %v, want QUO001 RejectError", err)
+	}
+	if err := c.Control(ctx, id, "terminate"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case ev, ok := <-c.Events():
+			if !ok {
+				t.Fatal("event stream closed early")
+			}
+			if ev.Kind != "exit" {
+				continue
+			}
+			if ev.Principal != "mgr" {
+				t.Fatalf("exit event principal = %q, want mgr", ev.Principal)
+			}
+			return
+		case <-deadline:
+			t.Fatal("exit event never arrived")
+		}
+	}
+}
+
+// TestRequestRateShedOverWire: a principal over its request-rate quota
+// gets QUO005-coded rejections while the shed is billed to its ledger.
+func TestRequestRateShedOverWire(t *testing.T) {
+	proc := elastic.NewProcess(elastic.Config{Quota: elastic.Quota{RequestsPerSec: 1}})
+	t.Cleanup(proc.Stop)
+	c := startServer(t, proc, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	var shed *RejectError
+	for i := 0; i < 20 && shed == nil; i++ {
+		if _, err := c.Query(ctx, ""); err != nil {
+			var rej *RejectError
+			if !errors.As(err, &rej) {
+				t.Fatalf("query %d: %v, want RejectError", i, err)
+			}
+			shed = rej
+		}
+	}
+	if shed == nil || !shed.HasCode("QUO005") {
+		t.Fatalf("burst never shed with QUO005: %+v", shed)
+	}
+	var billed bool
+	for _, st := range proc.Tenants().List() {
+		if st.Principal == "mgr" && st.RequestsShed > 0 {
+			billed = true
+		}
+	}
+	if !billed {
+		t.Fatalf("shed not billed to tenant: %+v", proc.Tenants().List())
+	}
+}
+
+// TestTenantStatusOverWire: the stats subtree serves the tenant table
+// to mbdctl.
+func TestTenantStatusOverWire(t *testing.T) {
+	proc := elastic.NewProcess(elastic.Config{})
+	t.Cleanup(proc.Stop)
+	proc.Tenants().SetQuota("gold", elastic.Quota{MaxLiveDPIs: 3, Weight: 4})
+	c := startServer(t, proc, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	doc, err := c.TenantStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"default_quota"`, `"gold"`, `"max_live_dpis": 3`} {
+		if !strings.Contains(doc, want) {
+			t.Fatalf("tenant status missing %s:\n%s", want, doc)
+		}
+	}
+}
+
+// TestEventQueueTenantVictim: on overflow the queue drops the pushing
+// principal's own oldest event when it has any queued, otherwise the
+// hog's — a quiet tenant's events are never the victim.
+func TestEventQueueTenantVictim(t *testing.T) {
+	q := newEventQueue(4, nil)
+	for i := 0; i < 4; i++ {
+		if _, dropped := q.push(elastic.Event{Principal: "flood", Payload: "f"}); dropped {
+			t.Fatalf("push %d dropped below capacity", i)
+		}
+	}
+	// A quiet principal's first event evicts the hog, not itself.
+	victim, dropped := q.push(elastic.Event{Principal: "quiet", Payload: "q1"})
+	if !dropped || victim != "flood" {
+		t.Fatalf("victim = %q (dropped %v), want flood", victim, dropped)
+	}
+	// The flooder pushing again self-harms: its own oldest goes.
+	victim, dropped = q.push(elastic.Event{Principal: "flood", Payload: "f4"})
+	if !dropped || victim != "flood" {
+		t.Fatalf("victim = %q (dropped %v), want flood", victim, dropped)
+	}
+	// Another principal with nothing queued also evicts the hog.
+	victim, dropped = q.push(elastic.Event{Principal: "late", Payload: "l1"})
+	if !dropped || victim != "flood" {
+		t.Fatalf("victim = %q (dropped %v), want flood", victim, dropped)
+	}
+	// quiet's and late's events both survived the storm.
+	var got []string
+	for i := 0; i < 4; i++ {
+		ev, _, ok := q.pop()
+		if !ok {
+			t.Fatal("queue ran dry early")
+		}
+		got = append(got, ev.Principal+":"+ev.Payload)
+	}
+	want := "flood:f,quiet:q1,flood:f4,late:l1"
+	if strings.Join(got, ",") != want {
+		t.Fatalf("drained %v, want %s", got, want)
+	}
+}
