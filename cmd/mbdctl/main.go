@@ -33,6 +33,11 @@
 //	                               atomically re-activate a previously
 //	                               staged bundle hash everywhere
 //	domain bundles                 the domain's bundle inventory
+//	view status                    maintained views + maintenance counters
+//	view define <file.vdl>         install views kept continuously materialized
+//	view query <name>              one view's current rows
+//	view watch <name> [n]          poll a view, printing each change (n
+//	                               changes then exit; default forever)
 //
 // Unknown commands print the usage summary and exit 2.
 //
@@ -51,6 +56,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -106,6 +112,7 @@ var commands = [][2]string{
 	{"lint", "lint <file.dpl>..."},
 	{"tenant", "tenant status | quota [principal]"},
 	{"domain", "domain status | members | bundles | delegate <name> <file.dpl> [entry [args...]] | rollout <lineage> <version> <file.dpl>... | rollback <lineage> <hash>"},
+	{"view", "view status | define <file.vdl> | query <name> | watch <name> [n]"},
 }
 
 // validCommand reports whether cmd is a known subcommand.
@@ -381,10 +388,169 @@ func run(server, principal, secret string, timeout time.Duration, args []string)
 		return tenantCmd(ctx, c, rest)
 	case "domain":
 		return domainCmd(ctx, c, rest)
+	case "view":
+		return viewCmd(ctx, c, rest)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 	return nil
+}
+
+// viewDoc mirrors the view engine's status payload.
+type viewDoc struct {
+	Views []struct {
+		Name       string   `json:"name"`
+		Columns    []string `json:"columns"`
+		Rows       int      `json:"rows"`
+		BaseRows   int      `json:"base_rows"`
+		Recomputes uint64   `json:"recomputes"`
+		Error      string   `json:"error"`
+	} `json:"views"`
+	Stats struct {
+		DeltasFolded uint64 `json:"deltas_folded"`
+		Recomputes   uint64 `json:"recomputes"`
+		ChangesLost  uint64 `json:"changes_lost"`
+	} `json:"stats"`
+}
+
+// viewRows mirrors the view engine's query payload.
+type viewRows struct {
+	View     string   `json:"view"`
+	Columns  []string `json:"columns"`
+	Rows     [][]any  `json:"rows"`
+	BaseRows int      `json:"base_rows"`
+}
+
+// printViewRows renders one view result as an aligned table.
+func printViewRows(v viewRows) {
+	for i, col := range v.Columns {
+		if i > 0 {
+			fmt.Print("  ")
+		}
+		fmt.Printf("%-14s", col)
+	}
+	fmt.Println()
+	for _, row := range v.Rows {
+		for i, cell := range row {
+			if i > 0 {
+				fmt.Print("  ")
+			}
+			// JSON numbers arrive as float64; render integral values
+			// (SNMP counters, row indexes) without an exponent.
+			if f, ok := cell.(float64); ok && f == math.Trunc(f) && math.Abs(f) < 1e15 {
+				fmt.Printf("%-14d", int64(f))
+				continue
+			}
+			fmt.Printf("%-14v", cell)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("(%d rows over %d base rows)\n", len(v.Rows), v.BaseRows)
+}
+
+// viewCmd handles the incremental-view subcommands.
+func viewCmd(ctx context.Context, c *rds.Client, rest []string) error {
+	if len(rest) < 1 {
+		return fmt.Errorf("usage: view status | define <file.vdl> | query <name> | watch <name> [n]")
+	}
+	switch rest[0] {
+	case "status":
+		out, err := c.ViewStatus(ctx)
+		if err != nil {
+			return err
+		}
+		var doc viewDoc
+		if err := json.Unmarshal([]byte(out), &doc); err != nil {
+			return fmt.Errorf("parsing view status: %w", err)
+		}
+		fmt.Printf("%-16s %-6s %-6s %-10s %s\n", "VIEW", "ROWS", "BASE", "RECOMPUTES", "COLUMNS")
+		for _, v := range doc.Views {
+			cols := strings.Join(v.Columns, ",")
+			if v.Error != "" {
+				cols = "ERROR: " + v.Error
+			}
+			fmt.Printf("%-16s %-6d %-6d %-10d %s\n", v.Name, v.Rows, v.BaseRows, v.Recomputes, cols)
+		}
+		fmt.Printf("deltas folded %d, recomputes %d, changes lost %d\n",
+			doc.Stats.DeltasFolded, doc.Stats.Recomputes, doc.Stats.ChangesLost)
+	case "define":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: view define <file.vdl>")
+		}
+		src, err := os.ReadFile(rest[1])
+		if err != nil {
+			return err
+		}
+		out, err := c.ViewDefine(ctx, string(src))
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	case "query":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: view query <name>")
+		}
+		out, err := c.ViewQuery(ctx, rest[1])
+		if err != nil {
+			return err
+		}
+		var v viewRows
+		if err := json.Unmarshal([]byte(out), &v); err != nil {
+			return fmt.Errorf("parsing view rows: %w", err)
+		}
+		printViewRows(v)
+	case "watch":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: view watch <name> [n]")
+		}
+		limit := 0
+		if len(rest) > 2 {
+			n, err := strconv.Atoi(rest[2])
+			if err != nil || n < 1 {
+				return fmt.Errorf("usage: view watch <name> [n]")
+			}
+			limit = n
+		}
+		return viewWatch(ctx, c, rest[1], limit)
+	default:
+		return fmt.Errorf("unknown view subcommand %q (want status, define, query or watch)", rest[0])
+	}
+	return nil
+}
+
+// viewWatch polls the maintained view and prints it whenever its
+// content changes — the manager-side window onto a continuously
+// materialized view. limit > 0 exits after that many updates (the
+// initial print counts as the first).
+func viewWatch(ctx context.Context, c *rds.Client, name string, limit int) error {
+	last := ""
+	printed := 0
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		out, err := c.ViewQuery(ctx, name)
+		if err != nil {
+			return err
+		}
+		if out != last {
+			last = out
+			var v viewRows
+			if err := json.Unmarshal([]byte(out), &v); err != nil {
+				return fmt.Errorf("parsing view rows: %w", err)
+			}
+			fmt.Printf("-- %s @ %s\n", name, time.Now().Format("15:04:05.000"))
+			printViewRows(v)
+			printed++
+			if limit > 0 && printed >= limit {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
 }
 
 // tenantQuota mirrors elastic.Quota's JSON form.

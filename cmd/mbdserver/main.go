@@ -8,7 +8,7 @@
 //
 //	mbdserver [-rds :5500] [-snmp :1161] [-name lab-router]
 //	          [-community public] [-secret mgr=s3cret ...] [-repo dir]
-//	          [-strict] [-costceiling n] [-obs :9090]
+//	          [-strict] [-costceiling n] [-obs :9090] [-views file.vdl]
 //	          [-quota spec] [-tenantquota principal:spec ...]
 //	          [-schedworkers n] [-maxrepo bytes]
 //
@@ -49,6 +49,11 @@
 // single round trip — and serves the domain bundle operations (mbdctl
 // domain rollout / rollback / bundles) for content-addressed,
 // atomically-switched program distribution.
+//
+// With -views, the server keeps the VDL views in the file continuously
+// materialized through the incremental view engine (O(delta) work per
+// MIB write) and serves them over the RDS view operation (mbdctl view
+// status / define / query / watch). See docs/VDL.md.
 //
 // With one or more -secret principal=secret flags, RDS requests must
 // carry a valid MD5 digest; otherwise authentication is off (the first
@@ -117,6 +122,7 @@ func main() {
 	strict := flag.Bool("strict", false, "strict admission: reject delegations with any analyzer warning")
 	costCeiling := flag.Uint64("costceiling", 0, "reject delegations whose estimated cost exceeds this (0 = off; nonzero also rejects unbounded programs)")
 	obsAddr := flag.String("obs", "", "observability HTTP listen address (/metrics, /debug/pprof, /tracez); empty disables")
+	viewsFile := flag.String("views", "", "VDL file whose views are kept continuously materialized (empty = engine on, no initial views)")
 	drain := flag.Duration("drain", 2*time.Second, "graceful-shutdown drain grace per RDS connection (0 = close immediately)")
 	domain := flag.String("domain", "", "management domain this server roots; empty disables federation")
 	parent := flag.String("parent", "", "parent domain root's RDS address (empty = top root)")
@@ -140,7 +146,7 @@ func main() {
 		SchedWorkers: *schedWorkers, MaxRepositoryBytes: *maxRepo}
 	fed := fedConfig{Domain: *domain, Parent: *parent, Advertise: *advertise,
 		Rollup: *rollup, Heartbeat: *heartbeat}
-	if err := run(*rdsAddr, *snmpAddr, *name, *community, *repoDir, secrets, *strict, *costCeiling, *obsAddr, *drain, fed, ten); err != nil {
+	if err := run(*rdsAddr, *snmpAddr, *name, *community, *repoDir, secrets, *strict, *costCeiling, *obsAddr, *viewsFile, *drain, fed, ten); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -187,7 +193,7 @@ func (f fedConfig) advertiseAddr(rdsAddr string) string {
 	return rdsAddr
 }
 
-func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, strict bool, costCeiling uint64, obsAddr string, drain time.Duration, fed fedConfig, ten tenancyConfig) error {
+func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, strict bool, costCeiling uint64, obsAddr, viewsFile string, drain time.Duration, fed fedConfig, ten tenancyConfig) error {
 	dev, err := mib.NewDevice(mib.DeviceConfig{Name: name, Interfaces: 4, Seed: time.Now().UnixNano()})
 	if err != nil {
 		return err
@@ -244,10 +250,21 @@ func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, s
 		}
 	}
 
+	var viewDefs []string
+	if viewsFile != "" {
+		src, err := os.ReadFile(viewsFile)
+		if err != nil {
+			return fmt.Errorf("reading -views file: %w", err)
+		}
+		viewDefs = append(viewDefs, string(src))
+	}
+
 	srv, err := mbd.New(mbd.Config{
 		Device:          dev,
 		Community:       community,
 		ExtraBindings:   mcva.Bindings(),
+		EnableViews:     true,
+		ViewDefs:        viewDefs,
 		MaxDPIs:         256,
 		StrictAdmission: strict,
 		CostCeiling:     costCeiling,
@@ -336,6 +353,12 @@ func run(rdsAddr, snmpAddr, name, community, repoDir string, secrets []string, s
 		srvOpts = append(srvOpts, rds.WithPeerHandler(node))
 		log.Printf("federation: domain %q as %q (parent %q, advertise %s, rollup %s)",
 			fed.Domain, name, fed.Parent, fed.advertiseAddr(rdsAddr), fed.Rollup)
+	}
+	if views := srv.Views(); views != nil {
+		srvOpts = append(srvOpts, rds.WithViewHandler(views))
+		if n := len(views.Views()); n > 0 {
+			log.Printf("views: %d continuously materialized from %s", n, viewsFile)
+		}
 	}
 	rdsSrv := rds.NewServer(srv.Process(), auth, srvOpts...)
 

@@ -1,7 +1,9 @@
 // Mibviews demonstrates the View Definition Language and the MCVA:
 // projections, selections, computations, a join across base tables, an
-// aggregate, snapshots that survive base-table churn, and exposure of
-// computed views to plain SNMP managers through the v-mib.
+// aggregate, snapshots that survive base-table churn, exposure of
+// computed views to plain SNMP managers through the v-mib, and — new in
+// this revision — continuous materialization: an IncrMCVA keeps views
+// fresh by folding per-row change deltas instead of rescanning tables.
 //
 //	go run ./examples/mibviews
 package main
@@ -15,6 +17,7 @@ import (
 	"mbd/internal/mib"
 	"mbd/internal/snmp"
 	"mbd/internal/vdl"
+	"mbd/internal/vdl/incr"
 )
 
 func main() {
@@ -121,6 +124,49 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%d computed instances served to a plain SNMP manager\n", n)
+	fmt.Printf("%d computed instances served to a plain SNMP manager\n\n", n)
+
+	return continuous(dev)
+}
+
+// continuous keeps a view materialized incrementally: each device
+// mutation publishes a change event, and the IncrMCVA folds just the
+// affected rows into the standing result — O(delta) work per write, so
+// every query returns instantly-fresh rows without a table scan.
+func continuous(dev *mib.Device) error {
+	a := incr.New(incr.Config{Tree: dev.Tree(), Schema: vdl.MIB2()})
+	defer a.Close()
+	def, err := a.Define(`view watchRoutes {
+  from ipRouteTable as r join ifTable as i on r:ipRouteIfIndex == i:ifIndex;
+  select r:ipRouteDest, i:ifDescr;
+  where i:ifOperStatus == 1;
+}`)
+	if err != nil {
+		return err
+	}
+
+	rows := func() int {
+		res, err := a.Query(def.Name)
+		if err != nil {
+			return -1
+		}
+		return len(res.Rows)
+	}
+	fmt.Printf("continuous view %q starts with %d rows\n", def.Name, rows())
+
+	// Mutations are reflected immediately — no rescan, no poll cycle.
+	dev.AddRoute([4]byte{172, 16, 9, 0}, 2, 4, [4]byte{10, 0, 0, 250})
+	fmt.Printf("after adding a route: %d rows\n", rows())
+	if err := dev.SetInterfaceStatus(2, mib.IfStatusDown); err != nil {
+		return err
+	}
+	fmt.Printf("after downing if 2 (its routes vanish): %d rows\n", rows())
+	if err := dev.SetInterfaceStatus(2, mib.IfStatusUp); err != nil {
+		return err
+	}
+	fmt.Printf("after restoring if 2: %d rows\n", rows())
+
+	st := a.Stats()
+	fmt.Printf("deltas folded: %d, full recomputes: %d\n", st.DeltasFolded, st.Recomputes)
 	return nil
 }

@@ -1,0 +1,105 @@
+package macro
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestMacroScenario runs the composite harness at CI-friendly scale by
+// default; MBD_MACRO_STATIONS raises it (the macro-smoke CI job uses
+// 100, the committed trajectory point 1000) and MBD_MACRO_OUT appends
+// the result to a trajectory file.
+func TestMacroScenario(t *testing.T) {
+	cfg := Config{Stations: 20, Horizon: 2 * time.Minute, Seed: 7}
+	if s := os.Getenv("MBD_MACRO_STATIONS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("MBD_MACRO_STATIONS=%q", s)
+		}
+		cfg.Stations = n
+		cfg.Horizon = 4 * time.Minute
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("macro: %+v", res)
+
+	if res.DeltasFolded == 0 {
+		t.Fatal("no deltas folded — views were not incrementally maintained")
+	}
+	if res.ChangesLost != 0 || res.ViewRecomputes != 0 {
+		t.Fatalf("fallback engaged at this scale: lost=%d recomputes=%d", res.ChangesLost, res.ViewRecomputes)
+	}
+	if res.ViewRefreshes == 0 {
+		t.Fatal("manager never refreshed its views")
+	}
+	// Continuous maintenance bounds staleness by the refresh period —
+	// never by the poll cycle, which grows with the station count.
+	if p99 := res.StalenessP99MS; p99 <= 0 || p99 > float64(cfg.viewEvery().Milliseconds()) {
+		t.Fatalf("staleness p99 = %.1f ms, want (0, %d]", p99, cfg.viewEvery().Milliseconds())
+	}
+	if res.HealthAlarms == 0 {
+		t.Fatal("storm episodes produced no health alarms")
+	}
+	if res.IntrusionDetections == 0 {
+		t.Fatal("malicious sessions produced no detections")
+	}
+	if res.FleetRollupKeys == 0 {
+		t.Fatal("fleet view saw no rollup keys")
+	}
+	if res.DelegatedBytes == 0 || res.CentralizedBytes == 0 {
+		t.Fatalf("traffic accounting broken: mbd=%d snmp=%d", res.DelegatedBytes, res.CentralizedBytes)
+	}
+	if res.ByteGain <= 1 {
+		t.Fatalf("delegation moved more bytes than polling: gain=%.2f (mbd=%d snmp=%d)",
+			res.ByteGain, res.DelegatedBytes, res.CentralizedBytes)
+	}
+
+	if out := os.Getenv("MBD_MACRO_OUT"); out != "" {
+		if err := AppendRun(out, res); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("trajectory point appended to %s", out)
+	}
+}
+
+func (c Config) viewEvery() time.Duration {
+	if c.ViewEvery > 0 {
+		return c.ViewEvery
+	}
+	return time.Second
+}
+
+func TestTrajectoryAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_macro.json")
+	r1 := &Result{Stations: 10, DeltasFolded: 5}
+	if err := AppendRun(path, r1); err != nil {
+		t.Fatal(err)
+	}
+	r2 := &Result{Stations: 20, DeltasFolded: 9}
+	if err := AppendRun(path, r2); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr Trajectory
+	if err := json.Unmarshal(b, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Schema != 1 || len(tr.Runs) != 2 || tr.Runs[1].Stations != 20 || tr.Runs[0].Date == "" {
+		t.Fatalf("trajectory = %+v", tr)
+	}
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendRun(path, r1); err == nil {
+		t.Fatal("append to corrupt trajectory succeeded")
+	}
+}

@@ -1,0 +1,44 @@
+package macro
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Trajectory is the BENCH_macro.json document: one point per tracked
+// revision, append-only, so regressions in the composite scenario are
+// visible as a series rather than a single gate.
+type Trajectory struct {
+	Schema int        `json:"schema"`
+	Runs   []TrackRun `json:"runs"`
+}
+
+// TrackRun is one dated trajectory point.
+type TrackRun struct {
+	Date string `json:"date"`
+	Result
+}
+
+// AppendRun loads the trajectory at path (an absent file is an empty
+// trajectory), appends res dated today, and writes it back indented.
+func AppendRun(path string, res *Result) error {
+	var tr Trajectory
+	if b, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(b, &tr); err != nil {
+			return fmt.Errorf("macro: corrupt trajectory %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	if tr.Schema == 0 {
+		tr.Schema = 1
+	}
+	tr.Runs = append(tr.Runs, TrackRun{Date: time.Now().UTC().Format("2006-01-02"), Result: *res})
+	b, err := json.MarshalIndent(&tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

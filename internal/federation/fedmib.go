@@ -51,9 +51,72 @@ type Handler struct {
 // NewHandler returns a handler over node.
 func NewHandler(node *Node) *Handler { return &Handler{node: node} }
 
-// Mount attaches node's federation tables under prefix in tree.
+// Mount attaches node's federation tables under prefix in tree and
+// wires the rollup's change feed into the tree's change hub, so
+// federation-scoped views refresh incrementally as reports arrive.
 func Mount(tree *mib.Tree, node *Node, prefix oid.OID) error {
-	return tree.Mount(prefix, NewHandler(node))
+	if err := tree.Mount(prefix, NewHandler(node)); err != nil {
+		return err
+	}
+	WatchRollup(tree, node.Rollup(), prefix)
+	return nil
+}
+
+// WatchRollup publishes a rollup-table reset into tree's change hub on
+// every combined-value change. Row indexes are 1-based positions in the
+// sorted snapshot — any change can renumber rows — so the event is a
+// whole-table reset and consumers diff the table.
+func WatchRollup(tree *mib.Tree, r *Rollup, prefix oid.OID) {
+	entry := append(prefix.Clone(), tableRollup)
+	hub := tree.Changes()
+	r.OnChange(func() {
+		hub.Publish(mib.Change{Kind: mib.ChangeReset, Table: entry})
+	})
+}
+
+// MountRollup mounts a bare Rollup's table under prefix — the
+// manager-side mount when no Node exists (a harness or top-level
+// manager aggregating reports directly) — and wires its change feed
+// into the tree's hub. The subtree shape matches a full federation
+// mount: only the rollup table (<prefix>.2) is populated.
+func MountRollup(tree *mib.Tree, r *Rollup, prefix oid.OID) error {
+	if err := tree.Mount(prefix, &RollupHandler{r: r}); err != nil {
+		return err
+	}
+	WatchRollup(tree, r, prefix)
+	return nil
+}
+
+// RollupHandler serves a bare Rollup as the federation rollup table.
+type RollupHandler struct{ r *Rollup }
+
+// GetRel implements mib.Handler. rel is <table>.<col>.<idx> with table
+// fixed at the rollup arc.
+func (h *RollupHandler) GetRel(rel oid.OID) (mib.Value, bool) {
+	if len(rel) != 3 || rel[0] != tableRollup {
+		return mib.Value{}, false
+	}
+	return rollupCell(h.r.Rows(), rel[1], rel[2])
+}
+
+// NextRel implements mib.Handler.
+func (h *RollupHandler) NextRel(rel oid.OID) (oid.OID, mib.Value, bool) {
+	rows := h.r.Rows()
+	var sub oid.OID
+	if len(rel) > 0 {
+		if rel[0] > tableRollup {
+			return nil, mib.Value{}, false
+		}
+		if rel[0] == tableRollup {
+			sub = rel[1:]
+		}
+	}
+	if col, idx := obsmib.NextCell(sub, rollupCols, len(rows)); col != 0 {
+		if v, ok := rollupCell(rows, col, idx); ok {
+			return oid.OID{tableRollup, col, idx}, v, true
+		}
+	}
+	return nil, mib.Value{}, false
 }
 
 // memberCell returns the members-table value at (col, idx).

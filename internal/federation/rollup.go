@@ -300,6 +300,7 @@ type Rollup struct {
 	combiners map[string]Combiner
 	keys      map[string]*rollupKey
 	stats     RollupStats
+	onChange  []func()
 }
 
 // NewRollup returns a rollup whose keys default to def (nil = Latest).
@@ -372,9 +373,38 @@ func (r *Rollup) foldLocked(key string, k *rollupKey, prev MemberValue, had bool
 	return r.combineLocked(key, k)
 }
 
+// OnChange registers fn to run (outside the rollup lock) after any
+// accepted change to a combined value — a Report that moved a key, or a
+// member drop that did. The federation MIB bridge uses this to publish
+// rollup-table resets into a tree's change hub, driving incremental
+// refresh of federation-scoped views at the parent.
+func (r *Rollup) OnChange(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onChange = append(r.onChange, fn)
+}
+
+// notify runs the change callbacks; callers must not hold r.mu.
+func (r *Rollup) notify() {
+	r.mu.Lock()
+	fns := r.onChange
+	r.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
 // Report merges one member report and returns the key's combined value
 // with whether it changed.
 func (r *Rollup) Report(member, key, value string, timeMS int64) (combined string, changed bool) {
+	combined, changed = r.report(member, key, value, timeMS)
+	if changed {
+		r.notify()
+	}
+	return combined, changed
+}
+
+func (r *Rollup) report(member, key, value string, timeMS int64) (combined string, changed bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.stats.Reports++
@@ -414,6 +444,14 @@ type KeyUpdate struct {
 // failure detector declares it dead — and returns the keys whose
 // combined values changed so the node can re-publish them.
 func (r *Rollup) DropMember(member string) []KeyUpdate {
+	out := r.dropMember(member)
+	if len(out) > 0 {
+		r.notify()
+	}
+	return out
+}
+
+func (r *Rollup) dropMember(member string) []KeyUpdate {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var out []KeyUpdate

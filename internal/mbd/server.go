@@ -20,6 +20,8 @@ import (
 	"mbd/internal/obs"
 	"mbd/internal/oid"
 	"mbd/internal/snmp"
+	"mbd/internal/vdl"
+	"mbd/internal/vdl/incr"
 )
 
 // Config parameterizes an MbD server.
@@ -61,6 +63,17 @@ type Config struct {
 	Obs *obs.Registry
 	// Tracer records delegation-lifecycle spans; nil disables tracing.
 	Tracer *obs.Tracer
+	// EnableViews attaches an incremental view engine (an
+	// incr.IncrMCVA) to the device tree: views defined through it stay
+	// continuously materialized with O(delta) work per MIB write. The
+	// schema covers the MIB-II tables plus, when Federation is set, the
+	// federation rollup table — so one view can range over the whole
+	// domain tree. Install on the RDS server with
+	// rds.WithViewHandler(srv.Views()).
+	EnableViews bool
+	// ViewDefs are VDL documents (each may hold several views)
+	// installed at startup; an invalid definition fails New.
+	ViewDefs []string
 	// Federation, when set, seats this server in a management domain:
 	// the node roots Federation.Domain (accepting member joins,
 	// cascading delegations, rolling up reports) and, with a Parent
@@ -77,6 +90,7 @@ type Server struct {
 	proc  *elastic.Process
 	agent *snmp.Agent
 	fed   *federation.Node
+	views *incr.IncrMCVA
 
 	mu    sync.Mutex
 	peers map[string]*snmp.Client
@@ -164,6 +178,20 @@ func New(cfg Config) (*Server, error) {
 		node.Start()
 		s.fed = node
 	}
+	if cfg.EnableViews {
+		schema := vdl.MIB2()
+		if cfg.Federation != nil {
+			schema.AddFederation()
+		}
+		s.views = incr.New(incr.Config{Tree: cfg.Device.Tree(), Schema: schema, Obs: cfg.Obs})
+		for _, src := range cfg.ViewDefs {
+			if _, err := s.views.DefineAll(src); err != nil {
+				s.Stop()
+				return nil, fmt.Errorf("mbd: installing views: %w", err)
+			}
+		}
+		s.views.Start()
+	}
 	return s, nil
 }
 
@@ -200,9 +228,16 @@ func (s *Server) Device() *mib.Device { return s.dev }
 // is not federated).
 func (s *Server) Federation() *federation.Node { return s.fed }
 
-// Stop terminates the federation node (when present) and all delegated
-// instances.
+// Views returns the server's incremental view engine (nil unless
+// Config.EnableViews).
+func (s *Server) Views() *incr.IncrMCVA { return s.views }
+
+// Stop terminates the view engine and federation node (when present)
+// and all delegated instances.
 func (s *Server) Stop() {
+	if s.views != nil {
+		s.views.Close()
+	}
 	if s.fed != nil {
 		s.fed.Stop()
 	}

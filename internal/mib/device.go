@@ -175,6 +175,8 @@ func (d *Device) instrument() error {
 			return fmt.Errorf("mib: instrumenting %s: %w", d.cfg.Name, err)
 		}
 	}
+	d.tcpConns.Watch(d.tree.Changes(), OIDTCPConnEntry)
+	d.ipRoutes.Watch(d.tree.Changes(), OIDIPRouteEntry)
 	return nil
 }
 
@@ -218,7 +220,6 @@ func (d *Device) Advance(dt time.Duration) {
 		return
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.now += dt
 	sec := dt.Seconds()
 	noise := 1 + (d.rng.Float64()-0.5)*0.04
@@ -244,21 +245,42 @@ func (d *Device) Advance(dt time.Duration) {
 		ifc.inErrors += uint64(pkts * d.load.ErrorRate / float64(len(d.ifaces)))
 		ifc.outUcast += uint64(pkts * 0.8 / float64(len(d.ifaces)))
 	}
+	d.mu.Unlock()
+	d.publishIfRows()
+}
+
+// publishIfRows reports every interface row as changed — Advance bumps
+// all counters at once, so per-cell deltas would be pure overhead. With
+// no change subscribers this is one atomic load.
+func (d *Device) publishIfRows() {
+	hub := d.tree.Changes()
+	if !hub.Active() {
+		return
+	}
+	for _, ifc := range d.ifaces {
+		hub.Publish(Change{Kind: ChangeRow, Table: OIDIfEntry, Index: oid.OID{ifc.index}})
+	}
 }
 
 // SetInterfaceStatus changes an interface's operational status
 // (IfStatusUp or IfStatusDown), simulating link faults.
 func (d *Device) SetInterfaceStatus(index uint32, status int) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	found := false
 	for _, ifc := range d.ifaces {
 		if ifc.index == index {
 			ifc.oper = status
 			ifc.lastChange = uint64(d.now / (10 * time.Millisecond))
-			return nil
+			found = true
+			break
 		}
 	}
-	return fmt.Errorf("%w: ifIndex %d", ErrNoSuchName, index)
+	d.mu.Unlock()
+	if !found {
+		return fmt.Errorf("%w: ifIndex %d", ErrNoSuchName, index)
+	}
+	d.tree.Changes().Publish(Change{Kind: ChangeRow, Table: OIDIfEntry, Index: oid.OID{index}})
+	return nil
 }
 
 // ConnID identifies a TCP connection by its tcpConnTable index.

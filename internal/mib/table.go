@@ -3,6 +3,7 @@ package mib
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mbd/internal/oid"
 )
@@ -175,6 +176,8 @@ type MemRows struct {
 	mu    sync.RWMutex
 	rows  []memRow  // sorted by index; slice replaced on membership change
 	index []oid.OID // immutable snapshot, same order as rows
+
+	watch atomic.Pointer[changeTarget] // optional mutation publication
 }
 
 // search returns the position of index in rows, and whether it is
@@ -193,53 +196,58 @@ func (m *MemRows) Upsert(index oid.OID, cells map[uint32]Value) {
 		row[c] = v
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	pos, found := search(m.rows, index)
 	if found {
 		m.rows[pos].cells = row
-		return
+	} else {
+		idx := index.Clone()
+		rows := make([]memRow, 0, len(m.rows)+1)
+		rows = append(rows, m.rows[:pos]...)
+		rows = append(rows, memRow{index: idx, cells: row})
+		rows = append(rows, m.rows[pos:]...)
+		snap := make([]oid.OID, 0, len(m.index)+1)
+		snap = append(snap, m.index[:pos]...)
+		snap = append(snap, idx)
+		snap = append(snap, m.index[pos:]...)
+		m.rows, m.index = rows, snap
 	}
-	idx := index.Clone()
-	rows := make([]memRow, 0, len(m.rows)+1)
-	rows = append(rows, m.rows[:pos]...)
-	rows = append(rows, memRow{index: idx, cells: row})
-	rows = append(rows, m.rows[pos:]...)
-	snap := make([]oid.OID, 0, len(m.index)+1)
-	snap = append(snap, m.index[:pos]...)
-	snap = append(snap, idx)
-	snap = append(snap, m.index[pos:]...)
-	m.rows, m.index = rows, snap
+	m.mu.Unlock()
+	m.publish(ChangeRow, 0, index)
 }
 
 // SetCellValue writes one cell of an existing row, returning false when
 // the row does not exist.
 func (m *MemRows) SetCellValue(index oid.OID, col uint32, v Value) bool {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	pos, found := search(m.rows, index)
-	if !found {
-		return false
+	if found {
+		m.rows[pos].cells[col] = v
 	}
-	m.rows[pos].cells[col] = v
-	return true
+	m.mu.Unlock()
+	if found {
+		m.publish(ChangeCell, col, index)
+	}
+	return found
 }
 
 // Delete removes a row, reporting whether it existed.
 func (m *MemRows) Delete(index oid.OID) bool {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	pos, found := search(m.rows, index)
-	if !found {
-		return false
+	if found {
+		rows := make([]memRow, 0, len(m.rows)-1)
+		rows = append(rows, m.rows[:pos]...)
+		rows = append(rows, m.rows[pos+1:]...)
+		snap := make([]oid.OID, 0, len(m.index)-1)
+		snap = append(snap, m.index[:pos]...)
+		snap = append(snap, m.index[pos+1:]...)
+		m.rows, m.index = rows, snap
 	}
-	rows := make([]memRow, 0, len(m.rows)-1)
-	rows = append(rows, m.rows[:pos]...)
-	rows = append(rows, m.rows[pos+1:]...)
-	snap := make([]oid.OID, 0, len(m.index)-1)
-	snap = append(snap, m.index[:pos]...)
-	snap = append(snap, m.index[pos+1:]...)
-	m.rows, m.index = rows, snap
-	return true
+	m.mu.Unlock()
+	if found {
+		m.publish(ChangeDrop, 0, index)
+	}
+	return found
 }
 
 // Len returns the number of rows.

@@ -91,8 +91,15 @@ type Tree struct {
 	mountMu sync.Mutex // serializes Mount/Unmount
 	mounts  atomic.Pointer[[]mount]
 
-	stats treeCounters
+	stats   treeCounters
+	changes ChangeHub
 }
+
+// Changes returns the tree's change-capture hub. Data sources mounted
+// in the tree publish row/cell mutations into it; Set dispatches are
+// published automatically. With no subscribers the publication paths
+// cost one atomic load — see ChangeHub.
+func (t *Tree) Changes() *ChangeHub { return &t.changes }
 
 // treeCounters tallies data-path operations with lock-free atomics; a
 // single uncontended add per operation keeps the dispatch hot path
@@ -266,7 +273,18 @@ func (t *Tree) Set(o oid.OID, v Value) error {
 	if !ok {
 		return ErrReadOnly
 	}
-	return s.SetRel(o[len(mounts[i].prefix):], v)
+	rel := o[len(mounts[i].prefix):]
+	err := s.SetRel(rel, v)
+	if err == nil && t.changes.Active() {
+		c := Change{Kind: ChangeCell, Table: mounts[i].prefix}
+		if len(rel) >= 2 {
+			c.Col, c.Index = rel[0], rel[1:]
+		} else {
+			c.Index = rel
+		}
+		t.changes.Publish(c)
+	}
+	return err
 }
 
 // Walk invokes fn for every instance under prefix, in lexicographic

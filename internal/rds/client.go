@@ -623,6 +623,45 @@ func (c *Client) TenantStatus(ctx context.Context) (string, error) {
 	return string(m.Payload), nil
 }
 
+// ViewStatus fetches the server's maintained-view status document
+// (views, row counts, maintenance counters) as JSON. It is idempotent:
+// under WithReconnect it retries across outages.
+func (c *Client) ViewStatus(ctx context.Context) (string, error) {
+	m, err := c.retryIdempotent(ctx, func() *Message {
+		return &Message{Op: OpView, Entry: "status"}
+	})
+	if err != nil {
+		return "", err
+	}
+	return string(m.Payload), nil
+}
+
+// ViewDefine installs (or replaces) an incrementally-maintained view
+// from VDL source, returning the server's JSON definition record.
+// Defining the same source twice converges to the same state, so it
+// retries across outages like the other idempotent verbs.
+func (c *Client) ViewDefine(ctx context.Context, src string) (string, error) {
+	m, err := c.retryIdempotent(ctx, func() *Message {
+		return &Message{Op: OpView, Entry: "define", Payload: []byte(src)}
+	})
+	if err != nil {
+		return "", err
+	}
+	return string(m.Payload), nil
+}
+
+// ViewQuery fetches one maintained view's current rows as JSON. It is
+// idempotent: under WithReconnect it retries across outages.
+func (c *Client) ViewQuery(ctx context.Context, name string) (string, error) {
+	m, err := c.retryIdempotent(ctx, func() *Message {
+		return &Message{Op: OpView, Entry: "query", Name: name}
+	})
+	if err != nil {
+		return "", err
+	}
+	return string(m.Payload), nil
+}
+
 // Trace fetches up to max recent delegation-lifecycle spans from the
 // server's trace ring as a JSON array (max <= 0 fetches all retained).
 // Trace is idempotent: under WithReconnect it retries across outages.

@@ -91,11 +91,17 @@ const (
 	// member's activation outcome. Activating a previously active hash
 	// is the rollback path.
 	OpPeerBundleActivate
+	// OpView manages the server's incrementally-maintained VDL views.
+	// Entry selects the verb: "status" (or empty) lists maintained
+	// views and maintenance counters, "define" installs a view
+	// (Payload=VDL source), "query" reads one view's current rows
+	// (Name=view). Replies carry JSON payloads.
+	OpView
 )
 
 // opMax is the highest assigned operation code; Decode rejects anything
 // beyond it.
-const opMax = OpPeerBundleActivate
+const opMax = OpView
 
 // String names the op.
 func (o Op) String() string {
@@ -136,6 +142,8 @@ func (o Op) String() string {
 		return "peer-bundle-stage"
 	case OpPeerBundleActivate:
 		return "peer-bundle-activate"
+	case OpView:
+		return "view"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}

@@ -53,6 +53,10 @@ type Server struct {
 	// cascaded delegation, upstream report). Nil refuses them.
 	peers PeerHandler
 
+	// views answers OpView (status/define/query over maintained VDL
+	// views). Nil refuses them.
+	views ViewHandler
+
 	// gate is the tenant ledger seam: request-rate shedding and the
 	// weights behind event backpressure. Nil disables both; gateSet
 	// distinguishes an explicit nil from the default wiring.
@@ -137,6 +141,25 @@ func WithTracer(tr *obs.Tracer) ServerOption {
 // ErrNoFederation.
 func WithPeerHandler(h PeerHandler) ServerOption {
 	return func(s *Server) { s.peers = h }
+}
+
+// ViewHandler answers the OpView verbs — normally an
+// internal/vdl/incr.IncrMCVA keeping views continuously materialized
+// next to the agent. All three render JSON payloads.
+type ViewHandler interface {
+	StatusJSON() ([]byte, error)
+	DefineJSON(src string) ([]byte, error)
+	QueryJSON(name string) ([]byte, error)
+}
+
+// ErrNoViews reports a view operation sent to a server with no view
+// engine configured.
+var ErrNoViews = errors.New("rds: views not enabled on this server")
+
+// WithViewHandler routes OpView to h. Without one (the default) view
+// traffic is refused with ErrNoViews.
+func WithViewHandler(h ViewHandler) ServerOption {
+	return func(s *Server) { s.views = h }
 }
 
 // WithDrainGrace makes shutdown graceful: when the serve context is
@@ -766,6 +789,23 @@ func (s *Server) dispatch(ctx context.Context, req *Message) *Message {
 			err = fmt.Errorf("rds: peer handler returned no fanout result")
 		}
 		return reply(req, func(m *Message) { m.Payload = res.Encode() }, err)
+	case OpView:
+		if s.views == nil {
+			return reply(req, nil, ErrNoViews)
+		}
+		var b []byte
+		var err error
+		switch req.Entry {
+		case "", "status":
+			b, err = s.views.StatusJSON()
+		case "define":
+			b, err = s.views.DefineJSON(string(req.Payload))
+		case "query":
+			b, err = s.views.QueryJSON(req.Name)
+		default:
+			err = fmt.Errorf("rds: unknown view verb %q", req.Entry)
+		}
+		return reply(req, func(m *Message) { m.Payload = b }, err)
 	default:
 		return reply(req, nil, fmt.Errorf("rds: cannot serve %s", req.Op))
 	}

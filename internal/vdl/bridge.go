@@ -1,0 +1,56 @@
+package vdl
+
+import (
+	"mbd/internal/dpl"
+	"mbd/internal/mib"
+)
+
+// This file exports the evaluator's internals to the incremental
+// maintenance engine (vdl/incr). The delta operators must agree with
+// Eval bit-for-bit — crosschecked by test — so they call these exact
+// functions rather than reimplementing expression semantics.
+
+// Env is an evaluation environment binding one (possibly joined) row's
+// cells to aliases and bare column names.
+type Env = env
+
+// NewRowEnv returns an empty row environment.
+func NewRowEnv() *Env { return newEnv() }
+
+// Bind adds a table's cells to the environment under alias (and merges
+// them into the unqualified namespace, later bindings winning).
+func (e *Env) Bind(alias string, cells map[string]Value) { e.add(alias, cells) }
+
+// Lookup resolves a column reference.
+func (e *Env) Lookup(c ColRef) (Value, error) { return e.lookup(c) }
+
+// EvalExpr evaluates a non-aggregate expression against one row.
+func EvalExpr(e Expr, env *Env) (Value, error) { return evalExpr(e, env) }
+
+// EvalAggregate evaluates a select expression that may contain
+// aggregate calls over the kept row set, in row order (order matters
+// for floating-point accumulation).
+func EvalAggregate(e Expr, rows []*Env) (Value, error) { return evalAggregate(e, rows) }
+
+// EvalBinOp applies one binary operator to evaluated operands.
+func EvalBinOp(op dpl.TokenKind, l, r Value) (Value, error) { return evalBinOp(op, l, r) }
+
+// EvalUnOp applies one unary operator to an evaluated operand.
+func EvalUnOp(op dpl.TokenKind, x Value) (Value, error) { return evalUnOp(op, x) }
+
+// Truthy reports whether a value passes a where clause.
+func Truthy(v Value) bool { return truthy(v) }
+
+// LooseEqual is the equality the == operator and join matching use:
+// numeric values compare across int64/float64, everything else by
+// identity.
+func LooseEqual(l, r Value) bool { return looseEqual(l, r) }
+
+// HasAgg reports whether the expression contains an aggregate call.
+func HasAgg(e Expr) bool { return hasAgg(e) }
+
+// FromSMI converts an SMI value into the view evaluation domain.
+func FromSMI(v mib.Value) Value { return fromSMI(v) }
+
+// ToSMI converts a computed value back to an SMI value.
+func ToSMI(v Value) mib.Value { return toSMI(v) }

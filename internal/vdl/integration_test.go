@@ -1,0 +1,91 @@
+package vdl_test
+
+// These integration tests import mbd and snmp, which themselves depend
+// on vdl; they live in the external test package to avoid an import
+// cycle in the test binary.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mbd/internal/mbd"
+	"mbd/internal/mib"
+	"mbd/internal/snmp"
+	. "mbd/internal/vdl"
+)
+
+func integrationDevice(t *testing.T) *mib.Device {
+	t.Helper()
+	dev, err := mib.NewDevice(mib.DeviceConfig{Name: "view-dev", Interfaces: 3, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetLoad(mib.LoadProfile{Utilization: 0.4, BroadcastFraction: 0.05, ErrorRate: 0.01, CollisionRate: 0.02})
+	dev.Advance(30 * time.Second)
+	return dev
+}
+
+func TestVMIBExposure(t *testing.T) {
+	dev := integrationDevice(t)
+	m := NewMCVA(dev.Tree(), MIB2())
+	if _, err := m.Define(`view ifat { from ifTable; select ifIndex, ifInOctets; where ifOperStatus == 1; }`); err != nil {
+		t.Fatal(err)
+	}
+	// Mount the v-mib into the same tree and read it over real SNMP.
+	if err := dev.Tree().Mount(OIDViews, m.Handler()); err != nil {
+		t.Fatal(err)
+	}
+	agent := snmp.NewAgent(dev.Tree(), "public")
+	c := snmp.NewClient(snmp.AgentTripper(agent), "public")
+
+	// view 1, column 1 (ifIndex), row 2 → 2.
+	vbs, err := c.Get(context.Background(), OIDViews.Append(1, 1, 2))
+	if err != nil || vbs[0].Value.Int != 2 {
+		t.Fatalf("v-mib get = %v, %v", vbs, err)
+	}
+	// Walking the v-mib enumerates 2 columns × 3 rows.
+	n, err := c.Walk(context.Background(), OIDViews, func(snmp.VarBind) bool { return true })
+	if err != nil || n != 6 {
+		t.Fatalf("v-mib walk = %d, %v", n, err)
+	}
+	// The view is live: downing an interface shrinks it.
+	if err := dev.SetInterfaceStatus(3, mib.IfStatusDown); err != nil {
+		t.Fatal(err)
+	}
+	n, _ = c.Walk(context.Background(), OIDViews, func(snmp.VarBind) bool { return true })
+	if n != 4 {
+		t.Fatalf("v-mib walk after fault = %d, want 4", n)
+	}
+}
+
+func TestMCVABindingsFromDelegatedAgent(t *testing.T) {
+	dev := integrationDevice(t)
+	m := NewMCVA(dev.Tree(), MIB2())
+	srv, err := mbd.New(mbd.Config{Device: dev, ExtraBindings: m.Bindings()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Stop)
+
+	src := `
+func main() {
+	viewDefine("view v1 { from ifTable; select ifIndex; where ifOperStatus == 1; }");
+	var rows = viewQuery("v1");
+	var id = viewSnapshot("v1");
+	var snap = snapshotRows(id);
+	var dropped = snapshotDrop(id);
+	return sprintf("%d|%d|%v", len(rows), len(snap), dropped);
+}`
+	if err := srv.Process().Delegate("mgr", "viewer", "dpl", src); err != nil {
+		t.Fatal(err)
+	}
+	d, err := srv.Process().Instantiate("mgr", "viewer", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Wait(context.Background())
+	if err != nil || v != "3|3|true" {
+		t.Fatalf("agent result = %v, %v", v, err)
+	}
+}

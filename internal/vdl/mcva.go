@@ -7,6 +7,7 @@ import (
 
 	"mbd/internal/dpl"
 	"mbd/internal/mib"
+	"mbd/internal/obs"
 	"mbd/internal/oid"
 )
 
@@ -14,18 +15,27 @@ import (
 // views (an enterprise arc reserved for this implementation).
 var OIDViews = oid.MustParse("1.3.6.1.4.1.424242.1")
 
+// DefaultSnapshotCap bounds retained snapshots when no explicit cap is
+// configured. Under periodic refresh an unbounded snapshot map is a
+// slow leak; evicting least-recently-used entries keeps forensics
+// available without growing forever.
+const DefaultSnapshotCap = 64
+
 // MCVA is the MIB Computations-of-Views Agent: it holds named view
 // definitions, evaluates them on demand against the live MIB, keeps
-// immutable snapshots, and exposes both as a virtual MIB subtree so
-// plain SNMP managers can read computed views.
+// immutable snapshots (bounded, LRU-evicted), and exposes both as a
+// virtual MIB subtree so plain SNMP managers can read computed views.
 type MCVA struct {
 	ev *Evaluator
 
-	mu        sync.Mutex
-	views     map[string]*ViewDef
-	viewOrder []string
-	snapshots map[int64]*Result
-	snapSeq   int64
+	mu          sync.Mutex
+	views       map[string]*ViewDef
+	viewOrder   []string
+	snapshots   map[int64]*Result
+	snapLRU     []int64 // ids, least-recently-used first
+	snapCap     int
+	snapEvicted uint64
+	snapSeq     int64
 }
 
 // NewMCVA builds an MCVA over the tree and schema.
@@ -34,7 +44,61 @@ func NewMCVA(tree *mib.Tree, schema *Schema) *MCVA {
 		ev:        NewEvaluator(tree, schema),
 		views:     make(map[string]*ViewDef),
 		snapshots: make(map[int64]*Result),
+		snapCap:   DefaultSnapshotCap,
 	}
+}
+
+// SetSnapshotCap changes the retained-snapshot bound (minimum 1;
+// non-positive restores DefaultSnapshotCap). Excess snapshots are
+// evicted immediately, least recently used first.
+func (m *MCVA) SetSnapshotCap(n int) {
+	if n <= 0 {
+		n = DefaultSnapshotCap
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snapCap = n
+	m.evictLocked()
+}
+
+// SnapshotsEvicted returns how many snapshots the LRU bound has
+// discarded.
+func (m *MCVA) SnapshotsEvicted() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.snapEvicted
+}
+
+// Instrument registers the MCVA's metrics on reg
+// (vdl_snapshots_evicted_total).
+func (m *MCVA) Instrument(reg *obs.Registry) {
+	reg.FuncCounter("vdl_snapshots_evicted_total",
+		"View snapshots discarded by the LRU retention bound.", m.SnapshotsEvicted)
+}
+
+// evictLocked drops least-recently-used snapshots until within cap.
+// Callers hold m.mu.
+func (m *MCVA) evictLocked() {
+	for len(m.snapshots) > m.snapCap && len(m.snapLRU) > 0 {
+		id := m.snapLRU[0]
+		m.snapLRU = m.snapLRU[1:]
+		if _, ok := m.snapshots[id]; ok {
+			delete(m.snapshots, id)
+			m.snapEvicted++
+		}
+	}
+}
+
+// touchLocked moves id to the most-recently-used end of the LRU order.
+// Callers hold m.mu.
+func (m *MCVA) touchLocked(id int64) {
+	for i, x := range m.snapLRU {
+		if x == id {
+			m.snapLRU = append(append(m.snapLRU[:i:i], m.snapLRU[i+1:]...), id)
+			return
+		}
+	}
+	m.snapLRU = append(m.snapLRU, id)
 }
 
 // Define parses and installs a view definition, replacing any previous
@@ -90,6 +154,8 @@ func (m *MCVA) Snapshot(name string) (int64, error) {
 	defer m.mu.Unlock()
 	m.snapSeq++
 	m.snapshots[m.snapSeq] = res
+	m.touchLocked(m.snapSeq)
+	m.evictLocked()
 	return m.snapSeq, nil
 }
 
@@ -98,6 +164,9 @@ func (m *MCVA) SnapshotResult(id int64) (*Result, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	r, ok := m.snapshots[id]
+	if ok {
+		m.touchLocked(id)
+	}
 	return r, ok
 }
 
@@ -109,6 +178,12 @@ func (m *MCVA) DropSnapshot(id int64) bool {
 		return false
 	}
 	delete(m.snapshots, id)
+	for i, x := range m.snapLRU {
+		if x == id {
+			m.snapLRU = append(m.snapLRU[:i], m.snapLRU[i+1:]...)
+			break
+		}
+	}
 	return true
 }
 

@@ -100,6 +100,27 @@ func MIB2() *Schema {
 	return s
 }
 
+// OIDFedRollup is the federation rollup table's entry prefix: the .2
+// arc under the federation subtree (federation.OIDFederation; the
+// constant is duplicated here because vdl must not import federation —
+// a cross-package test keeps them aligned).
+var OIDFedRollup = oid.MustParse("1.3.6.1.4.1.424242.3.2")
+
+// AddFederation registers the federation rollup table, letting a view's
+// from clause range over the whole domain tree's combined key/value
+// rollup instead of only local base tables. Returns s for chaining.
+func (s *Schema) AddFederation() *Schema {
+	s.Add(TableSchema{
+		Name:  "fedRollupTable",
+		Entry: OIDFedRollup,
+		Columns: map[string]uint32{
+			"fedRollupKey": 1, "fedRollupValue": 2,
+			"fedRollupMembers": 3, "fedRollupUpdates": 4,
+		},
+	})
+	return s
+}
+
 // Value is the evaluation domain of view expressions: nil, bool, int64,
 // float64, or string.
 type Value = any

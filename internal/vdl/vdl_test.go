@@ -1,14 +1,12 @@
 package vdl
 
 import (
-	"context"
 	"strings"
 	"testing"
 	"time"
 
-	"mbd/internal/mbd"
 	"mbd/internal/mib"
-	"mbd/internal/snmp"
+	"mbd/internal/obs"
 )
 
 func testDevice(t *testing.T) *mib.Device {
@@ -248,70 +246,6 @@ func TestMCVADefineQuerySnapshot(t *testing.T) {
 	}
 }
 
-func TestVMIBExposure(t *testing.T) {
-	dev := testDevice(t)
-	m := NewMCVA(dev.Tree(), MIB2())
-	if _, err := m.Define(`view ifat { from ifTable; select ifIndex, ifInOctets; where ifOperStatus == 1; }`); err != nil {
-		t.Fatal(err)
-	}
-	// Mount the v-mib into the same tree and read it over real SNMP.
-	if err := dev.Tree().Mount(OIDViews, m.Handler()); err != nil {
-		t.Fatal(err)
-	}
-	agent := snmp.NewAgent(dev.Tree(), "public")
-	c := snmp.NewClient(snmp.AgentTripper(agent), "public")
-
-	// view 1, column 1 (ifIndex), row 2 → 2.
-	vbs, err := c.Get(context.Background(), OIDViews.Append(1, 1, 2))
-	if err != nil || vbs[0].Value.Int != 2 {
-		t.Fatalf("v-mib get = %v, %v", vbs, err)
-	}
-	// Walking the v-mib enumerates 2 columns × 3 rows.
-	n, err := c.Walk(context.Background(), OIDViews, func(snmp.VarBind) bool { return true })
-	if err != nil || n != 6 {
-		t.Fatalf("v-mib walk = %d, %v", n, err)
-	}
-	// The view is live: downing an interface shrinks it.
-	if err := dev.SetInterfaceStatus(3, mib.IfStatusDown); err != nil {
-		t.Fatal(err)
-	}
-	n, _ = c.Walk(context.Background(), OIDViews, func(snmp.VarBind) bool { return true })
-	if n != 4 {
-		t.Fatalf("v-mib walk after fault = %d, want 4", n)
-	}
-}
-
-func TestMCVABindingsFromDelegatedAgent(t *testing.T) {
-	dev := testDevice(t)
-	m := NewMCVA(dev.Tree(), MIB2())
-	srv, err := mbd.New(mbd.Config{Device: dev, ExtraBindings: m.Bindings()})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(srv.Stop)
-
-	src := `
-func main() {
-	viewDefine("view v1 { from ifTable; select ifIndex; where ifOperStatus == 1; }");
-	var rows = viewQuery("v1");
-	var id = viewSnapshot("v1");
-	var snap = snapshotRows(id);
-	var dropped = snapshotDrop(id);
-	return sprintf("%d|%d|%v", len(rows), len(snap), dropped);
-}`
-	if err := srv.Process().Delegate("mgr", "viewer", "dpl", src); err != nil {
-		t.Fatal(err)
-	}
-	d, err := srv.Process().Instantiate("mgr", "viewer", "main")
-	if err != nil {
-		t.Fatal(err)
-	}
-	v, err := d.Wait(context.Background())
-	if err != nil || v != "3|3|true" {
-		t.Fatalf("agent result = %v, %v", v, err)
-	}
-}
-
 func TestRenderSMIBallooning(t *testing.T) {
 	// E7's qualitative claim as a unit test: the SMI-style rendering is
 	// several times longer than the VDL source.
@@ -360,5 +294,64 @@ view b { from ifTable; select count() as n; }
 `)
 	if err != nil || len(views) != 2 || views[0].Name != "a" || views[1].Name != "b" {
 		t.Fatalf("ParseAll = %v, %v", views, err)
+	}
+}
+
+func TestSnapshotLRUEviction(t *testing.T) {
+	dev := testDevice(t)
+	m := NewMCVA(dev.Tree(), MIB2())
+	if _, err := m.Define(`view conns { from tcpConnTable; select tcpConnRemPort; }`); err != nil {
+		t.Fatal(err)
+	}
+	m.SetSnapshotCap(3)
+	ids := make([]int64, 0, 5)
+	for i := 0; i < 5; i++ {
+		id, err := m.Snapshot("conns")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if got := m.SnapshotsEvicted(); got != 2 {
+		t.Fatalf("evicted = %d, want 2", got)
+	}
+	// The two oldest are gone; the three newest survive.
+	for _, id := range ids[:2] {
+		if _, ok := m.SnapshotResult(id); ok {
+			t.Fatalf("snapshot %d survived past cap", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		if _, ok := m.SnapshotResult(id); !ok {
+			t.Fatalf("snapshot %d evicted while within cap", id)
+		}
+	}
+	// Touching the LRU end protects it from the next eviction.
+	if _, ok := m.SnapshotResult(ids[2]); !ok {
+		t.Fatal("touch failed")
+	}
+	if _, err := m.Snapshot("conns"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.SnapshotResult(ids[2]); !ok {
+		t.Fatal("recently-used snapshot evicted before stale ones")
+	}
+	if _, ok := m.SnapshotResult(ids[3]); ok {
+		t.Fatal("stale snapshot survived past touched one")
+	}
+	// Lowering the cap evicts immediately; the counter is monotonic.
+	m.SetSnapshotCap(1)
+	if got := m.SnapshotsEvicted(); got != 5 {
+		t.Fatalf("after cap lower evicted = %d, want 5", got)
+	}
+	// Instrument exposes the counter under the canonical metric name.
+	reg := obs.NewRegistry()
+	m.Instrument(reg)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "vdl_snapshots_evicted_total 5") {
+		t.Fatalf("metric missing:\n%s", b.String())
 	}
 }
